@@ -1,0 +1,92 @@
+// srvbench regenerates the paper's tables and figures on the simulator.
+//
+// Usage:
+//
+//	srvbench                 # everything (Table I, §II limit study, Figs 6-13)
+//	srvbench -exp fig6       # one experiment
+//	srvbench -exp limit -seed 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srvsim/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|tab1|limit|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|costmodel|regions|sweep")
+	seed := flag.Int64("seed", 7, "workload data seed")
+	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
+	flag.Parse()
+
+	if *jsonOut {
+		if err := harness.WriteJSON(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "srvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "srvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64) error {
+	switch exp {
+	case "all":
+		return harness.RunAll(seed, os.Stdout)
+	case "tab1":
+		fmt.Print(harness.Table1())
+		return nil
+	case "limit":
+		fmt.Print(harness.LimitStudy(seed))
+		return nil
+	case "fig13":
+		rep, err := harness.Fig13(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		return nil
+	case "sweep":
+		rep, err := harness.Sweep(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		return nil
+	case "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "costmodel", "regions":
+		rs, err := harness.Measure(seed)
+		if err != nil {
+			return err
+		}
+		var rep harness.Report
+		switch exp {
+		case "fig6":
+			rep = harness.Fig6(rs)
+		case "fig7":
+			rep = harness.Fig7(rs)
+		case "fig8":
+			rep = harness.Fig8(rs)
+		case "fig9":
+			rep = harness.Fig9(rs)
+		case "fig10":
+			rep = harness.Fig10(rs)
+		case "fig11":
+			rep = harness.Fig11(rs)
+		case "fig12":
+			rep = harness.Fig12(rs)
+		case "costmodel":
+			rep = harness.CostModelReport(rs)
+		case "regions":
+			rep = harness.RegionProfile(rs)
+		}
+		fmt.Print(rep)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

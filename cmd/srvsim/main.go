@@ -1,0 +1,217 @@
+// srvsim runs one workload loop on the cycle simulator under a chosen
+// execution strategy and prints the pipeline statistics.
+//
+// Usage:
+//
+//	srvsim -list                     # list benchmarks and loops
+//	srvsim -bench is                 # run all loops of a benchmark under SRV
+//	srvsim -bench is -loop 0 -mode scalar
+//	srvsim -bench bzip2 -loop 0 -dis # disassemble the compiled program
+//	srvsim -file prog.s              # assemble and run a .s file
+//	                                 # (".data addr, elem, v0, v1, ..." sets memory)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/harness"
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+	"srvsim/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmarks and loops")
+	bench := flag.String("bench", "", "benchmark name")
+	loopIdx := flag.Int("loop", -1, "loop index (-1 = all)")
+	mode := flag.String("mode", "srv", "execution mode: scalar|srv|compare")
+	seed := flag.Int64("seed", 7, "workload data seed")
+	dis := flag.Bool("dis", false, "print the compiled program")
+	trace := flag.Bool("trace", false, "print every executed instruction (cycle, seq, pc, op)")
+	flag.String("file", "", "assemble and run a .s program file")
+	statsFlag := flag.Bool("stats", false, "dump the full gem5-style statistics report")
+	pv := flag.Int("pipeview", 0, "render a stage timeline for the first N committed instructions")
+	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
+	flag.Parse()
+	dumpStats = *statsFlag
+	pipeview = *pv
+	showRegions = *regions
+	pipeline.DebugTrace = *trace
+
+	if file := flag.Lookup("file").Value.String(); file != "" {
+		if err := runFile(file); err != nil {
+			fmt.Fprintln(os.Stderr, "srvsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *list {
+		cm := compiler.DefaultCostModel()
+		for _, b := range workloads.All() {
+			fmt.Printf("%-10s (%s)\n", b.Name, b.Suite)
+			for i, ls := range b.Loops {
+				loop := ls.Shape.Build()
+				total, gs := loop.MemAccessCount()
+				fmt.Printf("  [%d] %-16s trip=%-5d accesses=%d (%d gather/scatter) weight=%.2f est=%.1fx\n",
+					i, ls.Shape.Name, ls.Shape.Trip, total, gs, ls.Weight, cm.Estimate(loop))
+			}
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "srvsim: -bench required (or -list)")
+		os.Exit(1)
+	}
+	b, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "srvsim: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	if *mode == "compare" {
+		for i, ls := range b.Loops {
+			if *loopIdx >= 0 && i != *loopIdx {
+				continue
+			}
+			lr, err := harness.RunLoop(b.Name, ls, *seed+int64(i))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "srvsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s/%s: scalar=%d srv=%d speedup=%.2fx replays=%d RAW=%d WAR=%d WAW=%d barrier=%.2f%%\n",
+				b.Name, ls.Shape.Name, lr.ScalarCycles, lr.SRVCycles, lr.Speedup,
+				lr.ReplayRounds, lr.RAW, lr.WAR, lr.WAW, lr.BarrierFrac*100)
+		}
+		return
+	}
+	var m compiler.Mode
+	switch *mode {
+	case "scalar":
+		m = compiler.ModeScalar
+	case "srv":
+		m = compiler.ModeSRV
+	default:
+		fmt.Fprintf(os.Stderr, "srvsim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	for i, ls := range b.Loops {
+		if *loopIdx >= 0 && i != *loopIdx {
+			continue
+		}
+		if err := runOne(b.Name, ls, m, *seed+int64(i), *dis); err != nil {
+			fmt.Fprintln(os.Stderr, "srvsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runFile assembles and runs a standalone .s program.
+func runFile(path string) error {
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, data, err := isa.AssembleWithData(string(srcBytes))
+	if err != nil {
+		return err
+	}
+	im := mem.NewImage()
+	for _, di := range data {
+		for i, v := range di.Values {
+			im.WriteInt(di.Addr+uint64(i*di.Elem), di.Elem, v)
+		}
+	}
+	p := pipeline.New(pipeline.DefaultConfig(), prog, im)
+	if err := p.Run(); err != nil {
+		return err
+	}
+	st := p.Ctrl.Stats
+	fmt.Printf("%s: cycles=%d insts=%d IPC=%.2f regions=%d replays=%d RAW=%d WAR=%d WAW=%d\n",
+		path, p.Stats.Cycles, p.Stats.Committed, p.Stats.IPC(),
+		st.Regions, st.Replays, st.RAWViol, st.WARViol, st.WAWViol)
+	return nil
+}
+
+var (
+	dumpStats   bool
+	pipeview    int
+	showRegions bool
+)
+
+func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64, dis bool) error {
+	l, im := ls.Instantiate(seed)
+	c, err := compiler.Compile(l, im, mode)
+	if err != nil {
+		return err
+	}
+	if dis {
+		fmt.Printf("--- %s/%s (%v) ---\n%s\n", bench, ls.Shape.Name, mode, c.Prog)
+	}
+	p := pipeline.New(pipeline.DefaultConfig(), c.Prog, im)
+	if pipeview > 0 {
+		p.EnableTimeline()
+	}
+	if err := p.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s [%v]: cycles=%d insts=%d IPC=%.2f", bench, ls.Shape.Name, mode,
+		p.Stats.Cycles, p.Stats.Committed, p.Stats.IPC())
+	if mode == compiler.ModeSRV {
+		st := p.Ctrl.Stats
+		fmt.Printf(" regions=%d replays=%d RAW=%d WAR=%d WAW=%d fallbacks=%d barrier=%d",
+			st.Regions, st.Replays, st.RAWViol, st.WARViol, st.WAWViol, st.Fallbacks,
+			p.Stats.BarrierCycles)
+	}
+	fmt.Printf(" L1miss=%d L2miss=%d\n", p.Hier.L1.Stats.Misses, p.Hier.L2.Stats.Misses)
+	if dumpStats {
+		fmt.Println(p.DumpStats())
+	}
+	if pipeview > 0 {
+		fmt.Print(pipeline.RenderTimeline(p.Timeline(), 0, pipeview))
+	}
+	if showRegions {
+		printRegionDurations(p.RegionDurations())
+	}
+	return nil
+}
+
+// printRegionDurations summarises the per-region cycle counts of a run.
+func printRegionDurations(durs []int64) {
+	if len(durs) == 0 {
+		fmt.Println("regions: none recorded")
+		return
+	}
+	min, max, sum := durs[0], durs[0], int64(0)
+	for _, d := range durs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	fmt.Printf("regions: %d recorded, duration min=%d mean=%.1f max=%d cycles\n",
+		len(durs), min, float64(sum)/float64(len(durs)), max)
+	// Compact histogram over eight buckets.
+	span := max - min + 1
+	var buckets [8]int
+	for _, d := range durs {
+		buckets[int((d-min)*8/span)]++
+	}
+	for i, n := range buckets {
+		lo := min + int64(i)*span/8
+		hi := min + int64(i+1)*span/8 - 1
+		if hi < lo {
+			hi = lo
+		}
+		bar := ""
+		for j := 0; j < n*40/len(durs); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %4d..%-4d %5d %s\n", lo, hi, n, bar)
+	}
+}

@@ -1,0 +1,14 @@
+// Package srvsim is a from-scratch Go reproduction of "Speculative
+// Vectorisation with Selective Replay" (Sun, Gabrielli, Jones — ISCA 2021):
+// a cycle-level out-of-order SIMD core with the SRV load-store-unit
+// extensions, a loop auto-vectoriser that emits srv_start/srv_end-bracketed
+// regions for unknown-dependence loops, the FlexVec comparison emulator, a
+// McPAT-style power model, and a calibrated workload suite regenerating
+// every table and figure of the paper's evaluation.
+//
+// See README.md for a guide, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured comparison. The benchmarks in
+// bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+package srvsim

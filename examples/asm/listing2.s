@@ -1,0 +1,30 @@
+; The paper's listing 2 — a[x[i]] = a[i] + 2 — as a standalone assembly
+; program for `srvsim -file examples/asm/listing2.s`.
+;
+; The index pattern {3,0,1,2, 7,4,5,6, ...} makes lanes 3, 7, 11 and 15
+; consume stale data in every 16-iteration group: the run reports one
+; selective replay per region (RAW=4 per group) and memory ends up exactly
+; as sequential execution would leave it.
+
+.data 0x2000, 4, 1, 4, 7, 10, 13, 16, 19, 22, 25, 28, 31, 34, 37, 40, 43, 46   ; a[0..15]
+.data 0x2040, 4, 49, 52, 55, 58, 61, 64, 67, 70, 73, 76, 79, 82, 85, 88, 91, 94 ; a[16..31]
+.data 0x3000, 4, 3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14           ; x[0..15]
+.data 0x3040, 4, 19, 16, 17, 18, 23, 20, 21, 22, 27, 24, 25, 26, 31, 28, 29, 30 ; x[16..31]
+
+	movi s0, 0          ; i
+	movi s1, 32         ; trip count
+	movi s2, 0x2000     ; &a[i] (moving)
+	movi s3, 0x3000     ; &x[i] (moving)
+	movi s4, 0x2000     ; a base (fixed; x holds absolute indices)
+loop:
+	srv_start up
+	v_load v0, [s2+0], 4
+	v_addi v0, v0, 2
+	v_load v1, [s3+0], 4
+	v_scatter [s4+v1*4+0], v0
+	srv_end
+	addi s0, s0, 16
+	addi s2, s2, 64
+	addi s3, s3, 64
+	blt s0, s1, loop
+	halt

@@ -1,0 +1,101 @@
+// Histogram: the NPB-IS-style key-counting kernel.
+//
+//	for i := 0; i < N; i++ { count[key[i]] = count[key[i]] + 1 }
+//
+// Duplicate keys inside one 16-iteration vector group are genuine
+// read-after-write dependences between lanes: a plain vector
+// gather-add-scatter would lose increments. SRV detects the duplicate
+// lanes at run time and selectively replays them, so the counts come out
+// exact. The example compares scalar and SRV cycle counts and verifies the
+// final histogram.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+func main() {
+	const (
+		n       = 8192
+		buckets = 512 // small enough to stay cache-resident; duplicates occur
+	)
+
+	count := &compiler.Array{Name: "count", Elem: 4, Len: buckets}
+	key := &compiler.Array{Name: "key", Elem: 4, Len: n}
+	loop := &compiler.Loop{
+		Name: "histogram",
+		Trip: n,
+		Body: []compiler.Stmt{{
+			Dst: count, Idx: compiler.Via(key, 1, 0),
+			Val: compiler.Bin{Op: compiler.OpAdd,
+				L: compiler.Ref{Arr: count, Idx: compiler.Via(key, 1, 0)},
+				R: compiler.Const{V: 1}},
+		}},
+	}
+	fmt.Printf("dependence analysis: %v\n", compiler.Analyse(loop).Verdict)
+
+	build := func(seed int64) (*mem.Image, []int64) {
+		im := mem.NewImage()
+		loop.Bind(im)
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(buckets))
+			im.WriteInt(key.Addr(int64(i)), 4, keys[i])
+		}
+		return im, keys
+	}
+
+	// Scalar run.
+	imS, keys := build(1)
+	cs, err := compiler.Compile(loop, imS, compiler.ModeScalar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := pipeline.New(pipeline.DefaultConfig(), cs.Prog, imS)
+	if err := ps.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// SRV run on identical data.
+	imV, _ := build(1)
+	cv, err := compiler.Compile(loop, imV, compiler.ModeSRV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pv := pipeline.New(pipeline.DefaultConfig(), cv.Prog, imV)
+	if err := pv.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against a Go-computed histogram.
+	want := make([]int64, buckets)
+	for _, k := range keys {
+		want[k]++
+	}
+	for bkt := 0; bkt < buckets; bkt++ {
+		got := imV.ReadInt(count.Addr(int64(bkt)), 4)
+		if got != want[bkt] {
+			log.Fatalf("bucket %d: got %d, want %d", bkt, got, want[bkt])
+		}
+		if s := imS.ReadInt(count.Addr(int64(bkt)), 4); s != want[bkt] {
+			log.Fatalf("scalar bucket %d: got %d, want %d", bkt, s, want[bkt])
+		}
+	}
+
+	st := pv.Ctrl.Stats
+	fmt.Printf("scalar: %6d cycles\n", ps.Stats.Cycles)
+	fmt.Printf("SRV:    %6d cycles  (%.2fx speedup)\n",
+		pv.Stats.Cycles, float64(ps.Stats.Cycles)/float64(pv.Stats.Cycles))
+	fmt.Printf("regions=%d  replays=%d  replayed lanes=%d  RAW violations=%d\n",
+		st.Regions, st.Replays, st.ReplayLanes, st.RAWViol)
+	fmt.Println("histogram exact — every duplicate-key increment preserved.")
+	fmt.Println("(gather-modify-scatter kernels are port-bound — the paper's low-speedup")
+	fmt.Println(" class — but SRV is the only way to vectorise them at all.)")
+}

@@ -1,0 +1,97 @@
+// Interrupt: precise interrupts inside an SRV region (paper §III-D2/D3).
+//
+// An interrupt delivered mid-region must not lose or duplicate any lane's
+// work. The architecture saves just three pieces of state — the current PC,
+// the SRV-replay register and the restart PC — writes back the
+// non-speculative LSU data (the oldest active lane up to the interrupted PC
+// plus all older lanes), and on resumption re-executes only the oldest lane,
+// marking every younger lane for a full replay after srv_end.
+//
+// This example runs the same loop uninterrupted and with interrupts at many
+// different cycles, verifying bit-identical memory every time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+func buildLoop(n int) (*compiler.Loop, *compiler.Array, *compiler.Array) {
+	a := &compiler.Array{Name: "a", Elem: 4, Len: n + 16}
+	x := &compiler.Array{Name: "x", Elem: 4, Len: n}
+	return &compiler.Loop{
+		Name: "interruptible",
+		Trip: n,
+		Body: []compiler.Stmt{{
+			Dst: a, Idx: compiler.Via(x, 1, 0),
+			Val: compiler.Bin{Op: compiler.OpAdd,
+				L: compiler.Ref{Arr: a, Idx: compiler.Affine(1, 0)},
+				R: compiler.Const{V: 2}},
+		}},
+	}, a, x
+}
+
+func seed(l *compiler.Loop, a, x *compiler.Array, n int) *mem.Image {
+	im := mem.NewImage()
+	l.Bind(im)
+	for i := 0; i < n; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i*3+1))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		im.WriteInt(x.Addr(int64(i)), 4, xi)
+	}
+	return im
+}
+
+func main() {
+	const n = 64
+	loop, a, x := buildLoop(n)
+	im := seed(loop, a, x, n)
+	ref := im.Clone()
+	compiler.Eval(loop, ref)
+
+	c, err := compiler.Compile(loop, im, compiler.ModeSRV)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: no interrupt.
+	base := pipeline.New(pipeline.DefaultConfig(), c.Prog, im)
+	if err := base.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		log.Fatalf("baseline mismatch at %#x", addr)
+	}
+	fmt.Printf("uninterrupted run: %d cycles, %d regions\n\n", base.Stats.Cycles, base.Ctrl.Stats.Regions)
+
+	// Interrupt at every 7th cycle of the run.
+	ok := 0
+	for at := int64(5); at < base.Stats.Cycles; at += 7 {
+		loop2, a2, x2 := buildLoop(n)
+		im2 := seed(loop2, a2, x2, n)
+		c2, err := compiler.Compile(loop2, im2, compiler.ModeSRV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref2 := im2.Clone()
+		compiler.Eval(loop2, ref2)
+		p := pipeline.New(pipeline.DefaultConfig(), c2.Prog, im2)
+		p.ScheduleInterrupt(at, 40) // 40-cycle handler
+		if err := p.Run(); err != nil {
+			log.Fatalf("interrupt at %d: %v", at, err)
+		}
+		if addr, diff := im2.FirstDiff(ref2); diff {
+			log.Fatalf("interrupt at cycle %d corrupted memory at %#x", at, addr)
+		}
+		ok++
+	}
+	fmt.Printf("delivered interrupts at %d distinct cycles — memory bit-identical every time.\n", ok)
+	fmt.Println("precise interrupts hold inside speculative SRV regions.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: the paper's motivating example (listing 1) through the
+// public API.
+//
+//	for i := 0; i < N; i++ { a[x[i]] = a[i] + 2 }
+//
+// With x = {3,0,1,2, 7,4,5,6, ...} a read-after-write dependence crosses the
+// SIMD lanes every four iterations, so no compiler may vectorise this loop —
+// unless the hardware catches and repairs the violations. This example
+// declares the loop, shows the dependence analysis refusing SVE, runs it
+// under SRV on the cycle simulator, and verifies the selective replay of
+// lanes {3,7,11,15} preserved sequential semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srvsim/srv"
+)
+
+func main() {
+	const n = 256
+
+	// Declare the loop: a[x[i]] = a[i] + 2.
+	a := &srv.Array{Name: "a", Elem: 4, Len: n + 16}
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	loop := &srv.Loop{
+		Name: "listing1",
+		Trip: n,
+		Body: []srv.Stmt{{
+			Dst: a, Idx: srv.Via(x, 1, 0),
+			Val: srv.Add(srv.Load(a, srv.At(1, 0)), srv.Int(2)),
+		}},
+	}
+
+	// The compiler cannot disambiguate a[x[i]] against a[i].
+	fmt.Printf("dependence analysis: %v\n", srv.Analyse(loop))
+	if _, err := srv.Run(loop, srv.NewMemory(), srv.ModeSVE, srv.DefaultConfig()); err != nil {
+		fmt.Println("SVE vectorisation:", err)
+	}
+
+	// Bind arrays and fill the paper's index pattern.
+	m := srv.NewMemory()
+	loop.Bind(m)
+	for i := 0; i < n; i++ {
+		m.WriteInt(a.Addr(int64(i)), 4, int64(i*10))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		m.WriteInt(x.Addr(int64(i)), 4, xi)
+	}
+
+	// Compare scalar vs SRV on identical inputs; Compare also verifies both
+	// against the sequential reference.
+	cmp, err := srv.Compare(loop, m, srv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscalar:            %6d cycles\n", cmp.Scalar.Cycles)
+	fmt.Printf("SRV:               %6d cycles  (%.2fx speedup)\n", cmp.SRV.Cycles, cmp.Speedup)
+	fmt.Printf("SRV regions:       %d\n", cmp.SRV.Regions)
+	fmt.Printf("replays:           %d (lanes 3,7,11,15 of every group)\n", cmp.SRV.Replays)
+	fmt.Printf("lanes re-executed: %d\n", cmp.SRV.ReplayedLanes)
+	fmt.Printf("RAW violations:    %d\n", cmp.SRV.RAW)
+	fmt.Println("\nresults verified against sequential execution — semantics preserved.")
+}

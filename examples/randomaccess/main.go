@@ -1,0 +1,74 @@
+// RandomAccess: the HPCC GUPS-style kernel.
+//
+//	for i := 0; i < N; i++ { t[r[i] & mask] = t[r[i] & mask] ^ r[i] }
+//
+// Updates land on random table slots, so collisions inside a vector group
+// are rare but possible — the compiler cannot prove their absence, SVE
+// refuses, and SRV vectorises with occasional selective replays. This is
+// the randacc benchmark of the paper's evaluation in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+func main() {
+	const (
+		n         = 4096
+		tableSize = 1024 // power of two
+	)
+
+	tbl := &compiler.Array{Name: "t", Elem: 8, Len: tableSize}
+	r := &compiler.Array{Name: "r", Elem: 4, Len: n}
+	// The "random" values double as pre-masked indices: r[i] in [0,tableSize).
+	loop := &compiler.Loop{
+		Name: "randomaccess",
+		Trip: n,
+		Body: []compiler.Stmt{{
+			Dst: tbl, Idx: compiler.Via(r, 1, 0),
+			Val: compiler.Bin{Op: compiler.OpXor,
+				L: compiler.Ref{Arr: tbl, Idx: compiler.Via(r, 1, 0)},
+				R: compiler.Ref{Arr: r, Idx: compiler.Affine(1, 0)}},
+		}},
+	}
+
+	im := mem.NewImage()
+	loop.Bind(im)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < n; i++ {
+		im.WriteInt(r.Addr(int64(i)), 4, int64(rng.Intn(tableSize)))
+	}
+	for i := 0; i < tableSize; i++ {
+		im.WriteInt(tbl.Addr(int64(i)), 8, int64(i)*0x9E3779B9)
+	}
+	ref := im.Clone()
+	compiler.Eval(loop, ref)
+
+	c, err := compiler.Compile(loop, im, compiler.ModeSRV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := pipeline.New(pipeline.DefaultConfig(), c.Prog, im)
+	if err := p.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		log.Fatalf("MISMATCH at %#x", addr)
+	}
+
+	st := p.Ctrl.Stats
+	groups := st.Regions
+	fmt.Printf("updates:        %d (in %d vector groups)\n", n, groups)
+	fmt.Printf("cycles:         %d (%.2f per update)\n", p.Stats.Cycles, float64(p.Stats.Cycles)/n)
+	fmt.Printf("RAW collisions: %d -> %d replay rounds, %d lanes re-executed\n",
+		st.RAWViol, st.Replays, st.ReplayLanes)
+	fmt.Printf("extra vector iterations from replay: %.3f%%\n",
+		float64(st.VectorIters-groups)/float64(st.VectorIters)*100)
+	fmt.Println("table state matches sequential execution.")
+}

@@ -1,0 +1,108 @@
+// Reversal demonstrates the loop-direction analysis behind the paper's
+// DOWN region attribute (§III-A: srv_start carries an UP/DOWN direction so
+// that compilers can reverse loops).
+//
+// The kernel is a shift-right: a[i+1] = a[i] + 1.
+//
+//   - Iterating UPWARD the dependence is a flow (iteration i produces what
+//     i+1 consumes): vectorisation is illegal, the analysis says Dependent,
+//     and SVE compilation is refused.
+//   - Iterating DOWNWARD the same subscripts form an anti dependence
+//     (every iteration reads a value a later iteration overwrites):
+//     the analysis says Safe and plain SVE vectorises it.
+//
+// The example also shows the speculative variant: a shift through an index
+// array (a[i] = a[x[i]] + 1 descending) stays statically unknown, and SRV
+// executes it with a DOWN region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srvsim/srv"
+)
+
+const n = 1024
+
+func shift(down bool) (*srv.Loop, *srv.Array) {
+	a := &srv.Array{Name: "a", Elem: 4, Len: n + 32}
+	return &srv.Loop{
+		Name: "shift", Trip: n, Down: down,
+		Body: []srv.Stmt{{
+			Dst: a, Idx: srv.At(1, 1),
+			Val: srv.Add(srv.Load(a, srv.At(1, 0)), srv.Int(1)),
+		}},
+	}, a
+}
+
+func main() {
+	// Ascending: provably dependent, vectorisation refused.
+	up, _ := shift(false)
+	fmt.Printf("ascending  a[i+1] = a[i] + 1: verdict %v\n", srv.Analyse(up))
+	if _, err := srv.Run(up, srv.NewMemory(), srv.ModeSVE, srv.DefaultConfig()); err != nil {
+		fmt.Println("  SVE:", err)
+	}
+
+	// Descending: the same loop reversed is provably safe.
+	downLoop, a := shift(true)
+	fmt.Printf("\ndescending same subscripts:   verdict %v\n", srv.Analyse(downLoop))
+
+	m := srv.NewMemory()
+	downLoop.Bind(m)
+	for i := 0; i <= n; i++ {
+		m.WriteInt(a.Addr(int64(i)), 4, int64(i*2))
+	}
+	ref := m.Clone()
+	srv.Reference(downLoop, ref)
+
+	scalar, err := srv.Run(downLoop, m.Clone(), srv.ModeScalar, srv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mv := m.Clone()
+	sve, err := srv.Run(downLoop, mv, srv.ModeSVE, srv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addr, diff := mv.FirstDiff(ref); diff {
+		log.Fatalf("SVE result diverges at %#x", addr)
+	}
+	fmt.Printf("  scalar: %6d cycles\n", scalar.Cycles)
+	fmt.Printf("  SVE:    %6d cycles  (%.2fx, verified against sequential)\n",
+		sve.Cycles, float64(scalar.Cycles)/float64(sve.Cycles))
+
+	// Indirect shift descending: statically unknown, handled by a DOWN SRV
+	// region.
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	a2 := &srv.Array{Name: "a2", Elem: 4, Len: n + 32}
+	ind := &srv.Loop{
+		Name: "indshift", Trip: n, Down: true,
+		Body: []srv.Stmt{{
+			Dst: a2, Idx: srv.At(1, 0),
+			Val: srv.Add(srv.Load(a2, srv.Via(x, 1, 0)), srv.Int(1)),
+		}},
+	}
+	fmt.Printf("\ndescending a[i] = a[x[i]]+1:  verdict %v\n", srv.Analyse(ind))
+	m2 := srv.NewMemory()
+	ind.Bind(m2)
+	for i := 0; i < n; i++ {
+		m2.WriteInt(a2.Addr(int64(i)), 4, int64(i))
+		xi := i - 1
+		if xi < 0 {
+			xi = 0
+		}
+		m2.WriteInt(x.Addr(int64(i)), 4, int64(xi))
+	}
+	ref2 := m2.Clone()
+	srv.Reference(ind, ref2)
+	res, err := srv.Run(ind, m2, srv.ModeSRV, srv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addr, diff := m2.FirstDiff(ref2); diff {
+		log.Fatalf("SRV DOWN result diverges at %#x", addr)
+	}
+	fmt.Printf("  SRV DOWN regions: %d, replays: %d — verified against sequential.\n",
+		res.Regions, res.Replays)
+}

@@ -1,0 +1,127 @@
+// SLP: straight-line SRV regions over may-alias pointers — the non-loop use
+// of selective replay that paper §III-A points at ("through the SLP
+// algorithm").
+//
+// Sixteen isomorphic statements
+//
+//	q[k] = p[k] + 1        (k = 0..15)
+//
+// are packed into ONE vector operation. The compiler cannot prove p and q
+// point to different buffers; classic SLP must therefore give up. SRV packs
+// anyway. This example runs the pack twice:
+//
+//  1. p and q disjoint — no replays, straight vector execution;
+//  2. q = p + one element (genuine aliasing!) — statement k reads p[k] and
+//     writes p[k+1], a serial chain across all 16 lanes; selective replay
+//     re-executes the stale lanes until the chain resolves and the result
+//     is exactly sequential.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srvsim/srv"
+)
+
+func buildBlock() (*srv.Block, *srv.Array, *srv.Array) {
+	p := &srv.Array{Name: "p", Elem: 4, Len: 64, AliasGroup: 1}
+	q := &srv.Array{Name: "q", Elem: 4, Len: 64, AliasGroup: 1}
+	b := &srv.Block{Name: "pack"}
+	for k := 0; k < 16; k++ {
+		b.Stmts = append(b.Stmts, srv.SLPStmt{
+			Dst: q, DstIdx: int64(k),
+			Val: srv.Add(srv.Load(p, srv.At(0, int64(k))), srv.Int(1)),
+		})
+	}
+	return b, p, q
+}
+
+func run(title string, bind func(m *srv.Memory, p, q *srv.Array)) {
+	b, p, q := buildBlock()
+	m := srv.NewMemory()
+	bind(m, p, q)
+	for k := 0; k < 64; k++ {
+		m.WriteInt(p.Addr(int64(k)), 4, int64(k))
+	}
+	res, err := srv.RunBlock(b, m, srv.ModeSRV, srv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Verify against sequential execution of the statements.
+	b2, p2, q2 := buildBlock()
+	m2 := srv.NewMemory()
+	bind(m2, p2, q2)
+	for k := 0; k < 64; k++ {
+		m2.WriteInt(p2.Addr(int64(k)), 4, int64(k))
+	}
+	srv.ReferenceBlock(b2, m2)
+	for k := 0; k < 17; k++ {
+		got := m.ReadInt(p.Addr(int64(k)), 4)
+		want := m2.ReadInt(p2.Addr(int64(k)), 4)
+		if got != want {
+			log.Fatalf("%s: p[%d] = %d, want %d", title, k, got, want)
+		}
+	}
+	fmt.Printf("%-28s regions=%d replays=%d lanes re-executed=%d — result exact\n",
+		title, res.Regions, res.Replays, res.ReplayedLanes)
+}
+
+func main() {
+	run("disjoint buffers:", func(m *srv.Memory, p, q *srv.Array) {
+		p.Base = m.Alloc(4*64, 64)
+		q.Base = m.Alloc(4*64, 64)
+	})
+	run("aliasing (q = p+1 elem):", func(m *srv.Memory, p, q *srv.Array) {
+		p.Base = m.Alloc(4*64, 64)
+		q.Base = p.Base + 4
+	})
+	runGuarded()
+	fmt.Println("\nthe same packed code handles all cases — the hardware sorts it out.")
+}
+
+// runGuarded packs GUARDED statements: if (p[k] >= 8) q[k] = p[k] + 1.
+// The comparisons if-convert into the pack's governing predicate, and the
+// predicate composes with selective replay under genuine aliasing.
+func runGuarded() {
+	build := func() (*srv.Block, *srv.Array, *srv.Array) {
+		p := &srv.Array{Name: "p", Elem: 4, Len: 64, AliasGroup: 1}
+		q := &srv.Array{Name: "q", Elem: 4, Len: 64, AliasGroup: 1}
+		b := &srv.Block{Name: "guarded"}
+		for k := 0; k < 16; k++ {
+			b.Stmts = append(b.Stmts, srv.SLPStmt{
+				Dst: q, DstIdx: int64(k),
+				Val: srv.Add(srv.Load(p, srv.At(0, int64(k))), srv.Int(1)),
+				Guard: srv.Guard(srv.GE,
+					srv.Load(p, srv.At(0, int64(k))), srv.Int(8)),
+			})
+		}
+		return b, p, q
+	}
+	exec := func(reference bool) (*srv.Memory, *srv.Array) {
+		b, p, q := build()
+		m := srv.NewMemory()
+		p.Base = m.Alloc(4*64, 64)
+		q.Base = p.Base + 4 // aliasing again
+		for k := 0; k < 64; k++ {
+			m.WriteInt(p.Addr(int64(k)), 4, int64(k*3))
+		}
+		if reference {
+			srv.ReferenceBlock(b, m)
+		} else if _, err := srv.RunBlock(b, m, srv.ModeSRV, srv.DefaultConfig()); err != nil {
+			log.Fatal(err)
+		}
+		return m, p
+	}
+	got, p := exec(false)
+	want, pw := exec(true)
+	// Compare the data range only: compiling the block adds its index
+	// tables to the image.
+	for k := 0; k < 20; k++ {
+		g, w := got.ReadInt(p.Addr(int64(k)), 4), want.ReadInt(pw.Addr(int64(k)), 4)
+		if g != w {
+			log.Fatalf("guarded pack: p[%d] = %d, want %d", k, g, w)
+		}
+	}
+	fmt.Printf("%-28s guard masks low lanes; replay repairs the rest — result exact\n", "guarded + aliasing:")
+}

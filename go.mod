@@ -1,0 +1,3 @@
+module srvsim
+
+go 1.22

@@ -1,0 +1,253 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+// listing1 builds the paper's motivating loop: a[x[i]] = a[i] + 2.
+func listing1(n int) *Loop {
+	a := &Array{Name: "a", Elem: 4, Len: n + 32}
+	x := &Array{Name: "x", Elem: 4, Len: n}
+	return &Loop{
+		Name: "listing1",
+		Trip: n,
+		Body: []Stmt{{
+			Dst: a, Idx: Via(x, 1, 0),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, 0)}, R: Const{V: 2}},
+		}},
+	}
+}
+
+// saxpyLike builds y[i] = a*x[i] + y[i]: provably safe.
+func saxpyLike(n int) *Loop {
+	x := &Array{Name: "x", Elem: 4, Len: n}
+	y := &Array{Name: "y", Elem: 4, Len: n}
+	return &Loop{
+		Name: "saxpy",
+		Trip: n,
+		Body: []Stmt{{
+			Dst: y, Idx: Affine(1, 0),
+			Val: Bin{Op: OpMulAdd, L: Const{V: 3}, R: Ref{Arr: x, Idx: Affine(1, 0)},
+				C: Ref{Arr: y, Idx: Affine(1, 0)}},
+		}},
+	}
+}
+
+func TestAnalyseVerdicts(t *testing.T) {
+	n := 64
+	if got := Analyse(listing1(n)).Verdict; got != VerdictUnknown {
+		t.Errorf("listing1 verdict = %v, want unknown", got)
+	}
+	if got := Analyse(saxpyLike(n)).Verdict; got != VerdictSafe {
+		t.Errorf("saxpy verdict = %v, want safe", got)
+	}
+	// a[i+1] = a[i]: distance-1 recurrence -> provably dependent.
+	a := &Array{Name: "a", Elem: 4, Len: n + 2}
+	rec := &Loop{Name: "rec", Trip: n, Body: []Stmt{{
+		Dst: a, Idx: Affine(1, 1), Val: Ref{Arr: a, Idx: Affine(1, 0)},
+	}}}
+	if got := Analyse(rec).Verdict; got != VerdictDependent {
+		t.Errorf("recurrence verdict = %v, want dependent", got)
+	}
+	// a[i+16] = a[i]: distance equals VL -> safe at 16 lanes.
+	far := &Loop{Name: "far", Trip: n, Body: []Stmt{{
+		Dst: &Array{Name: "b", Elem: 4, Len: n + 16}, Idx: Affine(1, 16),
+		Val: Ref{Arr: &Array{Name: "b2", Elem: 4, Len: n + 16}, Idx: Affine(1, 0)},
+	}}}
+	// Different arrays -> trivially safe; now same array:
+	b := &Array{Name: "b", Elem: 4, Len: n + 16}
+	far = &Loop{Name: "far", Trip: n, Body: []Stmt{{
+		Dst: b, Idx: Affine(1, 16), Val: Ref{Arr: b, Idx: Affine(1, 0)},
+	}}}
+	if got := Analyse(far).Verdict; got != VerdictSafe {
+		t.Errorf("distance-16 verdict = %v, want safe", got)
+	}
+	// a[2*i] vs a[i]: differing strides, GCD inconclusive -> unknown.
+	c := &Array{Name: "c", Elem: 4, Len: 2 * n}
+	strided := &Loop{Name: "strided", Trip: n, Body: []Stmt{{
+		Dst: c, Idx: Affine(2, 0), Val: Ref{Arr: c, Idx: Affine(1, 0)},
+	}}}
+	if got := Analyse(strided).Verdict; got != VerdictUnknown {
+		t.Errorf("strided verdict = %v, want unknown", got)
+	}
+}
+
+func TestCompileModeRestrictions(t *testing.T) {
+	im := mem.NewImage()
+	if _, err := Compile(listing1(64), im, ModeSVE); err == nil {
+		t.Error("SVE compilation of an unknown-dependence loop must fail")
+	}
+	if _, err := Compile(listing1(64), im, ModeSRV); err != nil {
+		t.Errorf("SRV compilation must succeed: %v", err)
+	}
+	a := &Array{Name: "a", Elem: 4, Len: 66}
+	rec := &Loop{Name: "rec", Trip: 64, Body: []Stmt{{
+		Dst: a, Idx: Affine(1, 1), Val: Ref{Arr: a, Idx: Affine(1, 0)},
+	}}}
+	if _, err := Compile(rec, im, ModeSRV); err == nil {
+		t.Error("SRV compilation of a provably dependent loop must fail")
+	}
+}
+
+func TestMemAccessCount(t *testing.T) {
+	l := listing1(64)
+	total, gs := l.MemAccessCount()
+	// a[i] load, x[i] load, a[x[i]] scatter = 3 accesses, 1 gather/scatter.
+	if total != 3 || gs != 1 {
+		t.Errorf("accesses = %d/%d, want 3 total, 1 gather-scatter", total, gs)
+	}
+}
+
+// runProgram executes a compiled program on the pipeline.
+func runProgram(t *testing.T, c *Compiled, im *mem.Image) *pipeline.Pipeline {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 5_000_000
+	p := pipeline.New(cfg, c.Prog, im)
+	if err := p.Run(); err != nil {
+		t.Fatalf("%s/%v: %v\n%s", c.Loop.Name, c.Mode, err, c.Prog)
+	}
+	return p
+}
+
+// seed fills every bound array with deterministic pseudo-random data,
+// writing index arrays with values in [0, lenLimit).
+func seed(l *Loop, im *mem.Image, rng *rand.Rand, idxArrays map[*Array]int) {
+	for _, a := range l.Bind(im) {
+		if limit, ok := idxArrays[a]; ok {
+			for i := 0; i < a.Len; i++ {
+				im.WriteInt(a.Addr(int64(i)), a.Elem, int64(rng.Intn(limit)))
+			}
+			continue
+		}
+		for i := 0; i < a.Len; i++ {
+			im.WriteInt(a.Addr(int64(i)), a.Elem, int64(rng.Intn(100)))
+		}
+	}
+}
+
+func TestScalarMatchesEval(t *testing.T) {
+	l := saxpyLike(100) // trip not a multiple of 16: exercises the epilogue
+	im := mem.NewImage()
+	seed(l, im, rand.New(rand.NewSource(1)), nil)
+	ref := im.Clone()
+	c := MustCompile(l, im, ModeScalar)
+	runProgram(t, c, im)
+	Eval(l, ref)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("scalar codegen diverges from Eval at %#x", addr)
+	}
+}
+
+func TestSVEMatchesEval(t *testing.T) {
+	l := saxpyLike(100)
+	im := mem.NewImage()
+	seed(l, im, rand.New(rand.NewSource(2)), nil)
+	ref := im.Clone()
+	c := MustCompile(l, im, ModeSVE)
+	runProgram(t, c, im)
+	Eval(l, ref)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("SVE codegen diverges from Eval at %#x", addr)
+	}
+}
+
+func TestSRVListing1MatchesEval(t *testing.T) {
+	l := listing1(96)
+	im := mem.NewImage()
+	arrs := l.Bind(im)
+	var xArr *Array
+	for _, a := range arrs {
+		if a.Name == "x" {
+			xArr = a
+		}
+	}
+	seed(l, im, rand.New(rand.NewSource(3)), map[*Array]int{xArr: 96})
+	ref := im.Clone()
+	c := MustCompile(l, im, ModeSRV)
+	p := runProgram(t, c, im)
+	Eval(l, ref)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("SRV codegen diverges from Eval at %#x", addr)
+	}
+	if p.Ctrl.Stats.Regions != 6 {
+		t.Errorf("regions = %d, want 6", p.Ctrl.Stats.Regions)
+	}
+}
+
+func TestGuardedStatementAllModes(t *testing.T) {
+	// if (m[i] < 50) b[i] = a[i] * 2 — if-converted under SVE/SRV, branchy
+	// in scalar code.
+	n := 80
+	a := &Array{Name: "a", Elem: 4, Len: n}
+	b := &Array{Name: "b", Elem: 4, Len: n}
+	m := &Array{Name: "m", Elem: 4, Len: n}
+	l := &Loop{Name: "guarded", Trip: n, Body: []Stmt{{
+		Dst: b, Idx: Affine(1, 0),
+		Val:  Bin{Op: OpMul, L: Ref{Arr: a, Idx: Affine(1, 0)}, R: Const{V: 2}},
+		Mask: &Mask{Op: CmpLT, L: Ref{Arr: m, Idx: Affine(1, 0)}, R: Const{V: 50}},
+	}}}
+	for _, mode := range []Mode{ModeScalar, ModeSVE} {
+		im := mem.NewImage()
+		// Rebind arrays fresh per mode.
+		a.Base, b.Base, m.Base = 0, 0, 0
+		seed(l, im, rand.New(rand.NewSource(4)), nil)
+		ref := im.Clone()
+		c := MustCompile(l, im, mode)
+		runProgram(t, c, im)
+		Eval(l, ref)
+		if addr, diff := im.FirstDiff(ref); diff {
+			t.Fatalf("%v guarded codegen diverges at %#x", mode, addr)
+		}
+	}
+}
+
+func TestRandomLoopsAllStrategiesAgree(t *testing.T) {
+	// Fuzz: random indirect-update loops; scalar, interpreter-SRV and
+	// pipeline-SRV must all agree with Eval.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		n := 32 + 16*rng.Intn(3)
+		a := &Array{Name: "a", Elem: 4, Len: 2 * n}
+		x := &Array{Name: "x", Elem: 4, Len: n}
+		l := &Loop{Name: "fuzz", Trip: n, Body: []Stmt{{
+			Dst: a, Idx: Via(x, 1, 0),
+			Val: Bin{Op: OpAdd,
+				L: Ref{Arr: a, Idx: Affine(1, 0)},
+				R: Ref{Arr: a, Idx: Via(x, 1, 0)}},
+		}}}
+		im := mem.NewImage()
+		l.Bind(im)
+		seed(l, im, rng, map[*Array]int{x: 2 * n})
+		ref := im.Clone()
+		imScalar := im.Clone()
+		imInterp := im.Clone()
+
+		Eval(l, ref)
+
+		cs := MustCompile(l, imScalar, ModeScalar)
+		runProgram(t, cs, imScalar)
+		if addr, diff := imScalar.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: scalar diverges at %#x", trial, addr)
+		}
+
+		cv := MustCompile(l, im, ModeSRV)
+		runProgram(t, cv, im)
+		if addr, diff := im.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: SRV pipeline diverges at %#x", trial, addr)
+		}
+
+		ip := isa.NewInterp(cv.Prog, imInterp)
+		if err := ip.Run(5_000_000); err != nil {
+			t.Fatalf("trial %d interp: %v", trial, err)
+		}
+		if addr, diff := imInterp.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: SRV interpreter diverges at %#x", trial, addr)
+		}
+	}
+}

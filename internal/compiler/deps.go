@@ -1,0 +1,178 @@
+package compiler
+
+import (
+	"fmt"
+
+	"srvsim/internal/isa"
+)
+
+// Verdict classifies a loop's vectorisability (paper §V: the compiler marks
+// loops whose memory dependences are statically unknown and vectorises them
+// under SRV).
+type Verdict int
+
+const (
+	// VerdictSafe: no cross-iteration dependence within the vector length
+	// can exist; plain SVE vectorisation is legal.
+	VerdictSafe Verdict = iota
+	// VerdictUnknown: the analysis cannot disambiguate (indirect subscripts
+	// or failed tests); SVE is illegal, SRV is the enabler.
+	VerdictUnknown
+	// VerdictDependent: a loop-carried dependence at distance < VL provably
+	// exists; vectorisation would replay every iteration, so the compiler
+	// leaves the loop scalar.
+	VerdictDependent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return "dependent"
+	}
+}
+
+// DepReport explains the verdict.
+type DepReport struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// Analyse runs the dependence tests over every pair of accesses to the same
+// array where at least one is a store.
+func Analyse(l *Loop) DepReport {
+	accs := l.accesses()
+	worst := VerdictSafe
+	reason := "no conflicting accesses"
+	for i, a := range accs {
+		for j := i; j < len(accs); j++ {
+			b := accs[j]
+			if !a.isStore && !b.isStore {
+				continue
+			}
+			if i == j && !a.isStore {
+				continue
+			}
+			if a.arr != b.arr {
+				// Distinct array objects are independent unless they share
+				// an alias group (pointer parameters that may overlap).
+				if a.arr.AliasGroup == 0 || a.arr.AliasGroup != b.arr.AliasGroup {
+					continue
+				}
+				if worst < VerdictUnknown {
+					worst = VerdictUnknown
+					reason = fmt.Sprintf("%s and %s may alias (group %d)",
+						a.arr.Name, b.arr.Name, a.arr.AliasGroup)
+				}
+				continue
+			}
+			v, why := pairTest(a, b, l.Trip, l.Down)
+			if v > worst {
+				worst, reason = v, fmt.Sprintf("%s vs %s on %s: %s", a.idx, b.idx, a.arr.Name, why)
+			}
+		}
+	}
+	return DepReport{Verdict: worst, Reason: reason}
+}
+
+// pairTest classifies one pair of same-array accesses. down gives the
+// loop's iteration direction, which decides whether a loop-carried
+// dependence is a flow (read-after-write in iteration order — fatal) or an
+// anti dependence (read-before-write — harmless when the vectorised code
+// also reads first). This is the analysis behind the paper's DOWN region
+// attribute: reversing the loop turns a flow dependence into an anti
+// dependence and legalises vectorisation.
+func pairTest(a, b access, trip int, down bool) (Verdict, string) {
+	if a.idx.Indirect != nil || b.idx.Indirect != nil {
+		// The compiler cannot evaluate the contents of the index array
+		// (listing 1 of the paper): statically unknown.
+		return VerdictUnknown, "indirect subscript defeats alias analysis"
+	}
+	s1, o1 := a.idx.Scale, a.idx.Offset
+	s2, o2 := b.idx.Scale, b.idx.Offset
+	// Solve s1*i + o1 == s2*j + o2 for iterations i != j in [0, trip).
+	if s1 == s2 {
+		if s1 == 0 {
+			if o1 == o2 {
+				// Same scalar location every iteration: a loop-carried
+				// dependence at distance 1.
+				return VerdictDependent, "loop-invariant address written repeatedly"
+			}
+			return VerdictSafe, "distinct invariant addresses"
+		}
+		diff := o2 - o1
+		if diff%s1 != 0 {
+			return VerdictSafe, "offset difference not divisible by stride"
+		}
+		d := diff / s1 // dependence distance in iterations
+		absd := d
+		if absd < 0 {
+			absd = -absd
+		}
+		switch {
+		case absd == 0:
+			return VerdictSafe, "same-iteration access only"
+		case absd < int64(isa.NumLanes):
+			if int64(trip) <= absd {
+				return VerdictSafe, "distance exceeds trip count"
+			}
+			if a.isStore && b.isStore {
+				return VerdictDependent, fmt.Sprintf("loop-carried WAW distance %d < VL", absd)
+			}
+			st, ld := a, b
+			if b.isStore {
+				st, ld = b, a
+			}
+			// The reading iteration j relates to the writing iteration i by
+			// j = i + (oStore - oLoad) / s.
+			dd := (st.idx.Offset - ld.idx.Offset) / s1
+			readerAfter := dd > 0
+			if down {
+				readerAfter = dd < 0
+			}
+			if readerAfter {
+				return VerdictDependent,
+					fmt.Sprintf("loop-carried flow (RAW) distance %d < VL", absd)
+			}
+			// Anti dependence: the read precedes the overwrite in iteration
+			// order. Whole-vector execution preserves that only when the
+			// load is emitted no later than the store (codegen evaluates a
+			// statement's value before its store).
+			if ld.pos <= st.pos {
+				return VerdictSafe,
+					fmt.Sprintf("anti dependence only (distance %d, read emitted before overwrite)", absd)
+			}
+			return VerdictDependent,
+				fmt.Sprintf("anti dependence distance %d but the load follows the store", absd)
+		default:
+			// Distance >= VL: iterations within one vector group never
+			// conflict.
+			return VerdictSafe, "distance >= vector length"
+		}
+	}
+	// Different strides: GCD test.
+	g := gcd(abs64(s1), abs64(s2))
+	if g != 0 && (o2-o1)%g != 0 {
+		return VerdictSafe, "GCD test proves independence"
+	}
+	// A solution may exist somewhere in the iteration space; without exact
+	// range analysis the compiler must assume a dependence may occur.
+	return VerdictUnknown, "GCD test inconclusive for differing strides"
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,197 @@
+package compiler
+
+import (
+	"testing"
+
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+// dirLoop builds a one-statement loop a[i+dStore] = a[i+dLoad] + 1.
+func dirLoop(dStore, dLoad int64, down bool, trip int) *Loop {
+	a := &Array{Name: "a", Elem: 4, Len: trip + 32}
+	return &Loop{Trip: trip, Down: down, Body: []Stmt{
+		{Dst: a, Idx: Affine(1, dStore),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, dLoad)}, R: Const{V: 1}}},
+	}}
+}
+
+// TestDirectionAwareVerdicts: the flow/anti distinction must honour the
+// iteration direction — the analysis behind the paper's DOWN attribute.
+func TestDirectionAwareVerdicts(t *testing.T) {
+	cases := []struct {
+		name          string
+		dStore, dLoad int64
+		down          bool
+		want          Verdict
+	}{
+		// a[i+1] = a[i]: ascending flow (iteration i writes what i+1 reads).
+		{"flow up", 1, 0, false, VerdictDependent},
+		// Same subscripts descending: iteration i reads a[i] before the
+		// later iteration i-1 overwrites it — anti, vectorisable.
+		{"reversed to anti", 1, 0, true, VerdictSafe},
+		// a[i] = a[i+1]: ascending shift-left — anti, vectorisable.
+		{"anti up", 0, 1, false, VerdictSafe},
+		// Same descending: now a flow dependence.
+		{"anti becomes flow down", 0, 1, true, VerdictDependent},
+		// Distance >= VL is safe in both directions.
+		{"long distance up", 16, 0, false, VerdictSafe},
+		{"long distance down", 16, 0, true, VerdictSafe},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := dirLoop(c.dStore, c.dLoad, c.down, 256)
+			got := Analyse(l)
+			if got.Verdict != c.want {
+				t.Errorf("verdict = %v (%s), want %v", got.Verdict, got.Reason, c.want)
+			}
+		})
+	}
+}
+
+// TestAntiAcrossStatementsStaysDependent: an anti dependence whose load is
+// emitted AFTER the store (different statements) is not preserved by
+// whole-vector execution and must stay Dependent.
+func TestAntiAcrossStatementsStaysDependent(t *testing.T) {
+	a := &Array{Name: "a", Elem: 4, Len: 300}
+	d := &Array{Name: "d", Elem: 4, Len: 300}
+	l := &Loop{Trip: 256, Body: []Stmt{
+		{Dst: a, Idx: Affine(1, 0), Val: Const{V: 9}},                    // stmt 0 stores a[i]
+		{Dst: d, Idx: Affine(1, 0), Val: Ref{Arr: a, Idx: Affine(1, 1)}}, // stmt 1 reads a[i+1]
+	}}
+	if got := Analyse(l); got.Verdict != VerdictDependent {
+		t.Errorf("verdict = %v (%s), want dependent (group store precedes the read)",
+			got.Verdict, got.Reason)
+	}
+}
+
+// TestReversedLoopRunsUnderSVE executes the loop-reversal showcase
+// end-to-end: a[i] = a[i-1] + 1 descending is classified safe, compiles
+// under plain SVE, and matches sequential semantics on the cycle core.
+func TestReversedLoopRunsUnderSVE(t *testing.T) {
+	const trip = 256
+	a := &Array{Name: "a", Elem: 4, Len: trip + 32}
+	l := &Loop{Trip: trip, Down: true, Body: []Stmt{
+		{Dst: a, Idx: Affine(1, 0),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, -1)}, R: Const{V: 1}}},
+	}}
+	if got := Analyse(l); got.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v (%s), want safe", got.Verdict, got.Reason)
+	}
+
+	im := mem.NewImage()
+	l.Bind(im)
+	for i := 0; i < trip+16; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i*3))
+	}
+	ref := im.Clone()
+	Eval(l, ref)
+
+	c, err := Compile(l, im, ModeSVE)
+	if err != nil {
+		t.Fatalf("SVE compile: %v", err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	p := pipeline.New(cfg, c.Prog, im)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("SVE DOWN execution diverges at %#x", addr)
+	}
+	if p.Ctrl.Stats.Regions != 0 {
+		t.Error("plain SVE must not open SRV regions")
+	}
+}
+
+// TestAscendingFlowRefusedBySVE: the same subscripts ascending must refuse
+// SVE compilation.
+func TestAscendingFlowRefusedBySVE(t *testing.T) {
+	l := dirLoop(0, -1, false, 256) // a[i] = a[i-1] ascending: flow
+	im := mem.NewImage()
+	l.Bind(im)
+	if _, err := Compile(l, im, ModeSVE); err == nil {
+		t.Fatal("ascending a[i]=a[i-1] must be refused by SVE")
+	}
+}
+
+// TestStridedGatherDownSVE exercises the descending-SVE index-vector path
+// (lane k = iteration i-15+k): d[i] = a[2i] + 5 descending is provably
+// safe and its non-unit stride forces per-lane index vectors.
+func TestStridedGatherDownSVE(t *testing.T) {
+	const trip = 100
+	a := &Array{Name: "a", Elem: 4, Len: 2*trip + 32}
+	d := &Array{Name: "d", Elem: 4, Len: trip + 32}
+	l := &Loop{Trip: trip, Down: true, Body: []Stmt{
+		{Dst: d, Idx: Affine(1, 0),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(2, 0)}, R: Const{V: 5}}},
+	}}
+	if got := Analyse(l); got.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v (%s), want safe", got.Verdict, got.Reason)
+	}
+	im := mem.NewImage()
+	l.Bind(im)
+	for i := 0; i < 2*trip; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i*3))
+	}
+	ref := im.Clone()
+	Eval(l, ref)
+	c, err := Compile(l, im, ModeSVE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	p := pipeline.New(cfg, c.Prog, im)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("strided DOWN SVE diverges at %#x", addr)
+	}
+	for i := 0; i < 5; i++ {
+		if got := im.ReadInt(d.Addr(int64(i)), 4); got != int64(i*6+5) {
+			t.Errorf("d[%d] = %d, want %d", i, got, i*6+5)
+		}
+	}
+}
+
+// TestStridedScatterDownSRV covers the same index-vector path inside a DOWN
+// SRV region (reversed iota), with a strided store.
+func TestStridedScatterDownSRV(t *testing.T) {
+	const trip = 60
+	a := &Array{Name: "a", Elem: 4, Len: 2*trip + 32}
+	x := &Array{Name: "x", Elem: 4, Len: trip + 32}
+	l := &Loop{Trip: trip, Down: true, Body: []Stmt{
+		{Dst: a, Idx: Affine(2, 1), // a[2i+1] = a[x[i]] + 1: unknown deps
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Via(x, 1, 0)}, R: Const{V: 1}}},
+	}}
+	if got := Analyse(l); got.Verdict != VerdictUnknown {
+		t.Fatalf("verdict = %v, want unknown", got.Verdict)
+	}
+	im := mem.NewImage()
+	l.Bind(im)
+	for i := 0; i < 2*trip; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i))
+	}
+	for i := 0; i < trip; i++ {
+		im.WriteInt(x.Addr(int64(i)), 4, int64((i*7)%(2*trip)))
+	}
+	ref := im.Clone()
+	Eval(l, ref)
+	c, err := Compile(l, im, ModeSRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	p := pipeline.New(cfg, c.Prog, im)
+	p.EnableParanoid()
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("strided DOWN SRV diverges at %#x", addr)
+	}
+}

@@ -1,0 +1,146 @@
+package compiler
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+// downLoop builds a descending-induction-variable version of listing 1:
+//
+//	for i := n-1; i >= 0; i-- { a[x[i]] = a[i] + 2 }
+//
+// srv_start carries the DOWN attribute: lane numbers increase as addresses
+// decrease (paper §III-A).
+func downLoop(n int) (*Loop, *Array, *Array) {
+	a := &Array{Name: "a", Elem: 4, Len: n + 16}
+	x := &Array{Name: "x", Elem: 4, Len: n}
+	l := &Loop{
+		Name: "down1",
+		Trip: n,
+		Down: true,
+		Body: []Stmt{{
+			Dst: a, Idx: Via(x, 1, 0),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, 0)}, R: Const{V: 2}},
+		}},
+	}
+	return l, a, x
+}
+
+// seedDown fills x so that every fourth iteration writes the slot three
+// below it: iteration i (lane istart-i) stores a[i-3], which a LATER
+// iteration (higher lane) will read — a horizontal RAW in the descending
+// order, mirroring the paper's listing-1 pattern.
+func seedDown(l *Loop, a, x *Array, n int, im *mem.Image) {
+	l.Bind(im)
+	for i := 0; i < n; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i*5+1))
+		xi := int64(i)
+		if i%4 == 3 {
+			xi = int64(i - 3)
+		}
+		im.WriteInt(x.Addr(int64(i)), 4, xi)
+	}
+}
+
+func TestDownScalarMatchesEval(t *testing.T) {
+	const n = 48
+	l, a, x := downLoop(n)
+	im := mem.NewImage()
+	seedDown(l, a, x, n, im)
+	ref := im.Clone()
+	Eval(l, ref)
+	c := MustCompile(l, im, ModeScalar)
+	runProgram(t, c, im)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("descending scalar diverges at %#x", addr)
+	}
+}
+
+func TestDownSVERejected(t *testing.T) {
+	l, _, _ := downLoop(32)
+	if _, err := Compile(l, mem.NewImage(), ModeSVE); err == nil {
+		t.Fatal("SVE must reject descending loops (no direction attribute)")
+	}
+}
+
+func TestDownSRVInterpreterMatchesEval(t *testing.T) {
+	const n = 64
+	l, a, x := downLoop(n)
+	im := mem.NewImage()
+	seedDown(l, a, x, n, im)
+	ref := im.Clone()
+	Eval(l, ref)
+	c := MustCompile(l, im, ModeSRV)
+	ip := isa.NewInterp(c.Prog, im)
+	if err := ip.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("descending SRV interpreter diverges at %#x", addr)
+	}
+	if ip.Counts.Replays == 0 {
+		t.Error("the descending conflict pattern must trigger replays")
+	}
+}
+
+func TestDownSRVPipelineMatchesEval(t *testing.T) {
+	const n = 64
+	l, a, x := downLoop(n)
+	im := mem.NewImage()
+	seedDown(l, a, x, n, im)
+	ref := im.Clone()
+	Eval(l, ref)
+	c := MustCompile(l, im, ModeSRV)
+	p := runProgram(t, c, im)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("descending SRV pipeline diverges at %#x", addr)
+	}
+	if p.Ctrl.Stats.Replays == 0 {
+		t.Error("pipeline must replay under the descending conflict pattern")
+	}
+	if p.Ctrl.Stats.RAWViol == 0 {
+		t.Error("horizontal RAW violations must be recorded under DOWN")
+	}
+}
+
+func TestDownEpilogue(t *testing.T) {
+	// Trip not a multiple of 16: the scalar epilogue must run LAST in
+	// sequential order — i.e. it covers the LOWEST iterations.
+	const n = 40
+	l, a, x := downLoop(n)
+	im := mem.NewImage()
+	seedDown(l, a, x, n, im)
+	ref := im.Clone()
+	Eval(l, ref)
+	c := MustCompile(l, im, ModeSRV)
+	runProgram(t, c, im)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("descending epilogue diverges at %#x", addr)
+	}
+}
+
+func TestDownConflictFreeNoReplay(t *testing.T) {
+	const n = 64
+	l, a, x := downLoop(n)
+	im := mem.NewImage()
+	l.Bind(im)
+	for i := 0; i < n; i++ {
+		im.WriteInt(a.Addr(int64(i)), 4, int64(i))
+		im.WriteInt(x.Addr(int64(i)), 4, int64(i)) // identity: no conflicts
+	}
+	ref := im.Clone()
+	Eval(l, ref)
+	c := MustCompile(l, im, ModeSRV)
+	p := runProgram(t, c, im)
+	if addr, diff := im.FirstDiff(ref); diff {
+		t.Fatalf("conflict-free DOWN diverges at %#x", addr)
+	}
+	if p.Ctrl.Stats.Replays != 0 {
+		t.Errorf("identity indices must not replay, got %d", p.Ctrl.Stats.Replays)
+	}
+}
+
+var _ = pipeline.DefaultConfig // keep import when tests are filtered

@@ -1,0 +1,226 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+// TestDifferentialFuzz generates random loops and verifies that every
+// executor agrees with the sequential reference: scalar codegen on the
+// pipeline, SRV codegen on the functional interpreter, and SRV codegen on
+// the cycle-level pipeline. This is the repository's strongest correctness
+// evidence: any divergence in disambiguation, forwarding, replay, merging
+// or recovery shows up as a memory mismatch.
+func TestDifferentialFuzz(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(2021))
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	for trial := 0; trial < trials; trial++ {
+		l := RandomLoop(rng)
+		im := mem.NewImage()
+		SeedRandomLoop(l, im, rng)
+		ref := im.Clone()
+		Eval(l, ref)
+
+		// Scalar on the pipeline.
+		imS := im.Clone()
+		cs, err := Compile(l, imS, ModeScalar)
+		if err != nil {
+			t.Fatalf("trial %d scalar compile: %v", trial, err)
+		}
+		ps := pipeline.New(cfg, cs.Prog, imS)
+		if err := ps.Run(); err != nil {
+			t.Fatalf("trial %d scalar run: %v", trial, err)
+		}
+		if addr, diff := imS.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: scalar diverges at %#x (loop: trip=%d down=%v body=%d)",
+				trial, addr, l.Trip, l.Down, len(l.Body))
+		}
+
+		// SRV on the interpreter.
+		imI := im.Clone()
+		cv, err := Compile(l, imI, ModeSRV)
+		if err != nil {
+			t.Fatalf("trial %d SRV compile: %v", trial, err)
+		}
+		ip := isa.NewInterp(cv.Prog, imI)
+		if err := ip.Run(50_000_000); err != nil {
+			t.Fatalf("trial %d SRV interp: %v", trial, err)
+		}
+		if addr, diff := imI.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: SRV interpreter diverges at %#x (trip=%d down=%v)",
+				trial, addr, l.Trip, l.Down)
+		}
+
+		// Loops the analysis proves safe must also run correctly under
+		// plain SVE — this checks the verdict itself against runtime
+		// truth: a misclassified flow dependence would corrupt memory.
+		if Analyse(l).Verdict == VerdictSafe {
+			imV := im.Clone()
+			cs2, err := Compile(l, imV, ModeSVE)
+			if err != nil {
+				t.Fatalf("trial %d SVE compile of a safe loop: %v", trial, err)
+			}
+			pv2 := pipeline.New(cfg, cs2.Prog, imV)
+			if err := pv2.Run(); err != nil {
+				t.Fatalf("trial %d SVE run: %v", trial, err)
+			}
+			if addr, diff := imV.FirstDiff(ref); diff {
+				t.Fatalf("trial %d: SVE diverges at %#x — verdict Safe is wrong (trip=%d down=%v)",
+					trial, addr, l.Trip, l.Down)
+			}
+		}
+
+		// SRV on the pipeline (with per-cycle invariant checks on a subset
+		// of trials — they cost ~2x, so not on every trial).
+		imP := im.Clone()
+		pv := pipeline.New(cfg, cv.Prog, imP)
+		if trial%4 == 0 {
+			pv.EnableParanoid()
+		}
+		if err := pv.Run(); err != nil {
+			t.Fatalf("trial %d SRV pipeline: %v", trial, err)
+		}
+		if addr, diff := imP.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: SRV pipeline diverges at %#x (trip=%d down=%v replays=%d)",
+				trial, addr, l.Trip, l.Down, pv.Ctrl.Stats.Replays)
+		}
+	}
+}
+
+// TestDifferentialFuzzAffineVerdicts fuzzes the dependence analysis itself:
+// random affine loops in both directions are classified, then every mode
+// the verdict permits must reproduce sequential semantics. A Safe verdict
+// on a loop whose SVE execution diverges is an analysis soundness bug; a
+// Dependent verdict is trusted to block vector modes.
+func TestDifferentialFuzzAffineVerdicts(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 20
+	}
+	rng := rand.New(rand.NewSource(555))
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	counts := map[Verdict]int{}
+	for trial := 0; trial < trials; trial++ {
+		l := RandomAffineLoop(rng)
+		im := mem.NewImage()
+		SeedRandomLoop(l, im, rng)
+		ref := im.Clone()
+		Eval(l, ref)
+		verdict := Analyse(l).Verdict
+		counts[verdict]++
+
+		runMode := func(mode Mode, label string) {
+			imM := im.Clone()
+			c, err := Compile(l, imM, mode)
+			if err != nil {
+				t.Fatalf("trial %d %s compile: %v", trial, label, err)
+			}
+			p := pipeline.New(cfg, c.Prog, imM)
+			if err := p.Run(); err != nil {
+				t.Fatalf("trial %d %s run: %v", trial, label, err)
+			}
+			if addr, diff := imM.FirstDiff(ref); diff {
+				t.Fatalf("trial %d: %s diverges at %#x (verdict %v, down=%v, trip=%d)",
+					trial, label, addr, verdict, l.Down, l.Trip)
+			}
+		}
+		runMode(ModeScalar, "scalar")
+		if verdict == VerdictSafe {
+			runMode(ModeSVE, "SVE")
+		}
+		if verdict != VerdictDependent {
+			runMode(ModeSRV, "SRV")
+		}
+	}
+	if counts[VerdictSafe] == 0 || counts[VerdictDependent] == 0 {
+		t.Errorf("the population must span verdicts, got %v", counts)
+	}
+}
+
+// TestDifferentialFuzzNoSelectiveReplay repeats fuzz trials with the
+// selective-replay mechanism ablated: every violating region demotes to the
+// sequential fallback, which must still reproduce sequential semantics —
+// including DOWN-direction loops, where the fallback's lane order is the
+// iteration order, not the address order.
+func TestDifferentialFuzzNoSelectiveReplay(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(1717))
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	cfg.NoSelectiveReplay = true
+	fallbacks := int64(0)
+	for trial := 0; trial < trials; trial++ {
+		l := RandomLoop(rng)
+		im := mem.NewImage()
+		SeedRandomLoop(l, im, rng)
+		ref := im.Clone()
+		Eval(l, ref)
+		cv, err := Compile(l, im, ModeSRV)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p := pipeline.New(cfg, cv.Prog, im)
+		if trial%3 == 0 {
+			p.EnableParanoid()
+		}
+		if err := p.Run(); err != nil {
+			t.Fatalf("trial %d run: %v", trial, err)
+		}
+		if p.Ctrl.Stats.Replays != 0 {
+			t.Fatalf("trial %d: %d replays despite the ablation", trial, p.Ctrl.Stats.Replays)
+		}
+		fallbacks += p.Ctrl.Stats.Fallbacks
+		if addr, diff := im.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: ablated SRV diverges at %#x (trip=%d down=%v fallbacks=%d)",
+				trial, addr, l.Trip, l.Down, p.Ctrl.Stats.Fallbacks)
+		}
+	}
+	if fallbacks == 0 {
+		t.Error("the trials must exercise at least one fallback (conflict-bearing loops exist)")
+	}
+}
+
+// TestDifferentialFuzzWithInterrupts repeats a subset of the fuzz trials
+// with an interrupt injected mid-run.
+func TestDifferentialFuzzWithInterrupts(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(4242))
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	for trial := 0; trial < trials; trial++ {
+		l := RandomLoop(rng)
+		im := mem.NewImage()
+		SeedRandomLoop(l, im, rng)
+		ref := im.Clone()
+		Eval(l, ref)
+		cv, err := Compile(l, im, ModeSRV)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p := pipeline.New(cfg, cv.Prog, im)
+		p.ScheduleInterrupt(int64(10+rng.Intn(300)), int64(20+rng.Intn(50)))
+		if err := p.Run(); err != nil {
+			t.Fatalf("trial %d run: %v", trial, err)
+		}
+		if addr, diff := im.FirstDiff(ref); diff {
+			t.Fatalf("trial %d: interrupted SRV diverges at %#x (trip=%d down=%v)",
+				trial, addr, l.Trip, l.Down)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package compiler
+
+import "srvsim/internal/isa"
+
+// This file implements a static profitability model — the cost side of the
+// vectorisation decision the paper's introduction highlights ("better
+// assess the profitability of vectorising"). The model predicts the SRV
+// speedup of a loop from its static shape; the compiler would skip loops
+// whose estimate falls below a threshold, and the estimate is validated
+// against the cycle simulator in the tests.
+
+// CostModel holds the per-operation cycle weights of the modelled core
+// (Table I's issue widths and latencies, collapsed to throughput terms).
+type CostModel struct {
+	// Scalar side: sustainable scalar IPC and per-element memory cost.
+	ScalarIPC      float64 // realistic sustained IPC of the baseline
+	ScalarLoadCost float64 // extra cycles per scalar load (port pressure)
+
+	// Vector side, per 16-iteration group.
+	VecIssue    float64 // cycles per vector ALU instruction issued
+	GatherCost  float64 // cycles per gather/scatter (element drain)
+	CommitDrain float64 // region-commit write-back per speculative scatter
+	RegionFixed float64 // srv_start/srv_end + serialisation handshake
+	MemLatency  float64 // exposed cache latency per dependent memory hop
+
+	// Threshold is the minimum estimated speedup at which the compiler
+	// chooses SRV over scalar code.
+	Threshold float64
+}
+
+// DefaultCostModel matches the Table I configuration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ScalarIPC:      4.0,
+		ScalarLoadCost: 0.5,
+		VecIssue:       0.5,  // ~2 vector ops per cycle
+		GatherCost:     8.0,  // 16 elements at 2 per cycle
+		CommitDrain:    8.0,  // speculative stores written back at commit
+		RegionFixed:    10.0, // region entry + srv_end barrier handshake
+		MemLatency:     9.0,  // L2 hit between dependent memory hops
+		Threshold:      1.5,
+	}
+}
+
+// Estimate predicts the SRV-over-scalar loop speedup from static shape.
+func (cm CostModel) Estimate(l *Loop) float64 {
+	insts := 0.0   // scalar instructions per iteration (approx.)
+	loads := 0.0   // scalar loads per iteration
+	gathers := 0.0 // lane-indexed accesses per iteration
+	contig := 0.0
+	for _, a := range l.AccessSummaries() {
+		insts += 2 // address + access
+		if !a.IsStore {
+			loads++
+		}
+		if a.Unknown {
+			gathers++
+			insts += 2 // index load + scaling
+		} else {
+			contig++
+		}
+	}
+	// Arithmetic: count Bin nodes.
+	var countOps func(Expr) float64
+	countOps = func(e Expr) float64 {
+		b, ok := e.(Bin)
+		if !ok {
+			return 0
+		}
+		n := 1 + countOps(b.L) + countOps(b.R)
+		if b.C != nil {
+			n += countOps(b.C)
+		}
+		return n
+	}
+	ops := 0.0
+	for _, s := range l.Body {
+		ops += countOps(s.Val)
+		if s.Mask != nil {
+			ops += countOps(s.Mask.L) + countOps(s.Mask.R) + 2
+		}
+	}
+	insts += ops + 3 // loop maintenance
+
+	// Dependent memory chain: the deepest series of memory accesses that
+	// must complete one after another (index load -> gather -> scatter).
+	// Each extra hop exposes a cache latency the group cannot hide; the
+	// drains themselves are already priced per access above.
+	var refDepth func(Expr) float64
+	refDepth = func(e Expr) float64 {
+		switch v := e.(type) {
+		case Ref:
+			d := 1.0
+			if v.Idx.Indirect != nil {
+				d++
+			}
+			return d
+		case Bin:
+			d := refDepth(v.L)
+			if r := refDepth(v.R); r > d {
+				d = r
+			}
+			if v.C != nil {
+				if c := refDepth(v.C); c > d {
+					d = c
+				}
+			}
+			return d
+		}
+		return 0
+	}
+	hops := 0.0
+	unknownStores := 0.0
+	for _, s := range l.Body {
+		idxD := 0.0
+		if s.Idx.Indirect != nil {
+			idxD = 1
+			unknownStores++
+		}
+		valD := refDepth(s.Val)
+		if s.Mask != nil {
+			if d := refDepth(s.Mask.L); d > valD {
+				valD = d
+			}
+			if d := refDepth(s.Mask.R); d > valD {
+				valD = d
+			}
+		}
+		depth := 1 + idxD
+		if valD > idxD {
+			depth = 1 + valD
+		}
+		if depth-1 > hops {
+			hops = depth - 1
+		}
+	}
+
+	// Scalar cycles per group of NumLanes iterations: front-end/ILP bound
+	// plus load-port pressure; large bodies spill the 32-entry IQ and lose
+	// cross-iteration overlap.
+	ipc := cm.ScalarIPC
+	if insts > 32 {
+		ipc *= 32 / insts // window-limited
+		if ipc < 1.2 {
+			ipc = 1.2
+		}
+	}
+	scalarGroup := float64(isa.NumLanes) * (insts/ipc + loads*cm.ScalarLoadCost)
+
+	// Vector cycles per group: instruction issue + gather drains + fixed
+	// region cost + one exposed latency + the serial dependence chain of the
+	// value computation (vector ALU latency is paid once per group but the
+	// chain does not pipeline across itself).
+	vecInsts := ops + contig + 2*gathers + 2
+	chainLat := 2.0
+	if l.FP {
+		chainLat = 4.0
+	}
+	vecGroup := vecInsts*cm.VecIssue + gathers*cm.GatherCost +
+		unknownStores*cm.CommitDrain + cm.RegionFixed +
+		hops*cm.MemLatency + ops*chainLat
+
+	return scalarGroup / vecGroup
+}
+
+// Profitable applies the compiler's decision threshold.
+func (cm CostModel) Profitable(l *Loop) bool {
+	return cm.Estimate(l) >= cm.Threshold
+}

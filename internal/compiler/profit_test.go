@@ -1,0 +1,99 @@
+package compiler
+
+import "testing"
+
+// profitLoop builds a[x[i]] = <val> with the given value expression.
+func profitLoop(val Expr) *Loop {
+	a := &Array{Name: "a", Elem: 4, Len: 1024}
+	x := &Array{Name: "x", Elem: 4, Len: 1024}
+	return &Loop{Trip: 512, Body: []Stmt{{Dst: a, Idx: Via(x, 1, 0), Val: val}}}
+}
+
+// wideVal builds a value expression with n contiguous loads and a multiply
+// chain — the shape that profits from vectorisation.
+func wideVal(n int) Expr {
+	var v Expr = Const{V: 1}
+	for i := 0; i < n; i++ {
+		b := &Array{Name: "b", Elem: 4, Len: 1024}
+		v = Bin{Op: OpAdd, L: v, R: Ref{Arr: b, Idx: Affine(1, 0)}}
+		v = Bin{Op: OpMul, L: v, R: Const{V: int64(i + 3)}}
+	}
+	return v
+}
+
+func TestCostModelRejectsBareScatter(t *testing.T) {
+	cm := DefaultCostModel()
+	l := profitLoop(IV{})
+	if cm.Profitable(l) {
+		t.Errorf("bare scatter estimated %.2fx: the drain-bound loop must be rejected", cm.Estimate(l))
+	}
+}
+
+func TestCostModelAcceptsWideBody(t *testing.T) {
+	cm := DefaultCostModel()
+	l := profitLoop(wideVal(8))
+	if est := cm.Estimate(l); !cm.Profitable(l) || est < 2 {
+		t.Errorf("wide body estimated %.2fx, want clearly profitable", est)
+	}
+}
+
+func TestCostModelWiderBodyEstimatesHigher(t *testing.T) {
+	cm := DefaultCostModel()
+	prev := 0.0
+	for _, n := range []int{1, 4, 8, 12} {
+		est := cm.Estimate(profitLoop(wideVal(n)))
+		if est <= prev {
+			t.Errorf("estimate must grow with body width: width %d -> %.2f after %.2f", n, est, prev)
+		}
+		prev = est
+	}
+}
+
+func TestCostModelMemoryChainLowersEstimate(t *testing.T) {
+	cm := DefaultCostModel()
+	a := &Array{Name: "a", Elem: 4, Len: 1024}
+	g := &Array{Name: "g", Elem: 4, Len: 1024}
+	gx := &Array{Name: "gx", Elem: 4, Len: 1024}
+	// Same op count, but the gather feeds the stored value — one more
+	// dependent memory hop than a contiguous source.
+	flat := profitLoop(Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, 0)}, R: Const{V: 1}})
+	chained := profitLoop(Bin{Op: OpAdd, L: Ref{Arr: g, Idx: Via(gx, 1, 0)}, R: Const{V: 1}})
+	if ef, ec := cm.Estimate(flat), cm.Estimate(chained); ec >= ef {
+		t.Errorf("dependent gather chain must estimate lower: flat %.2f, chained %.2f", ef, ec)
+	}
+}
+
+func TestCostModelThreshold(t *testing.T) {
+	cm := DefaultCostModel()
+	l := profitLoop(wideVal(8))
+	cm.Threshold = cm.Estimate(l) + 0.01
+	if cm.Profitable(l) {
+		t.Error("raising the threshold above the estimate must reject the loop")
+	}
+	cm.Threshold = cm.Estimate(l) - 0.01
+	if !cm.Profitable(l) {
+		t.Error("threshold below the estimate must accept the loop")
+	}
+}
+
+func TestCostModelFPChainCostsMore(t *testing.T) {
+	cm := DefaultCostModel()
+	il := profitLoop(wideVal(6))
+	fl := profitLoop(wideVal(6))
+	fl.FP = true
+	if ei, ef := cm.Estimate(il), cm.Estimate(fl); ef >= ei {
+		t.Errorf("FP chain latency must lower the estimate: int %.2f, fp %.2f", ei, ef)
+	}
+}
+
+func TestCostModelGuardCountsBothSides(t *testing.T) {
+	cm := DefaultCostModel()
+	m := &Array{Name: "m", Elem: 4, Len: 1024}
+	plain := profitLoop(wideVal(4))
+	guarded := profitLoop(wideVal(4))
+	guarded.Body[0].Mask = &Mask{Op: CmpLT,
+		L: Ref{Arr: m, Idx: Affine(1, 0)}, R: Const{V: 30}}
+	if ep, eg := cm.Estimate(plain), cm.Estimate(guarded); ep == eg {
+		t.Error("the guard's compare and load must enter the estimate")
+	}
+}

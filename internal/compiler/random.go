@@ -1,0 +1,150 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srvsim/internal/mem"
+)
+
+// This file provides the random-loop generator used by the differential
+// fuzzers (the compiler tests and cmd/srvfuzz): always-SRV-compilable loops
+// with random element sizes, guards, gathers, chains, directions and
+// conflict-prone index patterns.
+
+// RandomLoop generates a random (but always SRV-compilable) loop: an
+// indirect update statement plus optional extra statements with random
+// element sizes, guards, gathers, chains and direction.
+func RandomLoop(rng *rand.Rand) *Loop {
+	elems := []int{1, 2, 4, 8}
+	elem := elems[rng.Intn(len(elems))]
+	trip := 16 * (1 + rng.Intn(4))
+	if rng.Intn(3) == 0 {
+		trip += rng.Intn(16) // epilogue
+	}
+	span := trip * 2
+	a := &Array{Name: "a", Elem: elem, Len: span + 32}
+	x := &Array{Name: "x", Elem: 4, Len: trip + 32}
+
+	l := &Loop{Name: "fuzz", Trip: trip, Down: rng.Intn(4) == 0}
+	if !l.Down && rng.Intn(3) == 0 {
+		l.PredTail = true
+	}
+
+	// Statement 0: a[x[i]] = f(a[i], ...) — the SRV-candidate update.
+	val := Expr(Ref{Arr: a, Idx: Affine(1, 0)})
+	for c := 0; c < rng.Intn(3); c++ {
+		b := &Array{Name: fmt.Sprintf("b%d", c), Elem: elem, Len: trip + 32}
+		val = Bin{Op: OpAdd, L: val, R: Ref{Arr: b, Idx: Affine(1, 0)}}
+	}
+	if rng.Intn(2) == 0 {
+		g := &Array{Name: "g", Elem: elem, Len: span + 32}
+		gx := &Array{Name: "gx", Elem: 4, Len: trip + 32}
+		val = Bin{Op: OpAdd, L: val, R: Ref{Arr: g, Idx: Via(gx, 1, 0)}}
+	}
+	for ch := 0; ch < rng.Intn(4); ch++ {
+		ops := []BinOp{OpAdd, OpMul, OpXor, OpSub, OpAnd}
+		val = Bin{Op: ops[rng.Intn(len(ops))], L: val, R: Const{V: int64(1 + rng.Intn(9))}}
+	}
+	st := Stmt{Dst: a, Idx: Via(x, 1, 0), Val: val}
+	if rng.Intn(3) == 0 {
+		m := &Array{Name: "m", Elem: 4, Len: trip + 32}
+		ops := []CmpOp{CmpLT, CmpGE, CmpEQ, CmpNE}
+		st.Mask = &Mask{Op: ops[rng.Intn(len(ops))],
+			L: Ref{Arr: m, Idx: Affine(1, 0)}, R: Const{V: int64(rng.Intn(8))}}
+	}
+	l.Body = append(l.Body, st)
+
+	// Optional second statement: contiguous store fed by the same array —
+	// creating vertical and horizontal interactions with statement 0.
+	if rng.Intn(2) == 0 {
+		d := &Array{Name: "d", Elem: elem, Len: trip + 32}
+		l.Body = append(l.Body, Stmt{
+			Dst: d, Idx: Affine(1, 0),
+			Val: Bin{Op: OpAdd, L: Ref{Arr: a, Idx: Affine(1, 0)}, R: Const{V: 9}},
+		})
+	}
+	return l
+}
+
+// RandomAffineLoop generates a loop with purely affine subscripts and
+// random small offsets — the population for fuzzing the dependence
+// analysis itself: verdicts span Safe / Dependent depending on the offset
+// signs and the loop direction.
+func RandomAffineLoop(rng *rand.Rand) *Loop {
+	elems := []int{2, 4, 8}
+	elem := elems[rng.Intn(len(elems))]
+	trip := 16*(1+rng.Intn(3)) + rng.Intn(16)
+	a := &Array{Name: "a", Elem: elem, Len: trip + 40}
+	l := &Loop{Name: "affine", Trip: trip, Down: rng.Intn(2) == 0}
+	if !l.Down && rng.Intn(3) == 0 {
+		l.PredTail = true
+	}
+
+	off := func() int64 { return int64(rng.Intn(7) - 3) }
+	// Subscripts stay in-bounds: shift everything up by 16.
+	const bias = 16
+	val := Expr(Ref{Arr: a, Idx: Affine(1, bias+off())})
+	if rng.Intn(2) == 0 {
+		b := &Array{Name: "b", Elem: elem, Len: trip + 40}
+		val = Bin{Op: OpAdd, L: val, R: Ref{Arr: b, Idx: Affine(1, bias)}}
+	}
+	for ch := 0; ch < rng.Intn(3); ch++ {
+		ops := []BinOp{OpAdd, OpMul, OpXor}
+		val = Bin{Op: ops[rng.Intn(len(ops))], L: val, R: Const{V: int64(1 + rng.Intn(5))}}
+	}
+	l.Body = append(l.Body, Stmt{Dst: a, Idx: Affine(1, bias+off()), Val: val})
+	if rng.Intn(3) == 0 {
+		d := &Array{Name: "d", Elem: elem, Len: trip + 40}
+		l.Body = append(l.Body, Stmt{
+			Dst: d, Idx: Affine(1, bias),
+			Val: Ref{Arr: a, Idx: Affine(1, bias+off())},
+		})
+	}
+	return l
+}
+
+// SeedRandomLoop fills the arrays; the index array mixes identity, nearby
+// back-references and random targets so that RAW / WAR / WAW violations all
+// occur across trials.
+func SeedRandomLoop(l *Loop, im *mem.Image, rng *rand.Rand) {
+	for _, arr := range l.Bind(im) {
+		for i := 0; i < arr.Len; i++ {
+			var v int64
+			switch arr.Name {
+			case "x":
+				switch rng.Intn(4) {
+				case 0:
+					v = int64(i)
+				case 1:
+					v = int64(rng.Intn(l.Trip))
+				case 2: // nearby backward reference: conflict-prone
+					v = int64(maxi(0, i-1-rng.Intn(4)))
+				default: // forward reference within the array
+					v = int64(mini(l.Trip*2-1, i+rng.Intn(8)))
+				}
+			case "gx":
+				v = int64(rng.Intn(l.Trip * 2))
+			case "m":
+				v = int64(rng.Intn(8))
+			default:
+				v = int64(rng.Intn(50) - 25)
+			}
+			im.WriteInt(arr.Addr(int64(i)), arr.Elem, v)
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package compiler
+
+import "srvsim/internal/mem"
+
+// AccessRec is one dynamic memory access of a loop iteration.
+type AccessRec struct {
+	Addr    uint64
+	Size    int
+	IsStore bool
+	Pos     int // statement position
+}
+
+// IterAccesses returns the memory accesses iteration i would perform against
+// the current memory state, without executing the iteration. Guarded
+// statements whose mask fails contribute no accesses. Index-array reads are
+// included (they are real loads).
+func IterAccesses(l *Loop, i int, im *mem.Image) []AccessRec {
+	iv := int64(i)
+	var out []AccessRec
+	var walkExpr func(e Expr, pos int)
+	walkIdx := func(ix Index, pos int) {
+		if ix.Indirect != nil {
+			out = append(out, AccessRec{
+				Addr: ix.Indirect.Addr(ix.Scale*iv + ix.Offset),
+				Size: ix.Indirect.Elem, Pos: pos,
+			})
+		}
+	}
+	walkExpr = func(e Expr, pos int) {
+		switch x := e.(type) {
+		case Ref:
+			walkIdx(x.Idx, pos)
+			out = append(out, AccessRec{
+				Addr: evalAddr(x.Arr, x.Idx, iv, im),
+				Size: x.Arr.Elem, Pos: pos,
+			})
+		case Bin:
+			walkExpr(x.L, pos)
+			walkExpr(x.R, pos)
+			if x.C != nil {
+				walkExpr(x.C, pos)
+			}
+		}
+	}
+	for pos, s := range l.Body {
+		if s.Mask != nil {
+			walkExpr(s.Mask.L, pos)
+			walkExpr(s.Mask.R, pos)
+			lv := evalExpr(s.Mask.L, iv, im)
+			rv := evalExpr(s.Mask.R, iv, im)
+			ok := false
+			switch s.Mask.Op {
+			case CmpLT:
+				ok = lv < rv
+			case CmpGE:
+				ok = lv >= rv
+			case CmpEQ:
+				ok = lv == rv
+			case CmpNE:
+				ok = lv != rv
+			}
+			if !ok {
+				continue
+			}
+		}
+		walkExpr(s.Val, pos)
+		walkIdx(s.Idx, pos)
+		out = append(out, AccessRec{
+			Addr: evalAddr(s.Dst, s.Idx, iv, im),
+			Size: s.Dst.Elem, IsStore: true, Pos: pos,
+		})
+	}
+	return out
+}
+
+// EvalIter executes exactly one iteration of the loop against the image.
+func EvalIter(l *Loop, i int, im *mem.Image) {
+	iv := int64(i)
+	for _, s := range l.Body {
+		if s.Mask != nil {
+			lv := evalExpr(s.Mask.L, iv, im)
+			rv := evalExpr(s.Mask.R, iv, im)
+			ok := false
+			switch s.Mask.Op {
+			case CmpLT:
+				ok = lv < rv
+			case CmpGE:
+				ok = lv >= rv
+			case CmpEQ:
+				ok = lv == rv
+			case CmpNE:
+				ok = lv != rv
+			}
+			if !ok {
+				continue
+			}
+		}
+		v := evalExpr(s.Val, iv, im)
+		im.WriteInt(evalAddr(s.Dst, s.Idx, iv, im), s.Dst.Elem, v)
+	}
+}
+
+// Overlaps reports byte-range overlap of two access records.
+func (a AccessRec) Overlaps(b AccessRec) bool {
+	return a.Addr < b.Addr+uint64(b.Size) && b.Addr < a.Addr+uint64(a.Size)
+}
+
+// AccessSummary describes one static memory access for alias-pair counting.
+type AccessSummary struct {
+	Arr     *Array
+	IsStore bool
+	Unknown bool // subscript the compiler cannot disambiguate (indirect)
+}
+
+// AccessSummaries lists the loop's static accesses with their analysability.
+func (l *Loop) AccessSummaries() []AccessSummary {
+	var out []AccessSummary
+	for _, a := range l.accesses() {
+		out = append(out, AccessSummary{Arr: a.arr, IsStore: a.isStore, Unknown: a.idx.Indirect != nil})
+	}
+	return out
+}
+
+// TrueRAWBetween reports whether a store of iteration earlier conflicts with
+// a read of iteration later in a way statement-at-a-time vector execution
+// would violate: the load's statement position must not be after the
+// store's, otherwise the vector code executes the store statement first and
+// the later lane reads fresh data anyway. WAR and WAW pairs are excluded —
+// vector execution and scatter ordering resolve them naturally (the §II
+// limit study's store-buffering assumption). Both access lists must come
+// from the same pre-group memory state.
+func TrueRAWBetween(earlier, later []AccessRec) bool {
+	for _, st := range earlier {
+		if !st.IsStore {
+			continue
+		}
+		for _, ld := range later {
+			if !ld.IsStore && ld.Pos <= st.Pos && st.Overlaps(ld) {
+				return true
+			}
+		}
+	}
+	return false
+}

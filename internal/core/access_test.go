@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"srvsim/internal/bitvec"
+	"srvsim/internal/isa"
+)
+
+// TestFig3VerticalOverlap reproduces the paper's Fig 3: instruction A
+// (vector store, 16 one-byte lanes at alignment offset 16) and instruction B
+// (vector load of the same span). The VOB has bits 16..31 set: all data is
+// forwardable.
+func TestFig3VerticalOverlap(t *testing.T) {
+	store := Access{Kind: KindContig, Addr: 0xAB10, Elem: 1}
+	load := Access{Kind: KindContig, Addr: 0xAB10, Elem: 1}
+	masks := LoadVsOlderStore(load, 2, store, 1)
+	if len(masks) != 1 {
+		t.Fatalf("got %d regions, want 1", len(masks))
+	}
+	m := masks[0]
+	if m.Base != 0xAB00 {
+		t.Errorf("base = %#x, want 0xAB00", m.Base)
+	}
+	if m.VOB != bitvec.Range(16, 16) {
+		t.Errorf("VOB = %v, want bits 16..31", m.VOB)
+	}
+	if m.HOB != 0 {
+		t.Errorf("HOB = %v, want empty (same lanes, vertical only)", m.HOB)
+	}
+}
+
+// TestFig4HorizontalWAR reproduces Fig 4: store A at offset 16, load C at
+// offset 24 (eight lanes further on). The overlap (bits 24..31) belongs to
+// later lanes of the store, so every overlapped byte violates: HOB = VOB.
+func TestFig4HorizontalWAR(t *testing.T) {
+	store := Access{Kind: KindContig, Addr: 0xAB10, Elem: 1}
+	load := Access{Kind: KindContig, Addr: 0xAB18, Elem: 1}
+	masks := LoadVsOlderStore(load, 3, store, 1)
+	if len(masks) != 1 {
+		t.Fatalf("got %d regions, want 1", len(masks))
+	}
+	m := masks[0]
+	if m.VOB != bitvec.Range(24, 8) {
+		t.Errorf("VOB = %v, want bits 24..31", m.VOB)
+	}
+	if m.HOB != bitvec.Range(24, 8) {
+		t.Errorf("HOB = %v, want bits 24..31 (all overlapped bytes violate)", m.HOB)
+	}
+	// The paper's Fig 4 narrative: "the vector store cannot forward these
+	// bytes to the vector load" — no forwardable overlap remains.
+	if fw := m.VOB &^ m.HOB; fw != 0 {
+		t.Errorf("forwardable bytes = %v, want none", fw)
+	}
+}
+
+// TestFig4Reversed checks the symmetric case: the load sits at a LOWER
+// offset than the store, so the overlap comes from earlier store lanes and
+// everything is forwardable (paper §IV-C1).
+func TestFig4Reversed(t *testing.T) {
+	store := Access{Kind: KindContig, Addr: 0xAB18, Elem: 1}
+	load := Access{Kind: KindContig, Addr: 0xAB10, Elem: 1}
+	masks := LoadVsOlderStore(load, 3, store, 1)
+	if len(masks) != 1 {
+		t.Fatalf("got %d regions, want 1", len(masks))
+	}
+	m := masks[0]
+	if m.VOB != bitvec.Range(24, 8) {
+		t.Errorf("VOB = %v, want bits 24..31", m.VOB)
+	}
+	if m.HOB != 0 {
+		t.Errorf("HOB = %v, want empty (store lanes are earlier)", m.HOB)
+	}
+}
+
+// TestFig5ScatterVsLoad reproduces the paper's Fig 5 worked example:
+// listing 2's first iteration with a[] at 0xFF00, 4-byte elements, and
+// x = {3,0,1,2,7,...}. The v_load occupies one contiguous LQ entry; the
+// scatter issues one element store per lane.
+func TestFig5ScatterVsLoad(t *testing.T) {
+	load := Access{Kind: KindContig, Addr: 0xFF00, Elem: 4}
+
+	// Step 1: scatter element lane 0 writes a[3] at 0xFF0C.
+	st0 := Access{Kind: KindElem, Lane: 0, Addr: 0xFF0C, Elem: 4}
+	masks := StoreVsYoungerLoad(st0, 5, load, 3)
+	if len(masks) != 1 {
+		t.Fatalf("step 1: got %d regions, want 1", len(masks))
+	}
+	m := masks[0]
+	if m.VOB != bitvec.Range(12, 4) {
+		t.Errorf("step 1 VOB = %v, want bits 12..15", m.VOB)
+	}
+	// "All but the first 4 bits of the horizontal-violation bit vector are
+	// set to 1."
+	if m.HV != bitvec.From(4) {
+		t.Errorf("step 1 HV = %v, want bits 4..63", m.HV)
+	}
+	if m.HOB != bitvec.Range(12, 4) {
+		t.Errorf("step 1 HOB = %v, want bits 12..15", m.HOB)
+	}
+	if lanes := ViolatingLanes(st0, load); !lanes[3] || lanes.Count() != 1 {
+		t.Errorf("step 1 violating lanes = %v, want {3}", lanes)
+	}
+
+	// Step 2: scatter element lane 1 writes a[0] at 0xFF00.
+	st1 := Access{Kind: KindElem, Lane: 1, Addr: 0xFF00, Elem: 4}
+	masks = StoreVsYoungerLoad(st1, 5, load, 3)
+	m = masks[0]
+	if m.VOB != bitvec.Range(0, 4) {
+		t.Errorf("step 2 VOB = %v, want bits 0..3", m.VOB)
+	}
+	// "All bits from the 8th inwards are set" (lanes 2 onward).
+	if m.HV != bitvec.From(8) {
+		t.Errorf("step 2 HV = %v, want bits 8..63", m.HV)
+	}
+	if m.HOB != 0 {
+		t.Errorf("step 2 HOB = %v, want empty (conflict but no violation)", m.HOB)
+	}
+	if lanes := ViolatingLanes(st1, load); lanes.Any() {
+		t.Errorf("step 2 violating lanes = %v, want none", lanes)
+	}
+
+	// Steps 3-5 equivalents: writes to a[1], a[2] are fine; a[7] from lane 4
+	// violates lane 7.
+	st4 := Access{Kind: KindElem, Lane: 4, Addr: 0xFF00 + 7*4, Elem: 4}
+	if lanes := ViolatingLanes(st4, load); !lanes[7] || lanes.Count() != 1 {
+		t.Errorf("a[7] write violating lanes = %v, want {7}", lanes)
+	}
+
+	// Full scatter: lanes 0,4,8,12 write a[3],a[7],a[11],a[15]; the combined
+	// needs-replay set is {3,7,11,15} — the paper's SRV-needs-replay value.
+	var combined isa.Pred
+	for _, c := range []struct{ lane, idx int }{{0, 3}, {4, 7}, {8, 11}, {12, 15}} {
+		st := Access{Kind: KindElem, Lane: c.lane, Addr: 0xFF00 + uint64(c.idx*4), Elem: 4}
+		lanes := ViolatingLanes(st, load)
+		for i, b := range lanes {
+			if b {
+				combined[i] = true
+			}
+		}
+	}
+	want := isa.Pred{}
+	want[3], want[7], want[11], want[15] = true, true, true, true
+	if combined != want {
+		t.Errorf("combined needs-replay = %v, want lanes {3,7,11,15}", combined)
+	}
+}
+
+func TestGatherScatterLaneRule(t *testing.T) {
+	// Paper §IV-C2: both gather/scatter elements — compare lane fields.
+	// Load lane >= store lane: forwardable; load lane < store lane: WAR.
+	addr := uint64(0x1000)
+	st := Access{Kind: KindElem, Lane: 5, Addr: addr, Elem: 4}
+	ldLater := Access{Kind: KindElem, Lane: 9, Addr: addr, Elem: 4}
+	masks := LoadVsOlderStore(ldLater, 7, st, 2)
+	if len(masks) != 1 || masks[0].HOB != 0 {
+		t.Errorf("load lane 9 vs store lane 5: HOB = %v, want empty (forwardable)", masks)
+	}
+	ldEarlier := Access{Kind: KindElem, Lane: 2, Addr: addr, Elem: 4}
+	masks = LoadVsOlderStore(ldEarlier, 7, st, 2)
+	if len(masks) != 1 || masks[0].HOB != masks[0].VOB || masks[0].VOB == 0 {
+		t.Errorf("load lane 2 vs store lane 5: want full WAR, got %v", masks)
+	}
+}
+
+func TestBroadcastTreatedAsAllLanes(t *testing.T) {
+	// Paper §IV-C4: a broadcast is an access to the same address by every
+	// lane. A store element in lane 5 overlapping a broadcast load entry
+	// violates lanes 6..15 (they should have seen the new data).
+	st := Access{Kind: KindElem, Lane: 5, Addr: 0x2000, Elem: 4}
+	bc := Access{Kind: KindBcast, Addr: 0x2000, Elem: 4}
+	lanes := ViolatingLanes(st, bc)
+	for i := 0; i < isa.NumLanes; i++ {
+		want := i > 5
+		if lanes[i] != want {
+			t.Errorf("broadcast lane %d violation = %v, want %v", i, lanes[i], want)
+		}
+	}
+}
+
+func TestDownDirectionReversesLanes(t *testing.T) {
+	// A decreasing induction variable: lane number increases as the address
+	// decreases, so a contiguous access under DOWN attributes its LOWEST
+	// byte to the HIGHEST lane (paper §III-A).
+	a := Access{Kind: KindContig, Addr: 0x3000, Elem: 4, Dir: isa.DirDown}
+	lo, hi := a.LaneBounds(0x3000)
+	if lo != isa.NumLanes-1 || hi != isa.NumLanes-1 {
+		t.Errorf("DOWN first byte lane = %d..%d, want 15..15", lo, hi)
+	}
+	lo, _ = a.LaneBounds(0x3000 + 15*4)
+	if lo != 0 {
+		t.Errorf("DOWN last element lane = %d, want 0", lo)
+	}
+	// Under DOWN, a load at a HIGHER address than an older store overlaps
+	// EARLIER lanes of the store, so it is forwardable (the mirror image of
+	// Fig 4).
+	store := Access{Kind: KindContig, Addr: 0xAB10, Elem: 1, Dir: isa.DirDown}
+	load := Access{Kind: KindContig, Addr: 0xAB18, Elem: 1, Dir: isa.DirDown}
+	m := LoadVsOlderStore(load, 3, store, 1)[0]
+	if m.HOB != 0 {
+		t.Errorf("DOWN HOB = %v, want empty", m.HOB)
+	}
+	// And a load at a LOWER address violates.
+	load2 := Access{Kind: KindContig, Addr: 0xAB08, Elem: 1, Dir: isa.DirDown}
+	m = LoadVsOlderStore(load2, 3, store, 1)[0]
+	if m.HOB != m.VOB || m.VOB == 0 {
+		t.Errorf("DOWN lower-address load: want full WAR, got %v", m)
+	}
+}
+
+func TestAccessGeometry(t *testing.T) {
+	c := Access{Kind: KindContig, Addr: 0x100, Elem: 4}
+	if c.Bytes() != 64 {
+		t.Errorf("contig bytes = %d, want 64", c.Bytes())
+	}
+	e := Access{Kind: KindElem, Lane: 3, Addr: 0x100, Elem: 8}
+	if e.Bytes() != 8 {
+		t.Errorf("elem bytes = %d, want 8", e.Bytes())
+	}
+	if !c.Overlaps(e) || !e.Overlaps(c) {
+		t.Error("overlap must be symmetric")
+	}
+	far := Access{Kind: KindElem, Lane: 0, Addr: 0x200, Elem: 4}
+	if c.Overlaps(far) {
+		t.Error("disjoint accesses must not overlap")
+	}
+	if !c.Contains(0x13F) || c.Contains(0x140) {
+		t.Error("Contains boundary wrong")
+	}
+}
+
+func TestSeqBefore(t *testing.T) {
+	if !SeqBefore(1, 9, 2, 3) {
+		t.Error("earlier lane must precede regardless of position")
+	}
+	if !SeqBefore(2, 3, 2, 5) {
+		t.Error("same lane orders by position")
+	}
+	if SeqBefore(2, 5, 2, 5) {
+		t.Error("equal positions are not before")
+	}
+}
+
+func TestForwardable(t *testing.T) {
+	if !Forwardable(2, 5, 3, 1) {
+		t.Error("store lane 2 forwards to load lane 3")
+	}
+	if Forwardable(7, 5, 3, 9) {
+		t.Error("store lane 7 must not forward to load lane 3 (WAR)")
+	}
+	if !Forwardable(3, 5, 3, 9) {
+		t.Error("same lane, earlier position forwards")
+	}
+	if Forwardable(3, 9, 3, 5) {
+		t.Error("same lane, later position must not forward")
+	}
+}

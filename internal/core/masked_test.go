@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+)
+
+// TestViolatingLanesMaskedRestriction: during a replay round only the
+// re-executed lanes of a store may raise new flags. A contiguous store
+// re-executing lanes {8..15} against a full contiguous load must flag only
+// lanes later than re-executed store bytes — the unchanged lanes {0..7}
+// must raise nothing, or the replay frontier would stall (§III-A's N-1
+// bound).
+func TestViolatingLanesMaskedRestriction(t *testing.T) {
+	const base = 0x1000
+	store := Access{Kind: KindContig, Addr: base, Elem: 4}
+	load := Access{Kind: KindContig, Addr: base, Elem: 4}
+
+	// Unmasked: every load byte in a lane later than its store lane — for
+	// identical contiguous footprints lane(byte) is equal on both sides, so
+	// nothing is strictly later.
+	if got := ViolatingLanes(store, load); got.Any() {
+		t.Fatalf("identical contiguous accesses: no strictly-later lanes, got %v", got)
+	}
+
+	// Shift the load one element up: load lane i reads store lane i+1's
+	// bytes -> entry (load) lanes are strictly later for every overlapped
+	// byte of store lanes 1..15.
+	loadUp := Access{Kind: KindContig, Addr: base - 4, Elem: 4}
+	full := ViolatingLanes(store, loadUp)
+	if !full.Any() {
+		t.Fatal("shifted overlap must violate")
+	}
+
+	// Restrict the store's updated lanes to {8..15}: flags from bytes of
+	// lanes 0..7 must vanish.
+	var replayed isa.Pred
+	for l := 8; l < isa.NumLanes; l++ {
+		replayed[l] = true
+	}
+	masked := ViolatingLanesMasked(store, loadUp, replayed)
+	for l := 0; l < isa.NumLanes; l++ {
+		if l <= 8 && masked[l] {
+			// Store lane 8's byte flags load lanes > 8 only.
+			t.Errorf("lane %d flagged by a non-re-executed store byte", l)
+		}
+	}
+	if !masked.Any() {
+		t.Error("re-executed lanes must still flag later load lanes")
+	}
+	// Masked must be a subset of the unmasked result.
+	for l := range masked {
+		if masked[l] && !full[l] {
+			t.Errorf("masked flag %d not present unmasked", l)
+		}
+	}
+}
+
+// TestViolatingLanesMaskedFrontierAdvance reproduces the frontier-stall bug
+// shape: a store re-executing only lane k must never flag lane k itself or
+// anything at or before it.
+func TestViolatingLanesMaskedFrontierAdvance(t *testing.T) {
+	const base = 0x2000
+	for k := 0; k < isa.NumLanes; k++ {
+		store := Access{Kind: KindContig, Addr: base, Elem: 4}
+		load := Access{Kind: KindContig, Addr: base, Elem: 4}
+		var only isa.Pred
+		only[k] = true
+		got := ViolatingLanesMasked(store, load, only)
+		for l := 0; l <= k; l++ {
+			if got[l] {
+				t.Fatalf("store lane %d flagged lane %d: frontier would stall", k, l)
+			}
+		}
+	}
+}
+
+// TestStoreVsStoreWAW checks WAW mask computation: an issuing scatter
+// element in lane 2 against an older contiguous store covering all lanes
+// must mark the bytes whose entry lane is later than 2.
+func TestStoreVsStoreWAW(t *testing.T) {
+	const base = 0x3000 // 64-aligned
+	older := Access{Kind: KindContig, Addr: base, Elem: 4}
+	issuing := Access{Kind: KindElem, Lane: 2, Addr: base + 2*4, Elem: 4}
+
+	pms := StoreVsStore(issuing, 7, older, 3)
+	if len(pms) != 1 {
+		t.Fatalf("one alignment region expected, got %d", len(pms))
+	}
+	pm := pms[0]
+	// VOB: exactly the 4 bytes both stores touch.
+	if pm.VOB.Count() != 4 {
+		t.Errorf("VOB = %d bytes, want 4", pm.VOB.Count())
+	}
+	// HOB: the overlap belongs to entry lane 2 == issuing lane 2, not
+	// strictly later -> same-lane WAW is vertical, not horizontal.
+	if pm.HOB != 0 {
+		t.Errorf("same-lane overlap must not be a horizontal WAW, HOB=%s", pm.HOB)
+	}
+	// HV must mark the entry bytes of lanes 3..15 (strictly later).
+	wantHV := 0
+	for off := 0; off < 64; off++ {
+		if off >= 3*4 { // lane 3 starts at byte 12
+			wantHV++
+		}
+	}
+	if pm.HV.Count() != wantHV {
+		t.Errorf("HV = %d bytes, want %d (lanes 3..15)", pm.HV.Count(), wantHV)
+	}
+
+	// Issuing element one lane down (lane 1) at lane-3's bytes: the entry
+	// byte lanes are strictly later -> horizontal WAW.
+	issuing2 := Access{Kind: KindElem, Lane: 1, Addr: base + 3*4, Elem: 4}
+	pms2 := StoreVsStore(issuing2, 7, older, 3)
+	if len(pms2) != 1 || pms2[0].HOB.Count() != 4 {
+		t.Fatalf("cross-lane WAW must mark the 4 overlapped bytes, got %+v", pms2)
+	}
+}
+
+// TestControllerAbortAndAccessors covers Abort, Dir, FallbackLane and the
+// violation counters.
+func TestControllerAbortAndAccessors(t *testing.T) {
+	var c Controller
+	if err := c.Start(12, isa.DirDown); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != isa.DirDown {
+		t.Error("direction must be recorded")
+	}
+	c.RecordWAR()
+	c.RecordWAW()
+	if c.Stats.WARViol != 1 || c.Stats.WAWViol != 1 {
+		t.Error("WAR/WAW counters must increment")
+	}
+	c.Abort()
+	if c.InRegion() || c.StartPC() != 0 || c.Replay().Any() {
+		t.Error("abort must fully reset the controller")
+	}
+	if c.Stats.Regions != 0 {
+		t.Error("an aborted region must not count as completed")
+	}
+
+	// Fallback lane accessor.
+	if err := c.Start(12, isa.DirUp); err != nil {
+		t.Fatal(err)
+	}
+	c.EnterFallback()
+	if c.FallbackLane() != 0 {
+		t.Errorf("fallback starts at lane 0, got %d", c.FallbackLane())
+	}
+	c.End()
+	if c.FallbackLane() != 1 {
+		t.Errorf("fallback must advance to lane 1, got %d", c.FallbackLane())
+	}
+}
+
+// TestStringers pins the diagnostic formatting used in trace output.
+func TestStringers(t *testing.T) {
+	if KindContig.String() != "contig" || KindElem.String() != "elem" ||
+		KindBcast.String() != "bcast" || KindScalar.String() != "scalar" {
+		t.Error("Kind strings changed")
+	}
+	if RAW.String() != "RAW" || WAR.String() != "WAR" || WAW.String() != "WAW" ||
+		NoViolation.String() != "none" {
+		t.Error("Violation strings changed")
+	}
+	if ModeOff.String() != "off" || ModeSpeculative.String() != "speculative" ||
+		ModeFallback.String() != "fallback" {
+		t.Error("Mode strings changed")
+	}
+	pm := PairMasks{Base: 0x40}
+	if pm.String() == "" {
+		t.Error("PairMasks must format")
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"srvsim/internal/isa"
+)
+
+// randAccess maps fuzz bytes onto a plausible access descriptor.
+func randAccess(kindSel, lane uint8, off uint16, elemSel uint8) Access {
+	elems := []int{1, 2, 4, 8}
+	a := Access{
+		Elem: elems[int(elemSel)%len(elems)],
+		Addr: 0x4000 + uint64(off%2048),
+		Lane: int(lane) % isa.NumLanes,
+	}
+	switch kindSel % 3 {
+	case 0:
+		a.Kind = KindContig
+		a.Addr &^= uint64(a.Elem - 1) // element-aligned
+	case 1:
+		a.Kind = KindElem
+	default:
+		a.Kind = KindBcast
+	}
+	return a
+}
+
+// TestQuickHOBWithinVOB: for every access pair, the horizontally overlapped
+// bytes are exactly VOB AND HV, and therefore a subset of the vertical
+// overlap (paper §IV-C: "Each VOB bit vector is ANDed with its corresponding
+// horizontal-violation bit vectors").
+func TestQuickHOBWithinVOB(t *testing.T) {
+	f := func(k1, l1 uint8, o1 uint16, e1, k2, l2 uint8, o2 uint16, e2 uint8) bool {
+		load := randAccess(k1, l1, o1, e1)
+		store := randAccess(k2, l2, o2, e2)
+		for _, pm := range LoadVsOlderStore(load, 7, store, 3) {
+			if pm.HOB != pm.VOB&pm.HV {
+				return false
+			}
+			if pm.HOB&^pm.VOB != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickViolatingLanesAreLater: every lane reported for replay is
+// strictly later than the issuing access's lane at some overlapping byte —
+// the guarantee behind the replay-frontier progress bound (paper §III-A:
+// roll back happens at most N-1 times).
+func TestQuickViolatingLanesAreLater(t *testing.T) {
+	f := func(k1, l1 uint8, o1 uint16, e1, k2, l2 uint8, o2 uint16, e2 uint8) bool {
+		issuing := randAccess(k1, l1, o1, e1)
+		entry := randAccess(k2, l2, o2, e2)
+		lanes := ViolatingLanes(issuing, entry)
+		if !lanes.Any() {
+			return true
+		}
+		if !issuing.Overlaps(entry) {
+			return false // lanes without overlap are impossible
+		}
+		// The minimum issuing lane over the overlap bounds every reported
+		// lane from below.
+		minIssuing := isa.NumLanes
+		span := issuing.Span()
+		for bidx := 0; bidx < span.N; bidx++ {
+			addr := span.Addr + uint64(bidx)
+			if !entry.Contains(addr) {
+				continue
+			}
+			lo, _ := issuing.LaneBounds(addr)
+			if lo < minIssuing {
+				minIssuing = lo
+			}
+		}
+		for lane, set := range lanes {
+			if set && lane <= minIssuing {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSeqBeforeStrictOrder: SeqBefore is a strict total order over
+// (lane, pos) pairs.
+func TestQuickSeqBeforeStrictOrder(t *testing.T) {
+	f := func(l1, p1, l2, p2, l3, p3 uint8) bool {
+		a := [2]int{int(l1) % 16, int(p1)}
+		b := [2]int{int(l2) % 16, int(p2)}
+		c := [2]int{int(l3) % 16, int(p3)}
+		lt := func(x, y [2]int) bool { return SeqBefore(x[0], x[1], y[0], y[1]) }
+		// Irreflexive.
+		if lt(a, a) {
+			return false
+		}
+		// Antisymmetric.
+		if lt(a, b) && lt(b, a) {
+			return false
+		}
+		// Transitive.
+		if lt(a, b) && lt(b, c) && !lt(a, c) {
+			return false
+		}
+		// Total: distinct pairs compare one way or the other.
+		if a != b && !lt(a, b) && !lt(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReplayFrontierAdvances drives the controller with random RAW
+// lane sets that respect the hardware guarantee (flagged lanes are strictly
+// later than the oldest active lane) and checks that every region
+// terminates within NumLanes-1 replays.
+func TestQuickReplayFrontierAdvances(t *testing.T) {
+	f := func(rounds [8]uint16) bool {
+		var c Controller
+		if err := c.Start(1, isa.DirUp); err != nil {
+			return false
+		}
+		replays := 0
+		for _, bits := range rounds {
+			oldest := c.Replay().Oldest()
+			var lanes isa.Pred
+			any := false
+			for l := oldest + 1; l < isa.NumLanes; l++ {
+				if bits&(1<<uint(l)) != 0 {
+					lanes[l] = true
+					any = true
+				}
+			}
+			if any {
+				c.RecordRAW(lanes)
+			}
+			switch c.End() {
+			case EndCommit:
+				return replays <= isa.NumLanes-1
+			case EndReplay:
+				replays++
+				if replays > isa.NumLanes-1 {
+					return false
+				}
+			}
+		}
+		// Exhaust pending replays.
+		for c.InRegion() {
+			if c.End() == EndReplay {
+				replays++
+				if replays > isa.NumLanes-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickForwardableAntisymmetry: a store byte may forward to a load or
+// the load's lane may be earlier, never both ways for distinct positions.
+func TestQuickForwardable(t *testing.T) {
+	f := func(sl, sp, ll, lp uint8) bool {
+		sLane, sPos := int(sl)%16, int(sp)
+		lLane, lPos := int(ll)%16, int(lp)
+		if sLane == lLane && sPos == lPos {
+			return true
+		}
+		fwd := Forwardable(sLane, sPos, lLane, lPos)
+		rev := Forwardable(lLane, lPos, sLane, sPos)
+		return fwd != rev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaskedViolationsSubset: restricting the issuing lanes can only
+// remove flags, never add them — and with all lanes active the masked and
+// unmasked results are identical. The replay frontier's strict advance
+// relies on this (§III-A).
+func TestQuickMaskedViolationsSubset(t *testing.T) {
+	f := func(k1, l1 uint8, o1 uint16, e1, k2, l2 uint8, o2 uint16, e2 uint8, maskBits uint16) bool {
+		issuing := randAccess(k1, l1, o1, e1)
+		entry := randAccess(k2, l2, o2, e2)
+		var lanes isa.Pred
+		for i := 0; i < isa.NumLanes; i++ {
+			lanes[i] = maskBits&(1<<i) != 0
+		}
+		full := ViolatingLanes(issuing, entry)
+		masked := ViolatingLanesMasked(issuing, entry, lanes)
+		for i := 0; i < isa.NumLanes; i++ {
+			if masked[i] && !full[i] {
+				return false
+			}
+		}
+		return ViolatingLanesMasked(issuing, entry, isa.AllTrue()) == full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickViolatingLanesStrictlyLater: flagged lanes are strictly later
+// than some lane of the issuing access at an overlapped byte — lane 0 can
+// never be flagged, and scalar/broadcast issuers flag only lanes > 0.
+func TestQuickViolatingLanesStrictlyLater(t *testing.T) {
+	f := func(k1, l1 uint8, o1 uint16, e1, k2, l2 uint8, o2 uint16, e2 uint8) bool {
+		issuing := randAccess(k1, l1, o1, e1)
+		entry := randAccess(k2, l2, o2, e2)
+		return !ViolatingLanes(issuing, entry)[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+)
+
+func lanes(ls ...int) isa.Pred {
+	var p isa.Pred
+	for _, l := range ls {
+		p[l] = true
+	}
+	return p
+}
+
+func TestControllerBasicRegion(t *testing.T) {
+	var c Controller
+	if c.InRegion() || c.Mode() != ModeOff || c.StartPC() != 0 {
+		t.Fatal("zero controller must be outside a region with start PC 0")
+	}
+	if err := c.Start(10, isa.DirUp); err != nil {
+		t.Fatal(err)
+	}
+	if !c.InRegion() || c.StartPC() != 10 {
+		t.Error("region state not entered")
+	}
+	if c.Replay() != isa.AllTrue() {
+		t.Error("SRV-replay must be fully set on srv_start")
+	}
+	if got := c.End(); got != EndCommit {
+		t.Errorf("End with no violations = %v, want EndCommit", got)
+	}
+	if c.InRegion() || c.StartPC() != 0 {
+		t.Error("region state not cleared after commit")
+	}
+	if c.Stats.Regions != 1 {
+		t.Errorf("regions = %d, want 1", c.Stats.Regions)
+	}
+}
+
+func TestControllerNestingRejected(t *testing.T) {
+	var c Controller
+	if err := c.Start(1, isa.DirUp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(2, isa.DirUp); err == nil {
+		t.Fatal("nested srv_start must fail")
+	}
+}
+
+func TestControllerReplayFlow(t *testing.T) {
+	var c Controller
+	must(t, c.Start(5, isa.DirUp))
+	c.RecordRAW(lanes(3, 7))
+	if got := c.End(); got != EndReplay {
+		t.Fatalf("End = %v, want EndReplay", got)
+	}
+	if c.Replay() != lanes(3, 7) {
+		t.Errorf("replay register = %v, want {3,7}", c.Replay())
+	}
+	if c.NeedsReplay().Any() {
+		t.Error("needs-replay must be cleared after loading into replay")
+	}
+	if !c.ActiveLane(3) || c.ActiveLane(0) {
+		t.Error("ActiveLane must follow the replay register")
+	}
+	if c.OldestActiveLane() != 3 {
+		t.Errorf("oldest active lane = %d, want 3", c.OldestActiveLane())
+	}
+	// Second round: lane 9 flagged; frontier advances (3 -> 9).
+	c.RecordRAW(lanes(9))
+	if got := c.End(); got != EndReplay {
+		t.Fatalf("second End = %v, want EndReplay", got)
+	}
+	if got := c.End(); got != EndCommit {
+		t.Fatalf("third End = %v, want EndCommit", got)
+	}
+	if c.Stats.Replays != 2 || c.Stats.ReplayLanes != 3 {
+		t.Errorf("stats = %+v, want 2 replays over 3 lanes", c.Stats)
+	}
+	if c.Stats.VectorIters != 3 {
+		t.Errorf("vector iters = %d, want 3", c.Stats.VectorIters)
+	}
+}
+
+func TestControllerFrontierInvariant(t *testing.T) {
+	var c Controller
+	must(t, c.Start(5, isa.DirUp))
+	c.RecordRAW(lanes(4))
+	c.End()
+	c.RecordRAW(lanes(2)) // frontier regression: must panic at End
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-advancing replay frontier must panic")
+		}
+	}()
+	c.End()
+}
+
+func TestControllerStickyBits(t *testing.T) {
+	var c Controller
+	must(t, c.Start(5, isa.DirUp))
+	c.RecordRAW(lanes(2))
+	c.RecordRAW(lanes(11))
+	if c.NeedsReplay() != lanes(2, 11) {
+		t.Errorf("needs-replay = %v, want {2,11} (sticky OR)", c.NeedsReplay())
+	}
+	if c.Stats.RAWViol != 2 {
+		t.Errorf("RAW violations = %d, want 2", c.Stats.RAWViol)
+	}
+}
+
+func TestControllerFallback(t *testing.T) {
+	var c Controller
+	must(t, c.Start(7, isa.DirUp))
+	c.RecordRAW(lanes(5)) // pending flags are discarded by the fallback
+	c.EnterFallback()
+	if c.Mode() != ModeFallback {
+		t.Fatal("mode must be fallback")
+	}
+	for lane := 0; lane < isa.NumLanes; lane++ {
+		if c.Replay() != lanes(lane) {
+			t.Fatalf("fallback pass %d: replay = %v, want single lane", lane, c.Replay())
+		}
+		action := c.End()
+		if lane < isa.NumLanes-1 && action != EndNextLane {
+			t.Fatalf("pass %d: action = %v, want EndNextLane", lane, action)
+		}
+		if lane == isa.NumLanes-1 && action != EndCommit {
+			t.Fatalf("final pass: action = %v, want EndCommit", action)
+		}
+	}
+	if c.InRegion() {
+		t.Error("fallback completion must leave the region")
+	}
+	if c.Stats.Fallbacks != 1 || c.Stats.Regions != 1 {
+		t.Errorf("stats = %+v, want 1 fallback, 1 region", c.Stats)
+	}
+}
+
+func TestControllerSuspendResume(t *testing.T) {
+	var c Controller
+	must(t, c.Start(5, isa.DirUp))
+	c.RecordRAW(lanes(3, 7))
+	c.End() // replay {3,7}
+	s := c.Suspend(8)
+	if c.InRegion() {
+		t.Fatal("suspend must leave the region")
+	}
+	if s.CurrentPC != 8 || s.StartPC != 5 || s.Replay != lanes(3, 7) {
+		t.Errorf("saved state = %+v", s)
+	}
+	c.Resume(s)
+	// Paper §III-D2: only the oldest saved lane resumes; all younger lanes
+	// are marked in needs-replay.
+	if c.Replay() != lanes(3) {
+		t.Errorf("resumed replay = %v, want {3}", c.Replay())
+	}
+	want := isa.Pred{}
+	for l := 4; l < isa.NumLanes; l++ {
+		want[l] = true
+	}
+	if c.NeedsReplay() != want {
+		t.Errorf("resumed needs-replay = %v, want lanes 4..15", c.NeedsReplay())
+	}
+	// The resumed pass completes; all younger lanes then replay in full.
+	if got := c.End(); got != EndReplay {
+		t.Fatalf("End after resume = %v, want EndReplay", got)
+	}
+	if c.Replay() != want {
+		t.Errorf("replay after resume-End = %v, want lanes 4..15", c.Replay())
+	}
+}
+
+func TestControllerExceptionLanes(t *testing.T) {
+	var c Controller
+	must(t, c.Start(5, isa.DirUp))
+	// Exception in the oldest active lane: take it.
+	if !c.MarkExceptionLanes(0) {
+		t.Error("exception in oldest lane must be taken")
+	}
+	// Exception in a younger lane: defer; that lane and all younger marked.
+	if c.MarkExceptionLanes(6) {
+		t.Error("exception in younger lane must be deferred")
+	}
+	for l := 0; l < isa.NumLanes; l++ {
+		want := l >= 6
+		if c.NeedsReplay()[l] != want {
+			t.Errorf("lane %d needs-replay = %v, want %v", l, c.NeedsReplay()[l], want)
+		}
+	}
+	// Outside a region every exception is taken.
+	var off Controller
+	if !off.MarkExceptionLanes(9) {
+		t.Error("exceptions outside regions are always taken")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/isa"
+	"srvsim/internal/pipeline"
+	"srvsim/internal/workloads"
+)
+
+// TestWorkloadsInterpPipelineAgreement runs every workload loop's SRV
+// program through BOTH the functional interpreter and the cycle-level
+// pipeline and requires bit-identical final memory. This is the full-suite
+// version of the randomized differential tests: the timing model must never
+// change architectural results, replay counts may differ between models but
+// regions may not.
+func TestWorkloadsInterpPipelineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential check")
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 500_000_000
+	for _, b := range workloads.All() {
+		for li, ls := range b.Loops {
+			l, im := ls.Instantiate(7 + int64(li))
+			c, err := compiler.Compile(l, im, compiler.ModeSRV)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, ls.Shape.Name, err)
+			}
+			imP := im.Clone()
+
+			ip := isa.NewInterp(c.Prog, im)
+			if err := ip.Run(500_000_000); err != nil {
+				t.Fatalf("%s/%s interp: %v", b.Name, ls.Shape.Name, err)
+			}
+
+			p := pipeline.New(cfg, c.Prog, imP)
+			if err := p.Run(); err != nil {
+				t.Fatalf("%s/%s pipeline: %v", b.Name, ls.Shape.Name, err)
+			}
+
+			if addr, diff := im.FirstDiff(imP); diff {
+				t.Errorf("%s/%s: interpreter and pipeline diverge at %#x",
+					b.Name, ls.Shape.Name, addr)
+			}
+			if ip.Counts.Regions != p.Ctrl.Stats.Regions {
+				t.Errorf("%s/%s: regions interp=%d pipeline=%d",
+					b.Name, ls.Shape.Name, ip.Counts.Regions, p.Ctrl.Stats.Regions)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package harness runs the paper's experiments: it compiles each workload
+// loop in scalar and SRV form, measures both on the cycle simulator,
+// cross-checks final memory against the IR reference evaluator, and
+// aggregates the per-figure metrics (Figs 6-13 and the §II limit study).
+package harness
+
+import (
+	"fmt"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/flexvec"
+	"srvsim/internal/pipeline"
+	"srvsim/internal/power"
+	"srvsim/internal/trace"
+	"srvsim/internal/workloads"
+)
+
+// LoopResult holds one loop's measurements under scalar and SRV execution.
+type LoopResult struct {
+	Bench string
+	Loop  string
+
+	ScalarCycles int64
+	SRVCycles    int64
+	Speedup      float64
+	Estimated    float64 // static cost-model prediction of Speedup
+
+	BarrierFrac   float64 // barrier stall cycles / total SRV cycles (Fig 8)
+	VectorIters   int64
+	ReplayRounds  int64
+	ReplayLanes   int64
+	Fallbacks     int64
+	RAW, WAR, WAW int64
+	StaticInsts   int // static instructions in the loop body (vector form)
+	MemAccesses   int // static memory accesses (Fig 10)
+	GatherScatter int // of which lane-indexed
+
+	// Address disambiguations (Fig 11) and CAM lookups (Fig 12).
+	SRVVertDisamb  int64
+	SRVHorizDisamb int64
+	SeqVertDisamb  int64
+	SRVCam, SeqCam power.Sample
+
+	// Dynamic gather-element loads vs total loads (paper: 5.8% of loads are
+	// gathers).
+	GatherLoads int64
+	TotalLoads  int64
+
+	// Region-duration profile (cycles from srv_start execution to region
+	// commit, replay rounds included).
+	Regions       int64
+	RegionDurMean float64
+	RegionDurMax  int64
+	LSUHighWater  int // peak live LSU entries (fallback headroom, §III-D7)
+}
+
+// cfg returns the Table I pipeline configuration with a test-sized budget.
+func cfg() pipeline.Config {
+	c := pipeline.DefaultConfig()
+	c.MaxCycles = 500_000_000
+	return c
+}
+
+// warm pre-touches every line of the loop's arrays through the cache
+// hierarchy, modelling the steady state of a loop whose working set was
+// recently used by earlier program phases (the paper measures loop
+// invocations inside running applications, not cold starts).
+func warm(p *pipeline.Pipeline, l *compiler.Loop) {
+	for _, a := range l.Arrays() {
+		end := a.Base + uint64(a.Elem*a.Len)
+		for line := a.Base &^ 63; line < end; line += 64 {
+			p.Hier.Latency(line)
+		}
+	}
+}
+
+// RunLoop measures one workload loop. Both variants run on identical input
+// data; their final memory is verified against the reference evaluator.
+func RunLoop(bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
+	return RunLoopWith(cfg(), bench, ls, seed)
+}
+
+// RunLoopWith is RunLoop under a custom pipeline configuration (ablations).
+func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
+	res := LoopResult{Bench: bench, Loop: ls.Shape.Name}
+
+	// Reference result.
+	refLoop, refIm := ls.Instantiate(seed)
+	compiler.Eval(refLoop, refIm)
+
+	// Scalar run.
+	sl, sim := ls.Instantiate(seed)
+	sc, err := compiler.Compile(sl, sim, compiler.ModeScalar)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s scalar: %w", bench, ls.Shape.Name, err)
+	}
+	sp := pipeline.New(pcfg, sc.Prog, sim)
+	warm(sp, sl)
+	if err := sp.Run(); err != nil {
+		return res, fmt.Errorf("%s/%s scalar run: %w", bench, ls.Shape.Name, err)
+	}
+	if addr, diff := sim.FirstDiff(refIm); diff {
+		return res, fmt.Errorf("%s/%s: scalar result diverges at %#x", bench, ls.Shape.Name, addr)
+	}
+	res.ScalarCycles = sp.Stats.Cycles
+	res.SeqVertDisamb = sp.LSU.Stats.VertDisamb
+	res.SeqCam = power.Sample{CAMLookups: sp.LSU.Stats.CAMLookups, Cycles: sp.Stats.Cycles}
+
+	// SRV run.
+	vl, vim := ls.Instantiate(seed)
+	vc, err := compiler.Compile(vl, vim, compiler.ModeSRV)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s srv: %w", bench, ls.Shape.Name, err)
+	}
+	vp := pipeline.New(pcfg, vc.Prog, vim)
+	warm(vp, vl)
+	if err := vp.Run(); err != nil {
+		return res, fmt.Errorf("%s/%s srv run: %w", bench, ls.Shape.Name, err)
+	}
+	if addr, diff := vim.FirstDiff(refIm); diff {
+		return res, fmt.Errorf("%s/%s: SRV result diverges at %#x", bench, ls.Shape.Name, addr)
+	}
+	res.SRVCycles = vp.Stats.Cycles
+	res.Speedup = float64(res.ScalarCycles) / float64(res.SRVCycles)
+	res.BarrierFrac = float64(vp.Stats.BarrierCycles) / float64(vp.Stats.Cycles)
+	res.VectorIters = vp.Ctrl.Stats.VectorIters
+	res.ReplayRounds = vp.Ctrl.Stats.Replays
+	res.ReplayLanes = vp.Ctrl.Stats.ReplayLanes
+	res.Fallbacks = vp.Ctrl.Stats.Fallbacks
+	res.RAW = vp.Ctrl.Stats.RAWViol
+	res.WAR = vp.Ctrl.Stats.WARViol
+	res.WAW = vp.Ctrl.Stats.WAWViol
+	res.SRVVertDisamb = vp.LSU.Stats.VertDisamb
+	res.SRVHorizDisamb = vp.LSU.Stats.HorizDisamb
+	res.SRVCam = power.Sample{CAMLookups: vp.LSU.Stats.CAMLookups,
+		HorizShifts: vp.LSU.Stats.HorizDisamb, Cycles: vp.Stats.Cycles}
+	res.StaticInsts = vc.Prog.Len()
+	res.Estimated = compiler.DefaultCostModel().Estimate(vl)
+	res.Regions = vp.Ctrl.Stats.Regions
+	res.LSUHighWater = vp.LSU.Stats.MaxOccupancy
+	if durs := vp.RegionDurations(); len(durs) > 0 {
+		sum := int64(0)
+		for _, d := range durs {
+			sum += d
+			if d > res.RegionDurMax {
+				res.RegionDurMax = d
+			}
+		}
+		res.RegionDurMean = float64(sum) / float64(len(durs))
+	}
+	res.MemAccesses, res.GatherScatter = vl.MemAccessCount()
+	res.GatherLoads = countGatherLoads(vl)
+	res.TotalLoads = countLoads(vl)
+	return res, nil
+}
+
+func countGatherLoads(l *compiler.Loop) int64 {
+	n := int64(0)
+	for _, a := range l.AccessSummaries() {
+		if !a.IsStore && a.Unknown {
+			n++
+		}
+	}
+	return n
+}
+
+func countLoads(l *compiler.Loop) int64 {
+	n := int64(0)
+	for _, a := range l.AccessSummaries() {
+		if !a.IsStore {
+			n++
+		}
+	}
+	return n
+}
+
+// BenchResult aggregates a benchmark's loops.
+type BenchResult struct {
+	Bench   workloads.Benchmark
+	Loops   []LoopResult
+	Speedup float64 // weighted per-loop speedup (Fig 6)
+	Whole   float64 // whole-program speedup via coverage (Fig 7)
+	Barrier float64 // weighted barrier fraction (Fig 8)
+}
+
+// RunBenchmark measures all SRV loops of a benchmark.
+func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
+	out := BenchResult{Bench: b}
+	wsum := 0.0
+	harm := 0.0
+	for i, ls := range b.Loops {
+		lr, err := RunLoop(b.Name, ls, seed+int64(i))
+		if err != nil {
+			return out, err
+		}
+		out.Loops = append(out.Loops, lr)
+		wsum += ls.Weight
+		harm += ls.Weight / lr.Speedup
+		out.Barrier += ls.Weight * lr.BarrierFrac
+	}
+	if wsum > 0 {
+		// Weighted harmonic mean: the loops' combined speedup over the
+		// benchmark's SRV-covered instructions.
+		out.Speedup = wsum / harm
+		out.Barrier /= wsum
+	}
+	out.Whole = 1 / (1 - b.Coverage + b.Coverage/out.Speedup)
+	return out, nil
+}
+
+// RunFlexVec runs the Fig 13 comparison for a benchmark (weighted over its
+// loops).
+func RunFlexVec(b workloads.Benchmark, seed int64) (flexvec.Result, float64, error) {
+	var agg flexvec.Result
+	wsum, ratio := 0.0, 0.0
+	for i, ls := range b.Loops {
+		l, im := ls.Instantiate(seed + int64(i))
+		r, err := flexvec.Compare(l, im)
+		if err != nil {
+			return agg, 0, err
+		}
+		agg.FlexVecInsts += r.FlexVecInsts
+		agg.SRVInsts += r.SRVInsts
+		agg.CheckInsts += r.CheckInsts
+		agg.Groups += r.Groups
+		agg.Subgroups += r.Subgroups
+		agg.SRVReplays += r.SRVReplays
+		wsum += ls.Weight
+		ratio += ls.Weight * r.Ratio()
+	}
+	if wsum > 0 {
+		ratio /= wsum
+	}
+	return agg, ratio, nil
+}
+
+// RunLimit executes the §II limit study for a benchmark.
+func RunLimit(b workloads.Benchmark, seed int64) trace.Study {
+	var wls []trace.WeightedLoop
+	for i, ll := range b.Limit {
+		l, im := workloads.LoopSpec{Shape: ll.Shape}.Instantiate(seed + int64(i))
+		p := trace.ProfileLoop(l, im)
+		if ll.Safe {
+			p.Verdict = compiler.VerdictSafe
+		}
+		wls = append(wls, trace.WeightedLoop{Profile: p, Weight: ll.Weight})
+	}
+	return trace.Summarise(wls)
+}

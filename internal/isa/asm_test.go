@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"srvsim/internal/mem"
+)
+
+const listing2Asm = `
+; The paper's listing 2: a[x[i]] = a[i] + 2 under SRV.
+	movi s0, 0
+	movi s1, 64
+	movi s2, 0x2000     ; &a[0] (moving)
+	movi s3, 0x3000     ; &x[0] (moving)
+	movi s4, 0x2000     ; a base (fixed)
+loop:
+	srv_start up
+	v_load v0, [s2+0], 4
+	v_addi v0, v0, 2
+	v_load v1, [s3+0], 4
+	v_scatter [s4+v1*4+0], v0
+	srv_end
+	addi s0, s0, 16
+	addi s2, s2, 64
+	addi s3, s3, 64
+	blt s0, s1, loop
+	halt
+`
+
+func TestAssembleListing2(t *testing.T) {
+	p, err := Assemble(listing2Asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 16 {
+		t.Fatalf("instructions = %d, want 16", p.Len())
+	}
+	if p.At(5).Op != OpSRVStart || p.At(5).Dir != DirUp {
+		t.Errorf("inst 5 = %v %v, want srv_start UP", p.At(5).Op, p.At(5).Dir)
+	}
+	sc := p.At(9)
+	if sc.Op != OpVScatter || sc.Rs1 != 4 || sc.Rs2 != 1 || sc.Rs3 != 0 || sc.Elem != 4 {
+		t.Errorf("scatter parsed wrong: %+v", sc)
+	}
+	br := p.At(14)
+	if br.Op != OpBLT || br.Tgt != 5 {
+		t.Errorf("branch parsed wrong: %+v", br)
+	}
+
+	// The assembled program must behave like the hand-built one.
+	im := mem.NewImage()
+	for i := 0; i < 64; i++ {
+		im.WriteInt(0x2000+uint64(i*4), 4, int64(i*10))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		im.WriteInt(0x3000+uint64(i*4), 4, xi)
+	}
+	want := make([]int64, 80)
+	for i := 0; i < 64; i++ {
+		want[i] = int64(i * 10)
+	}
+	for i := 0; i < 64; i++ {
+		xi := i - 1
+		if i%4 == 0 {
+			xi = i + 3
+		}
+		want[xi] = want[i] + 2
+	}
+	ip := NewInterp(p, im)
+	if err := ip.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := im.ReadInt(0x2000+uint64(i*4), 4); got != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	if ip.Counts.Replays != 4 {
+		t.Errorf("replays = %d, want 4", ip.Counts.Replays)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus s0, s1",
+		"movi v0, 3",
+		"addi s0, s0",
+		"v_load v0, [s1+0]",      // missing elem
+		"srv_start sideways",     //
+		"blt s0, s1, nowhere",    // undefined label
+		"v_gather v0, [s1+v2+4]", // missing *elem
+		"load s0, [q1+0], 4",     // bad register class
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src + "\n\thalt"); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssemblePredicatesAndFP(t *testing.T) {
+	p, err := Assemble(`
+	p_true p2
+	f.v_mul v1, v1, v2 ?p2
+	v_cmplt p3, v0, v1
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul := p.At(1)
+	if !mul.FP || mul.Pg != 2 {
+		t.Errorf("predicated FP mul parsed wrong: %+v", mul)
+	}
+	cmp := p.At(2)
+	if cmp.Op != OpVCmpLT || cmp.Rd != 3 {
+		t.Errorf("compare parsed wrong: %+v", cmp)
+	}
+}
+
+// TestAsmRoundTrip: Disassemble then Assemble must reproduce every
+// instruction of real compiled programs exactly.
+func TestAsmRoundTrip(t *testing.T) {
+	progs := []*Program{
+		MustAssemble(listing2Asm),
+		buildListing1(0x2000, 0x3000, 64),
+	}
+	for pi, p := range progs {
+		text := Disassemble(p)
+		q, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("program %d: reassembly failed: %v\n%s", pi, err, text)
+		}
+		if q.Len() != p.Len() {
+			t.Fatalf("program %d: length %d -> %d", pi, p.Len(), q.Len())
+		}
+		for i := 0; i < p.Len(); i++ {
+			a, b := *p.At(i), *q.At(i)
+			a.Lbl, b.Lbl = "", "" // label strings differ; targets must match
+			if a != b {
+				t.Errorf("program %d inst %d: %+v != %+v\nline: %s", pi, i, a, b,
+					strings.Split(text, "\n")[i])
+			}
+		}
+	}
+}
+
+func TestDisassembleStableLabels(t *testing.T) {
+	p := buildListing1(0x2000, 0x3000, 32)
+	text := Disassemble(p)
+	if !strings.Contains(text, "L5:") && !strings.Contains(text, "L4:") {
+		t.Errorf("disassembly should contain an invented loop label:\n%s", text)
+	}
+	if !strings.Contains(text, "srv_start up") {
+		t.Errorf("disassembly missing srv_start:\n%s", text)
+	}
+}

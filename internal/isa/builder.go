@@ -1,0 +1,267 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with forward label references. All emit methods
+// return the Builder for chaining; Build resolves labels and returns the
+// finished program.
+type Builder struct {
+	insts  []Inst
+	labels map[string]int
+	errs   []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Emit appends a raw instruction. Pg defaults to NoPred when the zero value
+// is passed through the typed helpers; raw emission must set it explicitly.
+func (b *Builder) Emit(in Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emit(in Inst) *Builder {
+	return b.Emit(in)
+}
+
+// --- Scalar ---
+
+func (b *Builder) MovI(rd int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpMovI, Rd: rd, Imm: imm, Pg: NoPred})
+}
+func (b *Builder) Mov(rd, rs int) *Builder {
+	return b.emit(Inst{Op: OpMov, Rd: rd, Rs1: rs, Pg: NoPred})
+}
+func (b *Builder) Add(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2, Pg: NoPred})
+}
+func (b *Builder) AddI(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpAddI, Rd: rd, Rs1: rs1, Imm: imm, Pg: NoPred})
+}
+func (b *Builder) Sub(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpSub, Rd: rd, Rs1: rs1, Rs2: rs2, Pg: NoPred})
+}
+func (b *Builder) Mul(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpMul, Rd: rd, Rs1: rs1, Rs2: rs2, Pg: NoPred})
+}
+func (b *Builder) ShlI(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShlI, Rd: rd, Rs1: rs1, Imm: imm, Pg: NoPred})
+}
+func (b *Builder) ShrI(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShrI, Rd: rd, Rs1: rs1, Imm: imm, Pg: NoPred})
+}
+func (b *Builder) And(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2, Pg: NoPred})
+}
+func (b *Builder) Xor(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpXor, Rd: rd, Rs1: rs1, Rs2: rs2, Pg: NoPred})
+}
+
+// Load emits a scalar load of elem bytes from [rs1+off].
+func (b *Builder) Load(rd, rs1 int, off int64, elem int) *Builder {
+	return b.emit(Inst{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: off, Elem: elem, Pg: NoPred})
+}
+
+// Store emits a scalar store of elem bytes of rs2 to [rs1+off].
+func (b *Builder) Store(rs1 int, off int64, elem, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpStore, Rs1: rs1, Rs2: rs2, Imm: off, Elem: elem, Pg: NoPred})
+}
+
+// --- Control flow ---
+
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emit(Inst{Op: OpJmp, Lbl: label, Pg: NoPred})
+}
+func (b *Builder) BEQ(rs1, rs2 int, label string) *Builder {
+	return b.emit(Inst{Op: OpBEQ, Rs1: rs1, Rs2: rs2, Lbl: label, Pg: NoPred})
+}
+func (b *Builder) BNE(rs1, rs2 int, label string) *Builder {
+	return b.emit(Inst{Op: OpBNE, Rs1: rs1, Rs2: rs2, Lbl: label, Pg: NoPred})
+}
+func (b *Builder) BLT(rs1, rs2 int, label string) *Builder {
+	return b.emit(Inst{Op: OpBLT, Rs1: rs1, Rs2: rs2, Lbl: label, Pg: NoPred})
+}
+func (b *Builder) BGE(rs1, rs2 int, label string) *Builder {
+	return b.emit(Inst{Op: OpBGE, Rs1: rs1, Rs2: rs2, Lbl: label, Pg: NoPred})
+}
+func (b *Builder) Halt() *Builder { return b.emit(Inst{Op: OpHalt, Pg: NoPred}) }
+
+// --- Vector ALU ---
+
+func (b *Builder) VAdd(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVAdd, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VSub(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVSub, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VMul(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVMul, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VMulAdd(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVMulAdd, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VAddI(vd, vs1 int, imm int64, pg int) *Builder {
+	return b.emit(Inst{Op: OpVAddI, Rd: vd, Rs1: vs1, Imm: imm, Pg: pg})
+}
+func (b *Builder) VMulI(vd, vs1 int, imm int64, pg int) *Builder {
+	return b.emit(Inst{Op: OpVMulI, Rd: vd, Rs1: vs1, Imm: imm, Pg: pg})
+}
+func (b *Builder) VAndI(vd, vs1 int, imm int64, pg int) *Builder {
+	return b.emit(Inst{Op: OpVAndI, Rd: vd, Rs1: vs1, Imm: imm, Pg: pg})
+}
+func (b *Builder) VShrI(vd, vs1 int, imm int64, pg int) *Builder {
+	return b.emit(Inst{Op: OpVShrI, Rd: vd, Rs1: vs1, Imm: imm, Pg: pg})
+}
+func (b *Builder) VXor(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVXor, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VAnd(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVAnd, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VAddS(vd, vs1, rs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVAddS, Rd: vd, Rs1: vs1, Rs2: rs2, Pg: pg})
+}
+func (b *Builder) VMulS(vd, vs1, rs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVMulS, Rd: vd, Rs1: vs1, Rs2: rs2, Pg: pg})
+}
+func (b *Builder) VSplat(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVSplat, Rd: vd, Rs1: rs1, Pg: NoPred})
+}
+func (b *Builder) VIota(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVIota, Rd: vd, Rs1: rs1, Pg: NoPred})
+}
+func (b *Builder) VIotaRev(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVIotaRev, Rd: vd, Rs1: rs1, Pg: NoPred})
+}
+func (b *Builder) VSel(vd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVSel, Rd: vd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VMov(vd, vs1, pg int) *Builder {
+	return b.emit(Inst{Op: OpVMov, Rd: vd, Rs1: vs1, Pg: pg})
+}
+
+// --- Predicates ---
+
+func (b *Builder) VCmpLT(pd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVCmpLT, Rd: pd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VCmpGE(pd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVCmpGE, Rd: pd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VCmpEQ(pd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVCmpEQ, Rd: pd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) VCmpNE(pd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVCmpNE, Rd: pd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+func (b *Builder) PTrue(pd int) *Builder {
+	return b.emit(Inst{Op: OpPTrue, Rd: pd, Pg: NoPred})
+}
+func (b *Builder) PFalse(pd int) *Builder {
+	return b.emit(Inst{Op: OpPFalse, Rd: pd, Pg: NoPred})
+}
+func (b *Builder) PNot(pd, ps1 int) *Builder {
+	return b.emit(Inst{Op: OpPNot, Rd: pd, Rs1: ps1, Pg: NoPred})
+}
+func (b *Builder) PAnd(pd, ps1, ps2 int) *Builder {
+	return b.emit(Inst{Op: OpPAnd, Rd: pd, Rs1: ps1, Rs2: ps2, Pg: NoPred})
+}
+
+// --- Vector memory ---
+
+// VLoad emits a contiguous vector load: vd[i] <- mem[rs1+off+i*elem].
+func (b *Builder) VLoad(vd, rs1 int, off int64, elem, pg int) *Builder {
+	return b.emit(Inst{Op: OpVLoad, Rd: vd, Rs1: rs1, Imm: off, Elem: elem, Pg: pg})
+}
+
+// VStore emits a contiguous vector store: mem[rs1+off+i*elem] <- vs2[i].
+func (b *Builder) VStore(rs1 int, off int64, elem, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVStore, Rs1: rs1, Rs2: vs2, Imm: off, Elem: elem, Pg: pg})
+}
+
+// VGather emits vd[i] <- mem[rs1 + vs2[i]*elem + off].
+func (b *Builder) VGather(vd, rs1, vs2 int, off int64, elem, pg int) *Builder {
+	return b.emit(Inst{Op: OpVGather, Rd: vd, Rs1: rs1, Rs2: vs2, Imm: off, Elem: elem, Pg: pg})
+}
+
+// VScatter emits mem[rs1 + vs2[i]*elem + off] <- vs3[i].
+func (b *Builder) VScatter(rs1, vs2, vs3 int, off int64, elem, pg int) *Builder {
+	return b.emit(Inst{Op: OpVScatter, Rs1: rs1, Rs2: vs2, Rs3: vs3, Imm: off, Elem: elem, Pg: pg})
+}
+
+// VBcast emits a broadcast load: vd[i] <- mem[rs1+off] for all lanes.
+func (b *Builder) VBcast(vd, rs1 int, off int64, elem, pg int) *Builder {
+	return b.emit(Inst{Op: OpVBcast, Rd: vd, Rs1: rs1, Imm: off, Elem: elem, Pg: pg})
+}
+
+// VConflict emits the FlexVec-style conflict-detection instruction.
+func (b *Builder) VConflict(pd, vs1, vs2, pg int) *Builder {
+	return b.emit(Inst{Op: OpVConflict, Rd: pd, Rs1: vs1, Rs2: vs2, Pg: pg})
+}
+
+// --- SRV ---
+
+func (b *Builder) SRVStart(dir Direction) *Builder {
+	return b.emit(Inst{Op: OpSRVStart, Dir: dir, Pg: NoPred})
+}
+func (b *Builder) SRVEnd() *Builder {
+	return b.emit(Inst{Op: OpSRVEnd, Pg: NoPred})
+}
+
+// SetLastFP tags the most recently emitted instruction as FP-class, moving
+// it onto the floating-point functional-unit latency path.
+func (b *Builder) SetLastFP() *Builder {
+	if len(b.insts) > 0 {
+		b.insts[len(b.insts)-1].FP = true
+	}
+	return b
+}
+
+// Len returns the number of instructions emitted so far (label generation).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Build resolves labels and returns the program. It returns an error for
+// undefined or duplicate labels.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]Inst, len(b.insts))
+	copy(insts, b.insts)
+	for i := range insts {
+		if insts[i].Lbl == "" {
+			continue
+		}
+		tgt, ok := b.labels[insts[i].Lbl]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q at instruction %d", insts[i].Lbl, i)
+		}
+		insts[i].Tgt = tgt
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	return &Program{Insts: insts, Labels: labels}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static programs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary program encoding: a fixed 21-byte record per instruction under a
+// small header, so compiled programs can be stored and reloaded without the
+// textual assembler. Branch targets are encoded resolved; label names are
+// not preserved.
+//
+//	magic "SRV1" | uint32 count | count * record
+//	record: op u16 | rd u8 | rs1 u8 | rs2 u8 | rs3 u8 | pg u8 (0xFF = none)
+//	        | elem u8 | flags u8 (bit0 FP, bit1 DOWN) | imm i64 | tgt u32
+
+const encMagic = "SRV1"
+const encRecordSize = 21
+
+// Encode serialises the program.
+func Encode(p *Program) []byte {
+	out := make([]byte, 0, 8+len(p.Insts)*encRecordSize)
+	out = append(out, encMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Insts)))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		out = binary.LittleEndian.AppendUint16(out, uint16(in.Op))
+		pg := byte(0xFF)
+		if in.Pg != NoPred {
+			pg = byte(in.Pg)
+		}
+		flags := byte(0)
+		if in.FP {
+			flags |= 1
+		}
+		if in.Dir == DirDown {
+			flags |= 2
+		}
+		out = append(out, byte(in.Rd), byte(in.Rs1), byte(in.Rs2), byte(in.Rs3),
+			pg, byte(in.Elem), flags)
+		out = binary.LittleEndian.AppendUint64(out, uint64(in.Imm))
+		out = binary.LittleEndian.AppendUint32(out, uint32(in.Tgt))
+	}
+	return out
+}
+
+// Decode reconstructs a program from its binary encoding.
+func Decode(data []byte) (*Program, error) {
+	if len(data) < 8 || string(data[:4]) != encMagic {
+		return nil, fmt.Errorf("isa: bad program magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:8]))
+	want := 8 + count*encRecordSize
+	if len(data) != want {
+		return nil, fmt.Errorf("isa: program length %d, want %d for %d instructions",
+			len(data), want, count)
+	}
+	p := &Program{Insts: make([]Inst, count), Labels: map[string]int{}}
+	off := 8
+	for i := 0; i < count; i++ {
+		r := data[off : off+encRecordSize]
+		in := &p.Insts[i]
+		in.Op = Op(binary.LittleEndian.Uint16(r[0:2]))
+		if in.Op < 0 || in.Op >= numOps {
+			return nil, fmt.Errorf("isa: instruction %d has invalid opcode %d", i, in.Op)
+		}
+		in.Rd, in.Rs1, in.Rs2, in.Rs3 = int(r[2]), int(r[3]), int(r[4]), int(r[5])
+		in.Pg = NoPred
+		if r[6] != 0xFF {
+			in.Pg = int(r[6])
+		}
+		in.Elem = int(r[7])
+		in.FP = r[8]&1 != 0
+		if r[8]&2 != 0 {
+			in.Dir = DirDown
+		}
+		in.Imm = int64(binary.LittleEndian.Uint64(r[9:17]))
+		in.Tgt = int(binary.LittleEndian.Uint32(r[17:21]))
+		if in.IsBranch() && (in.Tgt < 0 || in.Tgt >= count) {
+			return nil, fmt.Errorf("isa: instruction %d branches to %d (outside program)", i, in.Tgt)
+		}
+		off += encRecordSize
+	}
+	return p, nil
+}

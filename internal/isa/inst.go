@@ -1,0 +1,279 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoPred marks an instruction with no governing predicate: all lanes execute.
+const NoPred = -1
+
+// Inst is one decoded instruction. The operand fields are interpreted per
+// opcode as documented alongside each Op constant.
+type Inst struct {
+	Op   Op
+	Rd   int   // destination register (scalar, vector or predicate file)
+	Rs1  int   // first source
+	Rs2  int   // second source
+	Rs3  int   // third source (scatter data)
+	Pg   int   // governing predicate register, or NoPred
+	Imm  int64 // immediate / address offset
+	Elem int   // element size in bytes for memory ops
+	Dir  Direction
+	FP   bool   // floating-point class (affects functional-unit latency only)
+	Lbl  string // unresolved branch target label
+	Tgt  int    // resolved branch target (instruction index)
+}
+
+// RegClass identifies a register file.
+type RegClass int
+
+const (
+	RegScalar RegClass = iota
+	RegVector
+	RegPred
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case RegVector:
+		return "v"
+	case RegPred:
+		return "p"
+	default:
+		return "s"
+	}
+}
+
+// RegRef names one register in a specific file.
+type RegRef struct {
+	Class RegClass
+	Idx   int
+}
+
+func (r RegRef) String() string { return fmt.Sprintf("%v%d", r.Class, r.Idx) }
+
+// S, V and P build register references.
+func S(i int) RegRef { return RegRef{RegScalar, i} }
+func V(i int) RegRef { return RegRef{RegVector, i} }
+func P(i int) RegRef { return RegRef{RegPred, i} }
+
+// IsVector reports whether the instruction operates on vector or predicate
+// state (used for functional-unit port accounting).
+func (in *Inst) IsVector() bool {
+	switch in.Op {
+	case OpVMov, OpVAdd, OpVSub, OpVMul, OpVMulAdd, OpVAddI, OpVMulI, OpVAnd,
+		OpVXor, OpVShrI, OpVAndI, OpVAddS, OpVMulS, OpVSplat, OpVIota,
+		OpVIotaRev, OpVSel,
+		OpVCmpLT, OpVCmpGE, OpVCmpEQ, OpVCmpNE, OpPTrue, OpPFalse, OpPAnd,
+		OpPOr, OpPNot, OpVLoad, OpVStore, OpVGather, OpVScatter, OpVBcast,
+		OpVConflict:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Inst) IsMem() bool {
+	switch in.Op {
+	case OpLoad, OpStore, OpVLoad, OpVStore, OpVGather, OpVScatter, OpVBcast:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in *Inst) IsLoad() bool {
+	switch in.Op {
+	case OpLoad, OpVLoad, OpVGather, OpVBcast:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes memory.
+func (in *Inst) IsStore() bool {
+	switch in.Op {
+	case OpStore, OpVStore, OpVScatter:
+		return true
+	}
+	return false
+}
+
+// IsGatherScatter reports whether the access is lane-indexed (split into one
+// micro-op and one LSU entry per lane, paper §III-B).
+func (in *Inst) IsGatherScatter() bool {
+	return in.Op == OpVGather || in.Op == OpVScatter
+}
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (in *Inst) IsBranch() bool {
+	switch in.Op {
+	case OpJmp, OpBEQ, OpBNE, OpBLT, OpBGE:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the branch outcome depends on register state.
+func (in *Inst) IsCondBranch() bool {
+	switch in.Op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return true
+	}
+	return false
+}
+
+// Reads returns the registers the instruction reads, including the old
+// destination of merging-predicated vector ops (paper §III-D5: "instructions
+// write into new physical registers, they also need to read the old
+// destination physical registers as source operands").
+func (in *Inst) Reads() []RegRef {
+	var r []RegRef
+	switch in.Op {
+	case OpNop, OpHalt, OpMovI, OpJmp, OpPTrue, OpPFalse, OpSRVStart, OpSRVEnd:
+	case OpMov, OpAddI, OpShlI, OpShrI:
+		r = append(r, S(in.Rs1))
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpBEQ, OpBNE, OpBLT, OpBGE:
+		r = append(r, S(in.Rs1), S(in.Rs2))
+	case OpLoad:
+		r = append(r, S(in.Rs1))
+	case OpStore:
+		r = append(r, S(in.Rs1), S(in.Rs2))
+	case OpVMov, OpVAddI, OpVMulI, OpVShrI, OpVAndI:
+		r = append(r, V(in.Rs1))
+	case OpVAdd, OpVSub, OpVMul, OpVAnd, OpVXor, OpVConflict:
+		r = append(r, V(in.Rs1), V(in.Rs2))
+	case OpVMulAdd:
+		r = append(r, V(in.Rs1), V(in.Rs2), V(in.Rd))
+	case OpVAddS, OpVMulS:
+		r = append(r, V(in.Rs1), S(in.Rs2))
+	case OpVSplat, OpVIota, OpVIotaRev:
+		r = append(r, S(in.Rs1))
+	case OpVSel:
+		r = append(r, V(in.Rs1), V(in.Rs2))
+	case OpVCmpLT, OpVCmpGE, OpVCmpEQ, OpVCmpNE:
+		r = append(r, V(in.Rs1), V(in.Rs2))
+	case OpPAnd, OpPOr:
+		r = append(r, P(in.Rs1), P(in.Rs2))
+	case OpPNot:
+		r = append(r, P(in.Rs1))
+	case OpVLoad, OpVBcast:
+		r = append(r, S(in.Rs1))
+	case OpVStore:
+		r = append(r, S(in.Rs1), V(in.Rs2))
+	case OpVGather:
+		r = append(r, S(in.Rs1), V(in.Rs2))
+	case OpVScatter:
+		r = append(r, S(in.Rs1), V(in.Rs2), V(in.Rs3))
+	}
+	if in.Pg != NoPred {
+		r = append(r, P(in.Pg))
+	}
+	// Merging predication: a predicated writer of a vector/predicate register
+	// also reads its old destination value.
+	if in.Pg != NoPred {
+		if w, ok := in.writeRef(); ok && w.Class != RegScalar {
+			r = append(r, w)
+		}
+	}
+	return r
+}
+
+// writeRef returns the destination register, if any.
+func (in *Inst) writeRef() (RegRef, bool) {
+	switch in.Op {
+	case OpMovI, OpMov, OpAdd, OpAddI, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShlI, OpShrI, OpLoad:
+		return S(in.Rd), true
+	case OpVMov, OpVAdd, OpVSub, OpVMul, OpVMulAdd, OpVAddI, OpVMulI, OpVAnd,
+		OpVXor, OpVShrI, OpVAndI, OpVAddS, OpVMulS, OpVSplat, OpVIota,
+		OpVIotaRev, OpVSel, OpVLoad, OpVGather, OpVBcast:
+		return V(in.Rd), true
+	case OpVCmpLT, OpVCmpGE, OpVCmpEQ, OpVCmpNE, OpPTrue, OpPFalse, OpPAnd,
+		OpPOr, OpPNot, OpVConflict:
+		return P(in.Rd), true
+	}
+	return RegRef{}, false
+}
+
+// Writes returns the registers the instruction writes.
+func (in *Inst) Writes() []RegRef {
+	if w, ok := in.writeRef(); ok {
+		return []RegRef{w}
+	}
+	return nil
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", in.Op)
+	switch in.Op {
+	case OpNop, OpHalt, OpPTrue, OpPFalse:
+		if w, ok := in.writeRef(); ok {
+			fmt.Fprintf(&b, " %v", w)
+		}
+	case OpSRVStart:
+		fmt.Fprintf(&b, " %v", in.Dir)
+	case OpSRVEnd:
+	case OpMovI:
+		fmt.Fprintf(&b, " s%d, #%d", in.Rd, in.Imm)
+	case OpJmp:
+		fmt.Fprintf(&b, " @%d", in.Tgt)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		fmt.Fprintf(&b, " s%d, s%d, @%d", in.Rs1, in.Rs2, in.Tgt)
+	case OpLoad:
+		fmt.Fprintf(&b, " s%d, [s%d+%d].%d", in.Rd, in.Rs1, in.Imm, in.Elem)
+	case OpStore:
+		fmt.Fprintf(&b, " [s%d+%d].%d, s%d", in.Rs1, in.Imm, in.Elem, in.Rs2)
+	case OpVLoad, OpVBcast:
+		fmt.Fprintf(&b, " v%d, [s%d+%d].%d", in.Rd, in.Rs1, in.Imm, in.Elem)
+	case OpVStore:
+		fmt.Fprintf(&b, " [s%d+%d].%d, v%d", in.Rs1, in.Imm, in.Elem, in.Rs2)
+	case OpVGather:
+		fmt.Fprintf(&b, " v%d, [s%d+v%d*%d+%d]", in.Rd, in.Rs1, in.Rs2, in.Elem, in.Imm)
+	case OpVScatter:
+		fmt.Fprintf(&b, " [s%d+v%d*%d+%d], v%d", in.Rs1, in.Rs2, in.Elem, in.Imm, in.Rs3)
+	default:
+		if w, ok := in.writeRef(); ok {
+			fmt.Fprintf(&b, " %v", w)
+		}
+		for _, s := range in.Reads() {
+			fmt.Fprintf(&b, ", %v", s)
+		}
+	}
+	if in.Pg != NoPred {
+		fmt.Fprintf(&b, " ?p%d", in.Pg)
+	}
+	return b.String()
+}
+
+// Program is a resolved instruction sequence. Instruction index doubles as
+// the program counter.
+type Program struct {
+	Insts  []Inst
+	Labels map[string]int
+}
+
+// At returns the instruction at pc.
+func (p *Program) At(pc int) *Inst { return &p.Insts[pc] }
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// String disassembles the whole program.
+func (p *Program) String() string {
+	rev := make(map[int][]string)
+	for l, pc := range p.Labels {
+		rev[pc] = append(rev[pc], l)
+	}
+	var b strings.Builder
+	for pc := range p.Insts {
+		for _, l := range rev[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %3d: %v\n", pc, p.Insts[pc].String())
+	}
+	return b.String()
+}

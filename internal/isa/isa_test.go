@@ -1,0 +1,504 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"srvsim/internal/mem"
+)
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(0, 0)
+	b.Label("loop")
+	b.AddI(0, 0, 1)
+	b.MovI(1, 10)
+	b.BLT(0, 1, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["loop"] != 1 {
+		t.Errorf("label loop = %d, want 1", p.Labels["loop"])
+	}
+	if p.At(3).Tgt != 1 {
+		t.Errorf("branch target = %d, want 1", p.At(3).Tgt)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder().Jmp("nowhere").Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want duplicate-label error")
+	}
+}
+
+func TestReadsWritesMergingPredication(t *testing.T) {
+	// A predicated vector add reads its old destination (paper §III-D5).
+	in := Inst{Op: OpVAdd, Rd: 3, Rs1: 1, Rs2: 2, Pg: 0}
+	reads := in.Reads()
+	found := false
+	for _, r := range reads {
+		if r == V(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("predicated v_add should read old destination; reads = %v", reads)
+	}
+	// Unpredicated: no old-destination read.
+	in.Pg = NoPred
+	for _, r := range in.Reads() {
+		if r == V(3) {
+			t.Errorf("unpredicated v_add should not read old destination")
+		}
+	}
+	if w := in.Writes(); len(w) != 1 || w[0] != V(3) {
+		t.Errorf("writes = %v, want [v3]", w)
+	}
+}
+
+func TestInstClassification(t *testing.T) {
+	g := Inst{Op: OpVGather}
+	if !g.IsMem() || !g.IsLoad() || g.IsStore() || !g.IsGatherScatter() || !g.IsVector() {
+		t.Error("gather misclassified")
+	}
+	s := Inst{Op: OpStore}
+	if !s.IsMem() || s.IsLoad() || !s.IsStore() || s.IsVector() {
+		t.Error("scalar store misclassified")
+	}
+	br := Inst{Op: OpBNE}
+	if !br.IsBranch() || !br.IsCondBranch() || br.IsVector() {
+		t.Error("bne misclassified")
+	}
+	j := Inst{Op: OpJmp}
+	if !j.IsBranch() || j.IsCondBranch() {
+		t.Error("jmp misclassified")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	p := NewBuilder().
+		VLoad(0, 1, 0, 4, NoPred).
+		VAddI(0, 0, 2, 2).
+		SRVStart(DirUp).
+		MustBuild()
+	s := p.String()
+	for _, want := range []string{"v_load", "v_addi", "?p2", "srv_start", "UP"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Nop is a small test helper on Builder.
+func (b *Builder) Nop() *Builder { return b.Emit(Inst{Op: OpNop, Pg: NoPred}) }
+
+func TestInterpScalarLoop(t *testing.T) {
+	// sum = 0; for i in 0..9 { sum += i }
+	im := mem.NewImage()
+	p := NewBuilder().
+		MovI(0, 0). // i
+		MovI(1, 0). // sum
+		MovI(2, 10).
+		Label("loop").
+		Add(1, 1, 0).
+		AddI(0, 0, 1).
+		BLT(0, 2, "loop").
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if ip.S[1] != 45 {
+		t.Errorf("sum = %d, want 45", ip.S[1])
+	}
+	if ip.Counts.Of(OpAdd) != 10 {
+		t.Errorf("dynamic adds = %d, want 10", ip.Counts.Of(OpAdd))
+	}
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	p := NewBuilder().Label("x").Jmp("x").MustBuild()
+	ip := NewInterp(p, mem.NewImage())
+	if err := ip.Run(100); err == nil {
+		t.Fatal("infinite loop should exhaust step budget")
+	}
+}
+
+func TestInterpVectorArithmeticAndPredication(t *testing.T) {
+	im := mem.NewImage()
+	base := im.Alloc(NumLanes*4, 64)
+	for i := 0; i < NumLanes; i++ {
+		im.WriteInt(base+uint64(i*4), 4, int64(i))
+	}
+	p := NewBuilder().
+		MovI(0, int64(base)).
+		MovI(1, 8).
+		VLoad(0, 0, 0, 4, NoPred). // v0 = 0..15
+		VSplat(1, 1).              // v1 = 8
+		VCmpLT(0, 0, 1, NoPred).   // p0 = lane < 8
+		VAddI(2, 0, 100, 0).       // v2 = v0+100 where p0 (merging)
+		VStore(0, 0, 4, 2, NoPred).
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumLanes; i++ {
+		got := im.ReadInt(base+uint64(i*4), 4)
+		want := int64(i + 100)
+		if i >= 8 {
+			// v2 was never written in these lanes; zero register value.
+			want = 0
+		}
+		if got != want {
+			t.Errorf("lane %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInterpGatherScatter(t *testing.T) {
+	im := mem.NewImage()
+	src := im.Alloc(NumLanes*4, 64)
+	dst := im.Alloc(NumLanes*4, 64)
+	idx := im.Alloc(NumLanes*4, 64)
+	for i := 0; i < NumLanes; i++ {
+		im.WriteInt(src+uint64(i*4), 4, int64(i*10))
+		im.WriteInt(idx+uint64(i*4), 4, int64(NumLanes-1-i)) // reverse permutation
+	}
+	p := NewBuilder().
+		MovI(0, int64(src)).
+		MovI(1, int64(dst)).
+		MovI(2, int64(idx)).
+		VLoad(1, 2, 0, 4, NoPred).       // v1 = indices
+		VGather(0, 0, 1, 0, 4, NoPred).  // v0 = src[idx[i]]
+		VIota(2, 31).                    // v2 = 0..15 (s31 == 0)
+		VScatter(1, 2, 0, 0, 4, NoPred). // dst[i] = v0[i]
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumLanes; i++ {
+		got := im.ReadInt(dst+uint64(i*4), 4)
+		want := int64((NumLanes - 1 - i) * 10)
+		if got != want {
+			t.Errorf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if ip.Counts.MicroOps < int64(ip.Counts.Insts)+2*(NumLanes-1) {
+		t.Errorf("gather/scatter should expand to %d micro-ops each", NumLanes)
+	}
+}
+
+func TestInterpVConflictCounting(t *testing.T) {
+	im := mem.NewImage()
+	p := NewBuilder().
+		MovI(0, 5).
+		VSplat(0, 0). // all lanes equal -> conflicts everywhere
+		VIota(1, 31). // distinct
+		VConflict(0, 0, 0, NoPred).
+		VConflict(1, 1, 1, NoPred).
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Lane i compares against i earlier lanes: sum 0..15 = 120 per inst.
+	if ip.Counts.ConflictCmps != 240 {
+		t.Errorf("conflict comparisons = %d, want 240", ip.Counts.ConflictCmps)
+	}
+	for i := 1; i < NumLanes; i++ {
+		if !ip.Pr[0][i] {
+			t.Errorf("splat conflict lane %d should be set", i)
+		}
+		if ip.Pr[1][i] {
+			t.Errorf("iota conflict lane %d should be clear", i)
+		}
+	}
+	if ip.Pr[0][0] {
+		t.Error("lane 0 can never conflict")
+	}
+}
+
+// buildListing1 assembles the paper's listing 2 (the SRV form of listing 1):
+//
+//	for i in 0..n-1: a[x[i]] = a[i] + 2
+//
+// vectorised 16 iterations at a time inside an SRV region.
+func buildListing1(aBase, xBase uint64, n int) *Program {
+	const (
+		sI, sN, sA, sX, sA0 = 0, 1, 2, 3, 4
+		vA, vX              = 0, 1
+	)
+	return NewBuilder().
+		MovI(sI, 0).
+		MovI(sN, int64(n)).
+		MovI(sA, int64(aBase)).  // moving pointer &a[i]
+		MovI(sX, int64(xBase)).  // moving pointer &x[i]
+		MovI(sA0, int64(aBase)). // fixed base of a (x holds absolute indices)
+		Label("loop").
+		SRVStart(DirUp).
+		VLoad(vA, sA, 0, 4, NoPred).         // v0 = a[i:i+15]
+		VAddI(vA, vA, 2, NoPred).            // v0 += 2
+		VLoad(vX, sX, 0, 4, NoPred).         // v1 = x[i:i+15]
+		VScatter(sA0, vX, vA, 0, 4, NoPred). // a[x[i]] = v0
+		SRVEnd().
+		AddI(sI, sI, 16).
+		AddI(sA, sA, 64).
+		AddI(sX, sX, 64).
+		BLT(sI, sN, "loop").
+		Halt().
+		MustBuild()
+}
+
+// scalarListing1 computes the reference result directly.
+func scalarListing1(a []int64, x []int64) {
+	for i := range x {
+		a[x[i]] = a[i] + 2
+	}
+}
+
+func setupListing1(n int, xs []int64) (*mem.Image, uint64, uint64) {
+	im := mem.NewImage()
+	aBase := im.Alloc(4*(n+16), 64)
+	xBase := im.Alloc(4*n, 64)
+	for i := 0; i < n; i++ {
+		im.WriteInt(aBase+uint64(i*4), 4, int64(i*3+1))
+		im.WriteInt(xBase+uint64(i*4), 4, xs[i])
+	}
+	return im, aBase, xBase
+}
+
+// paperIndices builds the index pattern from the paper's listing 1:
+// {3,0,1,2, 7,4,5,6, 11,8,9,10, ...} — a RAW violation every four iterations.
+func paperIndices(n int) []int64 {
+	xs := make([]int64, n)
+	for i := 0; i < n; i += 4 {
+		xs[i] = int64(i + 3)
+		for j := 1; j < 4 && i+j < n; j++ {
+			xs[i+j] = int64(i + j - 1)
+		}
+	}
+	return xs
+}
+
+func TestInterpSRVListing1MatchesScalar(t *testing.T) {
+	const n = 32
+	xs := paperIndices(n)
+	im, aBase, xBase := setupListing1(n, xs)
+
+	// Scalar reference.
+	a := make([]int64, n+16)
+	for i := range a {
+		if i < n {
+			a[i] = int64(i*3 + 1)
+		}
+	}
+	scalarListing1(a[:n], xs)
+
+	ip := NewInterp(buildListing1(aBase, xBase, n), im)
+	if err := ip.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := im.ReadInt(aBase+uint64(i*4), 4)
+		if got != a[i] {
+			t.Errorf("a[%d] = %d, want %d", i, got, a[i])
+		}
+	}
+	// The paper's example: lanes 3,7,11,15 violate, exactly one replay per
+	// region ("ideally we can vectorise and execute this loop in just two
+	// iterations").
+	if ip.Counts.Regions != 2 {
+		t.Errorf("regions = %d, want 2", ip.Counts.Regions)
+	}
+	if ip.Counts.Replays != 2 {
+		t.Errorf("replays = %d, want 2 (one per region)", ip.Counts.Replays)
+	}
+	if ip.Counts.ReplayLanes != 8 {
+		t.Errorf("replayed lanes = %d, want 8 (4 per region)", ip.Counts.ReplayLanes)
+	}
+}
+
+func TestInterpSRVNoViolationsNoReplay(t *testing.T) {
+	const n = 32
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i) // identity: a[i] = a[i]+2, same-lane, no violation
+	}
+	im, aBase, xBase := setupListing1(n, xs)
+	ip := NewInterp(buildListing1(aBase, xBase, n), im)
+	if err := ip.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Counts.Replays != 0 {
+		t.Errorf("replays = %d, want 0", ip.Counts.Replays)
+	}
+	for i := 0; i < n; i++ {
+		want := int64(i*3 + 1 + 2)
+		if got := im.ReadInt(aBase+uint64(i*4), 4); got != want {
+			t.Errorf("a[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInterpSRVFullChainDependence(t *testing.T) {
+	// x[i] = i+1: a[i+1] = a[i]+2 — a serial chain; every lane except 0
+	// depends on the previous. SRV must still produce the sequential result,
+	// with at most NumLanes-1 replays per region.
+	const n = 16
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	im, aBase, xBase := setupListing1(n, xs)
+	a := make([]int64, n+16)
+	for i := 0; i < n; i++ {
+		a[i] = int64(i*3 + 1)
+	}
+	scalarListing1(a, xs) // x[n-1] = n writes one past the loop range
+	ip := NewInterp(buildListing1(aBase, xBase, n), im)
+	if err := ip.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= n; i++ {
+		if got := im.ReadInt(aBase+uint64(i*4), 4); got != a[i] {
+			t.Errorf("a[%d] = %d, want %d", i, got, a[i])
+		}
+	}
+	if ip.Counts.Replays > NumLanes-1 {
+		t.Errorf("replays = %d, exceeds bound %d", ip.Counts.Replays, NumLanes-1)
+	}
+	if ip.Counts.Replays == 0 {
+		t.Error("serial chain must trigger replays")
+	}
+}
+
+func TestInterpSRVNestedRegionRejected(t *testing.T) {
+	p := NewBuilder().SRVStart(DirUp).SRVStart(DirUp).SRVEnd().SRVEnd().Halt().MustBuild()
+	ip := NewInterp(p, mem.NewImage())
+	if err := ip.Run(10); err == nil {
+		t.Fatal("nested srv_start must be rejected")
+	}
+}
+
+func TestInterpSRVEndWithoutStartRejected(t *testing.T) {
+	p := NewBuilder().SRVEnd().Halt().MustBuild()
+	ip := NewInterp(p, mem.NewImage())
+	if err := ip.Run(10); err == nil {
+		t.Fatal("srv_end without srv_start must be rejected")
+	}
+}
+
+func TestInterpSRVWARHandledByForwardingSuppression(t *testing.T) {
+	// Listing 3 pattern: store x[i:i+15]; load x[i+8:i+23]. The load's lanes
+	// 0..7 overlap the store's lanes 8..15 — later lanes, so the loaded data
+	// must come from memory (pre-store values), not the store (WAR).
+	im := mem.NewImage()
+	x := im.Alloc(64, 64)
+	for i := 0; i < 32; i++ {
+		im.WriteInt(x+uint64(i), 1, int64(i)) // x[i] = i
+	}
+	p := NewBuilder().
+		MovI(0, int64(x)).
+		MovI(1, 99).
+		SRVStart(DirUp).
+		VSplat(0, 1).               // v0 = 99 everywhere
+		VStore(0, 0, 1, 0, NoPred). // x[0:15] = 99  (instruction A)
+		VLoad(1, 0, 8, 1, NoPred).  // v1 = x[8:23]  (instruction C)
+		SRVEnd().
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential semantics: iteration k stores x[k]=99 then iteration k
+	// loads x[k+8]. Load lane k reads x[k+8]: iterations (lanes) that would
+	// have stored to x[k+8] are lane k+8 > k, i.e. later — so the original
+	// values must be loaded.
+	for k := 0; k < NumLanes; k++ {
+		want := int64(k + 8)
+		if ip.Vr[1][k] != want {
+			t.Errorf("lane %d loaded %d, want pre-store value %d", k, ip.Vr[1][k], want)
+		}
+	}
+	if ip.Counts.Replays != 0 {
+		t.Errorf("WAR must be handled without replay, got %d replays", ip.Counts.Replays)
+	}
+}
+
+func TestInterpSRVVerticalForwarding(t *testing.T) {
+	// Listing 3 instructions A and B: store then load of the same span —
+	// a vertical dependence; every byte forwards from the store.
+	im := mem.NewImage()
+	x := im.Alloc(64, 64)
+	p := NewBuilder().
+		MovI(0, int64(x)).
+		MovI(1, 7).
+		SRVStart(DirUp).
+		VSplat(0, 1).
+		VStore(0, 0, 1, 0, NoPred). // x[0:15] = 7
+		VLoad(1, 0, 0, 1, NoPred).  // v1 = x[0:15]
+		SRVEnd().
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < NumLanes; k++ {
+		if ip.Vr[1][k] != 7 {
+			t.Errorf("lane %d = %d, want forwarded 7", k, ip.Vr[1][k])
+		}
+	}
+	if ip.Counts.Replays != 0 {
+		t.Errorf("vertical same-lane forwarding needs no replay, got %d", ip.Counts.Replays)
+	}
+}
+
+func TestInterpSRVWAWYoungestWins(t *testing.T) {
+	// Two scatters writing the same address from different lanes: the
+	// sequentially youngest (higher lane) value must win in memory.
+	im := mem.NewImage()
+	tbl := im.Alloc(64, 64)
+	idx := im.Alloc(64, 64)
+	val := im.Alloc(64, 64)
+	for i := 0; i < NumLanes; i++ {
+		im.WriteInt(idx+uint64(i*4), 4, 5) // all lanes write tbl[5]
+		im.WriteInt(val+uint64(i*4), 4, int64(i*100))
+	}
+	p := NewBuilder().
+		MovI(0, int64(tbl)).
+		MovI(1, int64(idx)).
+		MovI(2, int64(val)).
+		SRVStart(DirUp).
+		VLoad(0, 1, 0, 4, NoPred).
+		VLoad(1, 2, 0, 4, NoPred).
+		VScatter(0, 0, 1, 0, 4, NoPred). // tbl[5] = lane value, all lanes
+		SRVEnd().
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := im.ReadInt(tbl+5*4, 4); got != 1500 {
+		t.Errorf("tbl[5] = %d, want youngest lane's 1500", got)
+	}
+}

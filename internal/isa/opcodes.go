@@ -1,0 +1,151 @@
+// Package isa defines the SVE-like vector instruction set executed by the
+// simulator: 16-lane element-agnostic vector registers, predicate registers
+// that guard per-lane execution, contiguous / gather-scatter / broadcast
+// vector memory accesses, and the two SRV instructions (srv_start, srv_end)
+// that bracket a speculatively vectorised region (paper §III-A).
+//
+// The package also provides a program builder with label resolution and a
+// simple sequential interpreter used as a functional golden model and as the
+// dynamic-instruction-count emulator for the FlexVec comparison (paper §VI-D).
+package isa
+
+// Architectural geometry. The paper fixes the vector length to 16 elements,
+// agnostic of the element size; the address-alignment region used by the LSU
+// equals the vector width in bytes.
+const (
+	NumLanes   = 16 // SIMD lanes per vector register
+	VecBytes   = 64 // vector register width in bytes (16 x 4-byte nominal)
+	NumVecRegs = 32
+	NumPredReg = 16
+	NumSclRegs = 32
+)
+
+// Op identifies an instruction opcode.
+type Op int
+
+// Opcodes. Scalar ops operate on the scalar register file; V-prefixed ops on
+// the vector file; P-prefixed on the predicate file.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// Scalar ALU.
+	OpMovI // Rd <- Imm
+	OpMov  // Rd <- Rs1
+	OpAdd  // Rd <- Rs1 + Rs2
+	OpAddI // Rd <- Rs1 + Imm
+	OpSub  // Rd <- Rs1 - Rs2
+	OpMul  // Rd <- Rs1 * Rs2
+	OpAnd  // Rd <- Rs1 & Rs2
+	OpOr   // Rd <- Rs1 | Rs2
+	OpXor  // Rd <- Rs1 ^ Rs2
+	OpShlI // Rd <- Rs1 << Imm
+	OpShrI // Rd <- Rs1 >> Imm (logical)
+
+	// Scalar memory. Address = Rs1 + Imm; Elem bytes.
+	OpLoad  // Rd <- mem[Rs1+Imm]
+	OpStore // mem[Rs1+Imm] <- Rs2
+
+	// Control flow. Branches compare Rs1 against Rs2.
+	OpJmp
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+
+	// Vector ALU. Lanes where the governing predicate Pg is unset keep their
+	// previous destination value (merging predication, paper §III-D5).
+	OpVMov     // Vd <- Vs1
+	OpVAdd     // Vd <- Vs1 + Vs2
+	OpVSub     // Vd <- Vs1 - Vs2
+	OpVMul     // Vd <- Vs1 * Vs2
+	OpVMulAdd  // Vd <- Vs1*Vs2 + Vd (fused multiply-add)
+	OpVAddI    // Vd <- Vs1 + Imm
+	OpVMulI    // Vd <- Vs1 * Imm
+	OpVAnd     // Vd <- Vs1 & Vs2
+	OpVXor     // Vd <- Vs1 ^ Vs2
+	OpVShrI    // Vd <- Vs1 >> Imm (logical)
+	OpVAndI    // Vd <- Vs1 & Imm
+	OpVAddS    // Vd <- Vs1 + scalar Rs2 (broadcast operand)
+	OpVMulS    // Vd <- Vs1 * scalar Rs2
+	OpVSplat   // Vd[i] <- scalar Rs1, all lanes
+	OpVIota    // Vd[i] <- scalar Rs1 + i (lane index vector)
+	OpVIotaRev // Vd[i] <- scalar Rs1 + (NumLanes-1-i) (descending-loop index vector)
+	OpVSel     // Vd[i] <- Pg[i] ? Vs1[i] : Vs2[i]
+
+	// Vector compare: writes predicate register Pd (field Rd).
+	OpVCmpLT // Pd[i] <- Vs1[i] < Vs2[i]
+	OpVCmpGE // Pd[i] <- Vs1[i] >= Vs2[i]
+	OpVCmpEQ // Pd[i] <- Vs1[i] == Vs2[i]
+	OpVCmpNE // Pd[i] <- Vs1[i] != Vs2[i]
+
+	// Predicate manipulation.
+	OpPTrue  // Pd <- all true
+	OpPFalse // Pd <- all false
+	OpPAnd   // Pd <- Ps1 & Ps2 (predicate regs in Rs1, Rs2)
+	OpPOr    // Pd <- Ps1 | Ps2
+	OpPNot   // Pd <- ^Ps1
+
+	// Vector memory. Elem is the element size in bytes (1, 2, 4 or 8).
+	OpVLoad    // Vd[i]  <- mem[Rs1 + Imm + i*Elem]                (contiguous)
+	OpVStore   // mem[Rs1 + Imm + i*Elem] <- Vs2[i]                (contiguous)
+	OpVGather  // Vd[i]  <- mem[Rs1 + Vs2[i]*Elem + Imm]           (gather)
+	OpVScatter // mem[Rs1 + Vs2[i]*Elem + Imm] <- Vs3[i]           (scatter)
+	OpVBcast   // Vd[i]  <- mem[Rs1 + Imm], all lanes              (broadcast)
+
+	// FlexVec-style explicit conflict detection (paper §II / §VI-D): for
+	// each lane i, Pd[i] is set when Vs1[i] equals Vs2[j] for some enabled
+	// earlier lane j < i. The emulator charges one comparison micro-op per
+	// (i, j) pair, reproducing how the paper broke VCONFLICTM apart.
+	OpVConflict
+
+	// SRV region control (paper §III-A).
+	OpSRVStart // records restart PC, fully sets the SRV-replay register
+	OpSRVEnd   // serialisation point; triggers selective replay if needed
+
+	numOps
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpMovI: "movi", OpMov: "mov", OpAdd: "add", OpAddI: "addi", OpSub: "sub",
+	OpMul: "mul", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShlI: "shli",
+	OpShrI: "shri", OpLoad: "load", OpStore: "store",
+	OpJmp: "jmp", OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpVMov: "v_mov", OpVAdd: "v_add", OpVSub: "v_sub", OpVMul: "v_mul",
+	OpVMulAdd: "v_mla", OpVAddI: "v_addi", OpVMulI: "v_muli", OpVAnd: "v_and",
+	OpVXor: "v_xor", OpVShrI: "v_shri", OpVAndI: "v_andi",
+	OpVAddS: "v_adds", OpVMulS: "v_muls", OpVSplat: "v_splat",
+	OpVIota: "v_iota", OpVIotaRev: "v_iotar", OpVSel: "v_sel",
+	OpVCmpLT: "v_cmplt", OpVCmpGE: "v_cmpge", OpVCmpEQ: "v_cmpeq",
+	OpVCmpNE: "v_cmpne",
+	OpPTrue:  "p_true", OpPFalse: "p_false", OpPAnd: "p_and", OpPOr: "p_or",
+	OpPNot:  "p_not",
+	OpVLoad: "v_load", OpVStore: "v_store", OpVGather: "v_gather",
+	OpVScatter: "v_scatter", OpVBcast: "v_bcast", OpVConflict: "v_conflict",
+	OpSRVStart: "srv_start", OpSRVEnd: "srv_end",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// Direction is the iteration-ordering attribute carried by srv_start
+// (paper §III-A): UP when lane number increases with the accessed address
+// (increasing induction variable), DOWN for the reverse.
+type Direction int
+
+const (
+	DirUp Direction = iota
+	DirDown
+)
+
+func (d Direction) String() string {
+	if d == DirDown {
+		return "DOWN"
+	}
+	return "UP"
+}

@@ -1,0 +1,109 @@
+package isa
+
+import (
+	"testing"
+
+	"srvsim/internal/mem"
+)
+
+// TestInterpOpMatrix exercises every ALU opcode once with known operands.
+func TestInterpOpMatrix(t *testing.T) {
+	im := mem.NewImage()
+	p := NewBuilder().
+		MovI(0, 12).
+		MovI(1, 5).
+		Mov(2, 0).
+		Add(3, 0, 1).
+		Sub(4, 0, 1).
+		Mul(5, 0, 1).
+		And(6, 0, 1).
+		Emit(Inst{Op: OpOr, Rd: 7, Rs1: 0, Rs2: 1, Pg: NoPred}).
+		Xor(8, 0, 1).
+		ShlI(9, 0, 2).
+		ShrI(10, 0, 1).
+		VSplat(0, 0).
+		VIota(1, 1).
+		VIotaRev(2, 1).
+		VAddS(3, 1, 0, NoPred). // v3[i] = (5+i) + 12
+		VMulS(4, 1, 1, NoPred). // v4[i] = (5+i) * 5
+		VAndI(5, 1, 3, NoPred). // v5[i] = (5+i) & 3
+		VShrI(6, 1, 1, NoPred). // v6[i] = (5+i) >> 1
+		VSub(7, 2, 1, NoPred).  // v7[i] = (20-i) - (5+i) = 15-2i
+		VMov(8, 1, NoPred).
+		PTrue(1).
+		PFalse(2).
+		Emit(Inst{Op: OpPOr, Rd: 3, Rs1: 1, Rs2: 2, Pg: NoPred}).
+		PNot(4, 2).
+		PAnd(5, 1, 4).
+		Halt().
+		MustBuild()
+	ip := NewInterp(p, im)
+	if err := ip.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	scl := []struct {
+		reg  int
+		want int64
+	}{{2, 12}, {3, 17}, {4, 7}, {5, 60}, {6, 4}, {7, 13}, {8, 9}, {9, 48}, {10, 6}}
+	for _, c := range scl {
+		if ip.S[c.reg] != c.want {
+			t.Errorf("s%d = %d, want %d", c.reg, ip.S[c.reg], c.want)
+		}
+	}
+	for i := 0; i < NumLanes; i++ {
+		checks := []struct {
+			reg  int
+			want int64
+		}{
+			{0, 12},
+			{1, int64(5 + i)},
+			{2, int64(5 + NumLanes - 1 - i)},
+			{3, int64(5 + i + 12)},
+			{4, int64((5 + i) * 5)},
+			{5, int64((5 + i) & 3)},
+			{6, int64((5 + i) >> 1)},
+			{7, int64(15 - 2*i)},
+			{8, int64(5 + i)},
+		}
+		for _, c := range checks {
+			if ip.Vr[c.reg][i] != c.want {
+				t.Errorf("v%d[%d] = %d, want %d", c.reg, i, ip.Vr[c.reg][i], c.want)
+			}
+		}
+		if !ip.Pr[1][i] || ip.Pr[2][i] {
+			t.Errorf("lane %d: p1/p2 wrong", i)
+		}
+		if !ip.Pr[3][i] || !ip.Pr[4][i] || !ip.Pr[5][i] {
+			t.Errorf("lane %d: p3/p4/p5 wrong (or/not/and)", i)
+		}
+	}
+}
+
+// TestInterpElemSizes: loads/stores at each element width sign-extend
+// correctly.
+func TestInterpElemSizes(t *testing.T) {
+	for _, elem := range []int{1, 2, 4, 8} {
+		im := mem.NewImage()
+		base := im.Alloc(NumLanes*elem, 64)
+		// Write -3 at every element.
+		for i := 0; i < NumLanes; i++ {
+			im.WriteInt(base+uint64(i*elem), elem, -3)
+		}
+		p := NewBuilder().
+			MovI(0, int64(base)).
+			VLoad(0, 0, 0, elem, NoPred).
+			VAddI(0, 0, 1, NoPred).
+			VStore(0, 0, elem, 0, NoPred).
+			Halt().
+			MustBuild()
+		ip := NewInterp(p, im)
+		if err := ip.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < NumLanes; i++ {
+			if got := im.ReadInt(base+uint64(i*elem), elem); got != -2 {
+				t.Errorf("elem=%d lane %d: %d, want -2 (sign extension)", elem, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"testing"
+
+	"srvsim/internal/mem"
+)
+
+// TestInterpRegionStateTransitions steps the functional interpreter through
+// a conflict-bearing region and asserts the architectural SRV state at each
+// phase: outside -> speculative with all lanes -> sticky needs-replay bits
+// accumulating -> replay pass with only the flagged lanes -> outside again.
+func TestInterpRegionStateTransitions(t *testing.T) {
+	im := mem.NewImage()
+	aBase := im.Alloc(64*4, 64)
+	xBase := im.Alloc(64*4, 64)
+	for i := 0; i < 16; i++ {
+		im.WriteInt(aBase+uint64(i*4), 4, int64(i))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		im.WriteInt(xBase+uint64(i*4), 4, xi)
+	}
+	// Listing-1: a[x[i]] = a[i] + 2 with the {3,0,1,2,...} pattern.
+	prog := NewBuilder().
+		MovI(0, int64(aBase)).
+		MovI(1, int64(xBase)).
+		MovI(2, int64(aBase)).
+		SRVStart(DirUp).
+		VLoad(0, 0, 0, 4, NoPred).
+		VAddI(0, 0, 2, NoPred).
+		VLoad(1, 1, 0, 4, NoPred).
+		VScatter(2, 1, 0, 0, 4, NoPred).
+		SRVEnd().
+		Halt().
+		MustBuild()
+
+	ip := NewInterp(prog, im)
+	if ip.InRegion() {
+		t.Fatal("must start outside any region")
+	}
+	step := func() {
+		t.Helper()
+		if err := ip.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ { // movi*3 + srv_start
+		step()
+	}
+	if !ip.InRegion() || ip.ReplayMask() != AllTrue() {
+		t.Fatalf("after srv_start: inRegion=%v replay=%v, want all-true", ip.InRegion(), ip.ReplayMask())
+	}
+	if ip.NeedsReplay().Any() {
+		t.Fatal("needs-replay must start clear")
+	}
+	for i := 0; i < 4; i++ { // body
+		step()
+	}
+	want := Pred{}
+	want[3], want[7], want[11], want[15] = true, true, true, true
+	if ip.NeedsReplay() != want {
+		t.Fatalf("needs-replay = %v, want lanes {3,7,11,15}", ip.NeedsReplay())
+	}
+	step() // srv_end: replay pass begins
+	if !ip.InRegion() {
+		t.Fatal("srv_end with flagged lanes must stay in the region")
+	}
+	if ip.ReplayMask() != want {
+		t.Fatalf("replay mask = %v, want the flagged lanes only", ip.ReplayMask())
+	}
+	if ip.NeedsReplay().Any() {
+		t.Fatal("needs-replay must be consumed by the replay pass")
+	}
+	for i := 0; i < 5; i++ { // body again + srv_end
+		step()
+	}
+	if ip.InRegion() {
+		t.Fatal("the replay pass is clean: the region must have committed")
+	}
+	// Final memory equals sequential semantics: a[x[i]] = a[i]+2 in order.
+	wantMem := make([]int64, 32)
+	for i := 0; i < 32; i++ {
+		wantMem[i] = int64(i)
+	}
+	for i := 0; i < 16; i++ {
+		xi := i - 1
+		if i%4 == 0 {
+			xi = i + 3
+		}
+		wantMem[xi] = wantMem[i] + 2
+	}
+	for i := 0; i < 16; i++ {
+		if got := im.ReadInt(aBase+uint64(i*4), 4); got != wantMem[i] {
+			t.Errorf("a[%d] = %d, want %d", i, got, wantMem[i])
+		}
+	}
+}

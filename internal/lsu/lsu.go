@@ -1,0 +1,744 @@
+// Package lsu implements the load-store unit of the SRV microarchitecture:
+// a load queue (LQ), store-address queue (SAQ) and store-data queue (SDQ)
+// with partial store-to-load forwarding (Witt), augmented with the SRV
+// horizontal disambiguation logic of paper §III-B and §IV. Inside an SRV
+// region, entries are keyed by (region instance, SRV-id, lane) and reused
+// across replays; speculative store data stays buffered until the region
+// commits, when the sequentially youngest store to each byte is written
+// back (WAW resolution).
+package lsu
+
+import (
+	"fmt"
+	"sort"
+
+	"srvsim/internal/core"
+	"srvsim/internal/isa"
+)
+
+// NoInstance marks entries that do not belong to an SRV region.
+const NoInstance = -1
+
+// Entry is one LQ or SAQ/SDQ entry.
+type Entry struct {
+	Instance int   // region instance, or NoInstance
+	ID       int   // SRV-id: program position (PC) of the owning instruction
+	Lane     int   // lane for element entries; -1 for contig/bcast/scalar
+	DispSeq  int64 // dispatch order (for squash)
+	Seq      int64 // program-order sequence of the latest execution
+	IsStore  bool
+
+	Kind core.Kind
+	Elem int
+	Dir  isa.Direction
+
+	Valid    bool     // address known (executed at least once)
+	Addr     uint64   // base address of the footprint
+	ActLanes isa.Pred // lanes whose access is architecturally performed
+
+	// Store data (SDQ): one byte + validity flag per footprint byte.
+	Data      []byte
+	ByteValid []bool
+	Spec      bool // speculative flag: buffered until region commit
+	Committed bool // reached ROB head (outside regions: data written back)
+}
+
+// Access returns the core access descriptor for the entry's footprint.
+func (e *Entry) Access() core.Access {
+	return core.Access{Kind: e.Kind, Lane: e.laneOr0(), Addr: e.Addr, Elem: e.Elem, Dir: e.Dir}
+}
+
+func (e *Entry) laneOr0() int {
+	if e.Lane >= 0 {
+		return e.Lane
+	}
+	return 0
+}
+
+// footprint returns the total byte size of the entry's access.
+func (e *Entry) footprint() int {
+	if e.Kind == core.KindContig {
+		return e.Elem * isa.NumLanes
+	}
+	return e.Elem
+}
+
+// laneBoundsAt returns the lanes attributed to byte addr, restricted to
+// architecturally active lanes for broadcast entries.
+func (e *Entry) laneBoundsAt(addr uint64) (int, int) {
+	return e.Access().LaneBounds(addr)
+}
+
+// Stats aggregates the LSU event counts consumed by the evaluation figures
+// (Fig 11: address disambiguations; Fig 12: CAM lookups via the power
+// model).
+type Stats struct {
+	LoadIssues        int64
+	StoreIssues       int64
+	RegionLoadIssues  int64
+	RegionStoreIssues int64
+
+	// Address disambiguations (issuing access compared against one queue
+	// entry). Vertical uses pure program order; horizontal is lane-aware.
+	VertDisamb  int64
+	HorizDisamb int64
+
+	// CAM lookups per the McPAT accounting of paper §VI-C: a load issue
+	// performs one SAQ lookup and one LQ lookup; a store issue one LQ
+	// lookup. Inside an SRV region the lookups double and stores add one
+	// extra SAQ lookup.
+	CAMLookups int64
+
+	FwdBytes      int64 // bytes forwarded from the SDQ
+	MemBytes      int64 // bytes read from the memory hierarchy
+	PartialFwds   int64 // loads combining SDQ and memory bytes
+	WAWWritebacks int64 // bytes suppressed by selective write-back
+	Overflows     int64
+
+	// MaxOccupancy is the high-water mark of live entries — the LSU
+	// pressure a region exerts, i.e. the headroom before the §III-D7
+	// sequential fallback triggers.
+	MaxOccupancy int
+}
+
+// LSU models the combined 64-entry load-store unit of Table I.
+type LSU struct {
+	capacity int
+	mem      isa.Memory
+	ctrl     *core.Controller
+	entries  []*Entry
+	Stats    Stats
+}
+
+// New returns an LSU with the given total entry capacity.
+func New(capacity int, m isa.Memory, ctrl *core.Controller) *LSU {
+	return &LSU{capacity: capacity, mem: m, ctrl: ctrl}
+}
+
+// Len returns the number of live entries.
+func (l *LSU) Len() int { return len(l.entries) }
+
+// Capacity returns the configured entry capacity.
+func (l *LSU) Capacity() int { return l.capacity }
+
+// ReserveResult is the outcome of a dispatch-time reservation.
+type ReserveResult struct {
+	Entry    *Entry
+	OK       bool
+	Overflow bool // full and nothing can free before this region completes
+}
+
+// Reserve allocates an entry at dispatch, or rebinds to the existing entry
+// with the same (instance, id, lane) — the SRV-id reuse rule for replays
+// (paper §III-C: "during replay, no further entries are allocated; instead,
+// entries with the same SRV-id are updated").
+func (l *LSU) Reserve(instance, id, lane int, isStore bool, dispSeq int64) ReserveResult {
+	if instance != NoInstance {
+		for _, e := range l.entries {
+			if e.Instance == instance && e.ID == id && e.Lane == lane {
+				e.DispSeq = dispSeq
+				return ReserveResult{Entry: e, OK: true}
+			}
+		}
+	}
+	if len(l.entries) >= l.capacity {
+		// Overflow when every live entry belongs to this same region
+		// instance: nothing can be freed before srv_end, which is
+		// unreachable without more entries (paper §III-D7).
+		overflow := instance != NoInstance
+		for _, e := range l.entries {
+			if e.Instance != instance {
+				overflow = false
+				break
+			}
+		}
+		if overflow {
+			l.Stats.Overflows++
+		}
+		return ReserveResult{OK: false, Overflow: overflow}
+	}
+	e := &Entry{Instance: instance, ID: id, Lane: lane, DispSeq: dispSeq, IsStore: isStore}
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.Stats.MaxOccupancy {
+		l.Stats.MaxOccupancy = len(l.entries)
+	}
+	return ReserveResult{Entry: e, OK: true}
+}
+
+// LoadResult reports a load execution's outcome.
+type LoadResult struct {
+	Vals     isa.Vec // per-lane values (elem entries fill Vals[lane])
+	FwdBytes int
+	MemBytes int
+	MemAddrs []uint64 // distinct cache lines are derived by the pipeline
+	WARSuppr bool     // some forwarding was suppressed by the WAR rule
+}
+
+// ExecLoad executes (or re-executes) a load entry. update marks the lanes
+// whose entry state must be refreshed (the replay mask inside a region; all
+// lanes outside); act marks the lanes architecturally performing the access
+// (update AND governing predicate). For elem entries only entry.Lane is
+// consulted. Returns the loaded values for active lanes.
+func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.Direction,
+	update, act isa.Pred, seq int64) LoadResult {
+
+	l.noteIssue(e, false)
+	e.Kind, e.Elem, e.Dir, e.Seq = kind, elem, dir, seq
+	if e.Instance == NoInstance {
+		e.Addr, e.Valid, e.ActLanes = addr, true, act
+	} else {
+		// Merge: refresh only updated lanes; keep previous rounds' state on
+		// the rest (paper §III-C).
+		if !e.Valid {
+			e.Addr, e.Valid = addr, true
+			e.ActLanes = isa.Pred{}
+		} else if kind == core.KindElem {
+			if update[e.Lane] {
+				e.Addr = addr
+			}
+		} else {
+			e.Addr = addr // base registers are loop-invariant inside a region
+		}
+		for i := 0; i < isa.NumLanes; i++ {
+			if update[i] {
+				e.ActLanes[i] = act[i]
+			}
+		}
+	}
+
+	// Collect candidate forwarding sources once: every valid store entry
+	// overlapping the load's footprint. The CAM search itself touches every
+	// valid SAQ entry — each comparison is one address disambiguation
+	// (Fig 11).
+	footEnd := addr + uint64(e.footprint())
+	var cands []*Entry
+	warSuppressed := false
+	for _, st := range l.entries {
+		if !st.IsStore || !st.Valid || st == e {
+			continue
+		}
+		l.countDisamb(e, st)
+		if st.Addr >= footEnd || addr >= st.Addr+uint64(st.footprint()) {
+			continue
+		}
+		cands = append(cands, st)
+	}
+
+	var res LoadResult
+	resolve := func(la uint64, lane int) int64 {
+		v, w := l.resolveLoad(e, cands, la, elem, lane, &res)
+		warSuppressed = warSuppressed || w
+		return v
+	}
+	switch kind {
+	case core.KindContig:
+		for lane := 0; lane < isa.NumLanes; lane++ {
+			if !act[lane] {
+				continue
+			}
+			off := lane
+			if dir == isa.DirDown {
+				off = isa.NumLanes - 1 - lane
+			}
+			res.Vals[lane] = resolve(addr+uint64(off*elem), lane)
+		}
+	case core.KindElem:
+		if act[e.Lane] {
+			res.Vals[e.Lane] = resolve(addr, e.Lane)
+		}
+	case core.KindBcast:
+		for lane := 0; lane < isa.NumLanes; lane++ {
+			if act[lane] {
+				res.Vals[lane] = resolve(addr, lane)
+			}
+		}
+	case core.KindScalar:
+		res.Vals[0] = resolve(addr, 0)
+	}
+	if warSuppressed {
+		res.WARSuppr = true
+		l.ctrl.RecordWAR()
+	}
+	return res
+}
+
+// resolveLoad assembles one lane's value byte by byte: each byte comes from
+// the sequentially youngest older store entry holding it, else from memory
+// (partial store-to-load forwarding; paper §III-B1 / Witt). The second
+// result reports whether the WAR rule suppressed any forwarding.
+func (l *LSU) resolveLoad(e *Entry, cands []*Entry, addr uint64, n, lane int, res *LoadResult) (int64, bool) {
+	buf := make([]byte, n)
+	l.mem.ReadBytes(addr, buf)
+	fwd, mem := 0, 0
+	war := false
+	for b := 0; b < n; b++ {
+		ba := addr + uint64(b)
+		src, off, w := l.youngestForwardable(e, cands, ba, lane)
+		war = war || w
+		if src != nil {
+			buf[b] = src.Data[off]
+			fwd++
+		} else {
+			mem++
+			res.MemAddrs = append(res.MemAddrs, ba)
+		}
+	}
+	res.FwdBytes += fwd
+	res.MemBytes += mem
+	l.Stats.FwdBytes += int64(fwd)
+	l.Stats.MemBytes += int64(mem)
+	if fwd > 0 && mem > 0 {
+		l.Stats.PartialFwds++
+	}
+	return isa.DecodeInt(buf), war
+}
+
+// youngestForwardable finds the store entry supplying the byte at ba for
+// load lane `lane` of entry e, honouring the WAR rule: only sequentially
+// older store bytes forward. The bool result reports whether a later-lane
+// store byte was rejected (a horizontal WAR).
+func (l *LSU) youngestForwardable(e *Entry, cands []*Entry, ba uint64, lane int) (*Entry, int, bool) {
+	var best *Entry
+	bestKey := forwardKey{}
+	war := false
+	eRegion := e.Instance != NoInstance
+	for _, st := range cands {
+		if ba < st.Addr || ba >= st.Addr+uint64(st.footprint()) {
+			continue
+		}
+		off := int(ba - st.Addr)
+		if !st.ByteValid[off] {
+			continue
+		}
+		stRegion := st.Instance != NoInstance
+		var key forwardKey
+		switch {
+		case eRegion && stRegion:
+			if st.Instance != e.Instance {
+				continue // entries of a different region instance never forward
+			}
+			_, sHi := st.laneBoundsAt(ba)
+			if !core.Forwardable(sHi, st.ID, lane, e.ID) {
+				war = war || sHi > lane // cross-lane rejection = WAR
+				continue
+			}
+			key = forwardKey{region: true, lane: sHi, id: st.ID}
+		case eRegion && !stRegion:
+			// Pre-region store: program-order older by construction (the
+			// srv_start issue gate orders region loads after older stores).
+			if st.Seq > e.Seq {
+				continue
+			}
+			key = forwardKey{region: false, seq: st.Seq}
+		case !eRegion && stRegion:
+			continue // speculative region data never forwards outside
+		default:
+			if st.Seq > e.Seq {
+				continue // vertical: younger stores never forward
+			}
+			key = forwardKey{region: false, seq: st.Seq}
+		}
+		if best == nil || key.younger(bestKey) {
+			best, bestKey = st, key
+		}
+	}
+	if best == nil {
+		return nil, 0, war
+	}
+	return best, int(ba - best.Addr), war
+}
+
+// forwardKey orders candidate forwarding sources: region entries are younger
+// than pre-region entries; among region entries sequential (byte-lane, id)
+// order decides; among non-region entries program order decides.
+type forwardKey struct {
+	region bool
+	lane   int
+	id     int
+	seq    int64
+}
+
+func (k forwardKey) younger(o forwardKey) bool {
+	if k.region != o.region {
+		return k.region
+	}
+	if k.region {
+		if k.lane != o.lane {
+			return k.lane > o.lane
+		}
+		return k.id > o.id
+	}
+	return k.seq > o.seq
+}
+
+// StoreResult reports a store execution's outcome.
+type StoreResult struct {
+	RAWLanes isa.Pred // lanes recorded into SRV-needs-replay
+	WAW      bool     // overlapped an older store in a later lane
+
+	// Vertical RAW: a program-order-younger load already executed with
+	// overlapping bytes (aggressive memory-order speculation gone wrong).
+	// The pipeline squashes from that load and retrains the store-set
+	// predictor (paper §IV-B).
+	SquashSeq int64 // dispatch seq of the oldest violating load; -1 if none
+	SquashPC  int   // its program counter
+}
+
+// ExecStore executes (or re-executes) a store entry, buffering data in the
+// SDQ and performing the horizontal checks of paper §III-B2: LQ entries in
+// sequentially younger positions that already read overlapping bytes are
+// RAW victims (their lanes are recorded for replay); SAQ entries in later
+// lanes with overlapping bytes are WAW conflicts (resolved by write-back
+// order).
+func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.Direction,
+	update, act isa.Pred, vals isa.Vec, seq int64) StoreResult {
+
+	l.noteIssue(e, true)
+	e.Kind, e.Elem, e.Dir, e.Seq = kind, elem, dir, seq
+	fp := 0
+	if kind == core.KindContig {
+		fp = elem * isa.NumLanes
+	} else {
+		fp = elem
+	}
+	if !e.Valid || e.Instance == NoInstance {
+		e.Addr, e.Valid = addr, true
+		e.Data = make([]byte, fp)
+		e.ByteValid = make([]bool, fp)
+		e.ActLanes = isa.Pred{}
+		e.Spec = e.Instance != NoInstance && l.ctrl.Mode() == core.ModeSpeculative
+	} else if kind == core.KindElem {
+		if update[e.Lane] && e.Addr != addr {
+			e.Addr = addr
+			// The footprint moved: previous-round bytes are superseded.
+			for i := range e.ByteValid {
+				e.ByteValid[i] = false
+			}
+		}
+	}
+
+	// Refresh data for updated lanes.
+	switch kind {
+	case core.KindContig:
+		for lane := 0; lane < isa.NumLanes; lane++ {
+			if !update[lane] {
+				continue
+			}
+			e.ActLanes[lane] = act[lane]
+			off := lane
+			if dir == isa.DirDown {
+				off = isa.NumLanes - 1 - lane
+			}
+			enc := isa.EncodeInt(elem, vals[lane])
+			for b := 0; b < elem; b++ {
+				e.Data[off*elem+b] = enc[b]
+				e.ByteValid[off*elem+b] = act[lane]
+			}
+		}
+	case core.KindElem:
+		if update[e.Lane] {
+			e.ActLanes = isa.Pred{}
+			e.ActLanes[e.Lane] = act[e.Lane]
+			enc := isa.EncodeInt(elem, vals[e.Lane])
+			for b := 0; b < elem; b++ {
+				e.Data[b] = enc[b]
+				e.ByteValid[b] = act[e.Lane]
+			}
+		}
+	case core.KindScalar:
+		enc := isa.EncodeInt(elem, vals[0])
+		copy(e.Data, enc)
+		for b := range e.ByteValid {
+			e.ByteValid[b] = true
+		}
+	default:
+		panic(fmt.Sprintf("lsu: store kind %v unsupported", kind))
+	}
+
+	var res StoreResult
+	res.SquashSeq = -1
+	if e.Instance == NoInstance || l.ctrl.Mode() != core.ModeSpeculative {
+		// Vertical disambiguation: search the LQ for younger loads that
+		// already read bytes this store produces.
+		for _, ld := range l.entries {
+			if ld.IsStore || !ld.Valid || ld.Instance != NoInstance {
+				continue
+			}
+			l.countDisamb(e, ld)
+			if ld.Seq <= e.Seq {
+				continue
+			}
+			if e.Access().Overlaps(ld.Access()) {
+				if res.SquashSeq < 0 || ld.Seq < res.SquashSeq {
+					res.SquashSeq, res.SquashPC = ld.Seq, ld.ID
+				}
+			}
+		}
+		return res
+	}
+
+	// Horizontal RAW: sequentially younger loads that already read bytes of
+	// this store. Loads at later program positions whose lanes are being
+	// re-executed this round will pick the fresh data up via forwarding and
+	// are skipped, as are bytes of store lanes not updated this round (their
+	// data is unchanged and was already forwarded or flagged).
+	replay := l.ctrl.Replay()
+	iss := e.Access()
+	for _, ld := range l.entries {
+		if ld.IsStore || !ld.Valid || ld.Instance != e.Instance {
+			continue
+		}
+		l.countDisamb(e, ld)
+		lanes := core.ViolatingLanesMasked(iss, ld.Access(), update)
+		for lane := 0; lane < isa.NumLanes; lane++ {
+			if !lanes[lane] || !ld.ActLanes[lane] {
+				continue
+			}
+			if replay[lane] && ld.ID > e.ID {
+				continue // will re-read after this store in this round
+			}
+			// Restrict to lanes whose access actually overlaps (elem loads
+			// have per-lane footprints; contig per-lane spans are encoded in
+			// the Access lane attribution already).
+			res.RAWLanes[lane] = true
+		}
+	}
+	if res.RAWLanes.Any() {
+		l.ctrl.RecordRAW(res.RAWLanes)
+	}
+
+	// Horizontal WAW: older stores in later lanes covering common bytes.
+	for _, st := range l.entries {
+		if !st.IsStore || !st.Valid || st == e || st.Instance != e.Instance {
+			continue
+		}
+		l.countDisamb(e, st)
+		if core.ViolatingLanes(iss, st.Access()).Any() && iss.Overlaps(st.Access()) {
+			res.WAW = true
+		}
+	}
+	if res.WAW {
+		l.ctrl.RecordWAW()
+	}
+	return res
+}
+
+// noteIssue updates the issue counters and CAM-lookup accounting.
+func (l *LSU) noteIssue(e *Entry, isStore bool) {
+	region := e.Instance != NoInstance && l.ctrl.Mode() == core.ModeSpeculative
+	if isStore {
+		l.Stats.StoreIssues++
+		if region {
+			l.Stats.RegionStoreIssues++
+			// Doubled lookups plus one extra SAQ lookup (paper §VI-C).
+			l.Stats.CAMLookups += 2 + 1
+		} else {
+			l.Stats.CAMLookups++ // one LQ lookup
+		}
+	} else {
+		l.Stats.LoadIssues++
+		if region {
+			l.Stats.RegionLoadIssues++
+			l.Stats.CAMLookups += 2 // horizontal replaces vertical; lookups unchanged in count but both queues searched
+		} else {
+			l.Stats.CAMLookups += 2 // SAQ + LQ
+		}
+	}
+}
+
+// countDisamb attributes one issuing-vs-entry comparison to the vertical or
+// horizontal counter (Fig 11).
+func (l *LSU) countDisamb(issuing, entry *Entry) {
+	if issuing.Instance != NoInstance && entry.Instance == issuing.Instance {
+		l.Stats.HorizDisamb++
+	} else {
+		l.Stats.VertDisamb++
+	}
+}
+
+// CommitStore writes a non-speculative store's data to memory and releases
+// the entry (outside regions, or fallback-mode region stores).
+func (l *LSU) CommitStore(e *Entry) {
+	if e.Spec {
+		e.Committed = true // data stays buffered (paper §III-D4)
+		return
+	}
+	l.writeEntry(e)
+	l.remove(e)
+}
+
+// Release frees a load entry (at commit, outside regions).
+func (l *LSU) Release(e *Entry) {
+	if e.Instance != NoInstance {
+		return // region entries live until region commit
+	}
+	l.remove(e)
+}
+
+// DebugWatch, when non-zero, prints every entry write-back covering the
+// address. Test-only instrumentation.
+var DebugWatch uint64
+
+func (l *LSU) writeEntry(e *Entry) {
+	if DebugWatch != 0 {
+		fmt.Printf("  writeEntry id=%d lane=%d inst=%d seq=%d addr=%#x\n",
+			e.ID, e.Lane, e.Instance, e.Seq, e.Addr)
+	}
+	for b := 0; b < len(e.Data); b++ {
+		if e.ByteValid[b] {
+			l.mem.WriteBytes(e.Addr+uint64(b), e.Data[b:b+1])
+		}
+	}
+}
+
+// CommitRegion writes back the speculative stores of a region instance in
+// sequential (iteration-major) order so that the youngest store to each
+// byte wins, then frees every entry of the instance (paper §III-B3, §III-D4).
+func (l *LSU) CommitRegion(instance int) {
+	var stores []*Entry
+	for _, e := range l.entries {
+		if e.Instance == instance && e.IsStore && e.Valid {
+			stores = append(stores, e)
+		}
+	}
+	sort.Slice(stores, func(i, j int) bool { return storeSeqLess(stores[i], stores[j]) })
+	written := make(map[uint64]bool)
+	for i := len(stores) - 1; i >= 0; i-- { // youngest first; skip overwritten bytes
+		e := stores[i]
+		for b := 0; b < len(e.Data); b++ {
+			if !e.ByteValid[b] {
+				continue
+			}
+			a := e.Addr + uint64(b)
+			if written[a] {
+				l.Stats.WAWWritebacks++
+				continue
+			}
+			written[a] = true
+			l.mem.WriteBytes(a, e.Data[b:b+1])
+		}
+	}
+	l.freeInstance(instance)
+}
+
+// storeSeqLess orders two same-instance store entries in sequential
+// (iteration-major) order. Contiguous stores span all lanes; they are
+// ordered against element entries by their lowest active lane, with ID as
+// the within-lane tie-break. For byte-accurate WAW resolution the
+// youngest-first walk above relies on per-byte coverage, so this ordering
+// only needs to be consistent for entries covering the same byte — which
+// have well-defined lanes at that byte. Contiguous-vs-element collisions on
+// a byte order by the byte's lane, which equals the element's lane when they
+// collide; ID breaks the tie.
+func storeSeqLess(a, b *Entry) bool {
+	la, lb := a.laneOr0(), b.laneOr0()
+	if a.Kind == core.KindContig || b.Kind == core.KindContig {
+		// Same-byte collisions between contiguous entries (same lane at the
+		// byte) and element entries reduce to ID order when lanes tie.
+		if a.Kind == core.KindContig && b.Kind == core.KindContig {
+			return a.ID < b.ID
+		}
+		// Compare the element entry's lane against the contiguous entry's
+		// lane at the element's address.
+		if a.Kind == core.KindContig {
+			ca, _ := a.Access().LaneBounds(clampAddr(b.Addr, a))
+			if ca != lb {
+				return ca < lb
+			}
+			return a.ID < b.ID
+		}
+		cb, _ := b.Access().LaneBounds(clampAddr(a.Addr, b))
+		if la != cb {
+			return la < cb
+		}
+		return a.ID < b.ID
+	}
+	if la != lb {
+		return la < lb
+	}
+	return a.ID < b.ID
+}
+
+func clampAddr(addr uint64, e *Entry) uint64 {
+	if addr < e.Addr {
+		return e.Addr
+	}
+	end := e.Addr + uint64(e.footprint()) - 1
+	if addr > end {
+		return end
+	}
+	return addr
+}
+
+// WritebackNonSpec writes back the non-speculative portion of a region at an
+// interrupt (paper §III-D2): all data from lanes older than oldestLane, plus
+// the oldest lane's stores at program positions before uptoID. The rest is
+// discarded with the instance.
+func (l *LSU) WritebackNonSpec(instance, oldestLane, uptoID int) {
+	var stores []*Entry
+	for _, e := range l.entries {
+		if e.Instance == instance && e.IsStore && e.Valid {
+			stores = append(stores, e)
+		}
+	}
+	sort.Slice(stores, func(i, j int) bool { return storeSeqLess(stores[i], stores[j]) })
+	for _, e := range stores {
+		for b := 0; b < len(e.Data); b++ {
+			if !e.ByteValid[b] {
+				continue
+			}
+			a := e.Addr + uint64(b)
+			lo, _ := e.laneBoundsAt(a)
+			if e.Kind == core.KindElem {
+				lo = e.Lane
+			}
+			if lo < oldestLane || (lo == oldestLane && e.ID < uptoID) {
+				l.mem.WriteBytes(a, e.Data[b:b+1])
+			}
+		}
+	}
+	l.freeInstance(instance)
+}
+
+// DiscardRegion frees all entries of an instance without writing anything.
+func (l *LSU) DiscardRegion(instance int) { l.freeInstance(instance) }
+
+// SquashYounger removes entries dispatched after dispSeq that are not part
+// of a still-live older region pass.
+func (l *LSU) SquashYounger(dispSeq int64) {
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.DispSeq > dispSeq && !(e.IsStore && e.Committed) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+}
+
+func (l *LSU) freeInstance(instance int) {
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.Instance == instance {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+}
+
+func (l *LSU) remove(e *Entry) {
+	for i, x := range l.entries {
+		if x == e {
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Entries exposes a snapshot of live entries for tests and debug dumps.
+func (l *LSU) Entries() []*Entry {
+	out := make([]*Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}

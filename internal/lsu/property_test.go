@@ -1,0 +1,144 @@
+package lsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srvsim/internal/core"
+	"srvsim/internal/isa"
+)
+
+// TestQuickWAWYoungestWins: for random sets of element stores inside one
+// region, the committed memory holds, at every byte, the data of the
+// sequentially youngest store covering it (paper §III-B3's selective
+// memory update).
+func TestQuickWAWYoungestWins(t *testing.T) {
+	type storeDesc struct {
+		Lane uint8
+		PC   uint8
+		Slot uint8
+		Val  uint8
+	}
+	f := func(descs [12]storeDesc) bool {
+		l, im, ctrl := newLSU(64)
+		if err := ctrl.Start(1, isa.DirUp); err != nil {
+			return false
+		}
+		base := uint64(0x9000)
+		// Model of expected memory: youngest (lane, pc) per slot.
+		type key struct{ lane, pc int }
+		bestKey := map[int]key{}
+		bestVal := map[int]int64{}
+		seq := int64(0)
+		seen := map[[2]int]bool{}
+		for _, d := range descs {
+			lane := int(d.Lane) % isa.NumLanes
+			pc := 2 + int(d.PC)%4
+			if seen[[2]int{pc, lane}] {
+				continue // one entry per (SRV-id, lane)
+			}
+			seen[[2]int{pc, lane}] = true
+			slot := int(d.Slot) % 6
+			val := int64(d.Val)
+			seq++
+			e := l.Reserve(0, pc, lane, true, seq).Entry
+			var act isa.Pred
+			act[lane] = true
+			var vals isa.Vec
+			vals[lane] = val
+			l.ExecStore(e, core.KindElem, base+uint64(slot*4), 4, isa.DirUp, act, act, vals, seq)
+			if k, ok := bestKey[slot]; !ok || core.SeqBefore(k.lane, k.pc, lane, pc) {
+				bestKey[slot] = key{lane, pc}
+				bestVal[slot] = val
+			}
+		}
+		l.CommitRegion(0)
+		for slot, want := range bestVal {
+			if got := im.ReadInt(base+uint64(slot*4), 4); got != want {
+				return false
+			}
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickForwardingMatchesSequentialModel: after a random sequence of
+// region stores, a load from any lane must see, per byte, exactly what a
+// strict sequential execution of the (lane, pc)-ordered stores up to the
+// load's position would have left.
+func TestQuickForwardingMatchesSequentialModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		l, im, ctrl := newLSU(64)
+		if err := ctrl.Start(1, isa.DirUp); err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(0xA000)
+		for b := 0; b < 32; b++ {
+			im.WriteInt(base+uint64(b), 1, int64(100+b))
+		}
+		type st struct {
+			lane, pc, slot int
+			val            int64
+		}
+		var sts []st
+		seen := map[[2]int]bool{}
+		seq := int64(0)
+		for i := 0; i < 8; i++ {
+			s := st{lane: rng.Intn(isa.NumLanes), pc: 2 + rng.Intn(3),
+				slot: rng.Intn(8), val: int64(rng.Intn(100))}
+			if seen[[2]int{s.pc, s.lane}] {
+				continue
+			}
+			seen[[2]int{s.pc, s.lane}] = true
+			sts = append(sts, s)
+			seq++
+			e := l.Reserve(0, s.pc, s.lane, true, seq).Entry
+			var act isa.Pred
+			act[s.lane] = true
+			var vals isa.Vec
+			vals[s.lane] = s.val
+			l.ExecStore(e, core.KindElem, base+uint64(s.slot*4), 4, isa.DirUp, act, act, vals, seq)
+		}
+		// A load at a random (lane, pc) position over a random slot.
+		loadLane := rng.Intn(isa.NumLanes)
+		loadPC := 2 + rng.Intn(5)
+		slot := rng.Intn(8)
+		seq++
+		le := l.Reserve(0, 50+loadPC, loadLane, false, seq).Entry
+		var act isa.Pred
+		act[loadLane] = true
+		res := l.ExecLoad(le, core.KindElem, base+uint64(slot*4), 4, isa.DirUp, act, act, seq)
+
+		// Sequential model: youngest store to the slot that is sequentially
+		// before (loadLane, 50+loadPC).
+		want := int64(0)
+		haveStore := false
+		bl, bp := -1, -1
+		for _, s := range sts {
+			if s.slot != slot {
+				continue
+			}
+			if !core.SeqBefore(s.lane, s.pc, loadLane, 50+loadPC) {
+				continue
+			}
+			if !haveStore || core.SeqBefore(bl, bp, s.lane, s.pc) {
+				haveStore, bl, bp, want = true, s.lane, s.pc, s.val
+			}
+		}
+		if !haveStore {
+			want = int64(0) // memory bytes at the slot
+			var buf [4]byte
+			im.ReadBytes(base+uint64(slot*4), buf[:])
+			want = isa.DecodeInt(buf[:])
+		}
+		if got := res.Vals[loadLane]; got != want {
+			t.Fatalf("trial %d: load lane %d pc %d slot %d = %d, want %d (stores %+v)",
+				trial, loadLane, loadPC, slot, got, want, sts)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package lsu
+
+import (
+	"testing"
+
+	"srvsim/internal/core"
+	"srvsim/internal/isa"
+)
+
+// The WAW selective write-back (paper Fig 3: "only the data of the
+// sequentially youngest store per byte reaches memory") depends on the
+// sequential ordering of same-instance store entries. These tests pin each
+// ordering branch: element vs element, contiguous vs element (both ID
+// tie-break directions), contiguous vs contiguous, and the DOWN direction.
+
+func startRegion(t *testing.T, ctrl *core.Controller, dir isa.Direction) {
+	t.Helper()
+	if err := ctrl.Start(1, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWAWElemVsElemLaneOrder(t *testing.T) {
+	l, im, ctrl := newLSU(16)
+	startRegion(t, ctrl, isa.DirUp)
+	const addr = 0x1000
+	// Lane 3 (pos 9) stores 111; lane 7 (pos 5) stores 222. Lane order wins
+	// over program position: lane 7 is sequentially younger.
+	a := reserve(t, l, 1, 9, 3, true, 1)
+	l.ExecStore(a, core.KindElem, addr, 4, isa.DirUp, onlyLane(3), all(), isa.Vec{3: 111}, 1)
+	b := reserve(t, l, 1, 5, 7, true, 2)
+	l.ExecStore(b, core.KindElem, addr, 4, isa.DirUp, onlyLane(7), all(), isa.Vec{7: 222}, 2)
+	l.CommitRegion(1)
+	if got := im.ReadInt(addr, 4); got != 222 {
+		t.Errorf("mem = %d, want 222 (lane 7 is sequentially younger)", got)
+	}
+	if l.Stats.WAWWritebacks != 4 {
+		t.Errorf("suppressed bytes = %d, want 4", l.Stats.WAWWritebacks)
+	}
+}
+
+func TestWAWElemVsElemSameLanePosOrder(t *testing.T) {
+	l, im, ctrl := newLSU(16)
+	startRegion(t, ctrl, isa.DirUp)
+	const addr = 0x1000
+	// Same lane: the later program position (higher SRV-id) wins.
+	a := reserve(t, l, 1, 5, 4, true, 1)
+	l.ExecStore(a, core.KindElem, addr, 4, isa.DirUp, onlyLane(4), all(), isa.Vec{4: 111}, 1)
+	b := reserve(t, l, 1, 9, 4, true, 2)
+	l.ExecStore(b, core.KindElem, addr, 4, isa.DirUp, onlyLane(4), all(), isa.Vec{4: 222}, 2)
+	l.CommitRegion(1)
+	if got := im.ReadInt(addr, 4); got != 222 {
+		t.Errorf("mem = %d, want 222 (higher SRV-id in the same lane)", got)
+	}
+}
+
+func TestWAWContigVsElem(t *testing.T) {
+	const base = 0x2000 // 64-aligned
+	// Case 1: the element entry is at a LATER position (higher ID) in the
+	// same lane as the contiguous byte it overwrites: element wins.
+	l, im, ctrl := newLSU(16)
+	startRegion(t, ctrl, isa.DirUp)
+	c := reserve(t, l, 1, 3, -1, true, 1)
+	l.ExecStore(c, core.KindContig, base, 4, isa.DirUp, all(), all(),
+		vecOf(func(i int) int64 { return int64(100 + i) }), 1)
+	e := reserve(t, l, 1, 8, 6, true, 2)
+	l.ExecStore(e, core.KindElem, base+6*4, 4, isa.DirUp, onlyLane(6), all(), isa.Vec{6: 999}, 2)
+	l.CommitRegion(1)
+	if got := im.ReadInt(base+6*4, 4); got != 999 {
+		t.Errorf("lane-6 byte = %d, want 999 (element at later position)", got)
+	}
+	if got := im.ReadInt(base+5*4, 4); got != 105 {
+		t.Errorf("lane-5 byte = %d, want 105 (untouched by the element)", got)
+	}
+
+	// Case 2: element at an EARLIER position than the contiguous store:
+	// the contiguous store's byte wins.
+	l2, im2, ctrl2 := newLSU(16)
+	startRegion(t, ctrl2, isa.DirUp)
+	e2 := reserve(t, l2, 1, 2, 6, true, 1)
+	l2.ExecStore(e2, core.KindElem, base+6*4, 4, isa.DirUp, onlyLane(6), all(), isa.Vec{6: 999}, 1)
+	c2 := reserve(t, l2, 1, 7, -1, true, 2)
+	l2.ExecStore(c2, core.KindContig, base, 4, isa.DirUp, all(), all(),
+		vecOf(func(i int) int64 { return int64(100 + i) }), 2)
+	l2.CommitRegion(1)
+	if got := im2.ReadInt(base+6*4, 4); got != 106 {
+		t.Errorf("lane-6 byte = %d, want 106 (contiguous store at later position)", got)
+	}
+}
+
+func TestWAWContigVsContig(t *testing.T) {
+	const base = 0x3000
+	l, im, ctrl := newLSU(16)
+	startRegion(t, ctrl, isa.DirUp)
+	a := reserve(t, l, 1, 3, -1, true, 1)
+	l.ExecStore(a, core.KindContig, base, 4, isa.DirUp, all(), all(),
+		vecOf(func(i int) int64 { return int64(100 + i) }), 1)
+	b := reserve(t, l, 1, 9, -1, true, 2)
+	l.ExecStore(b, core.KindContig, base, 4, isa.DirUp, all(), all(),
+		vecOf(func(i int) int64 { return int64(200 + i) }), 2)
+	l.CommitRegion(1)
+	for i := 0; i < 16; i++ {
+		if got := im.ReadInt(base+uint64(i*4), 4); got != int64(200+i) {
+			t.Fatalf("elem %d = %d, want %d (higher SRV-id wins)", i, got, 200+i)
+		}
+	}
+	if l.Stats.WAWWritebacks != 64 {
+		t.Errorf("suppressed bytes = %d, want 64", l.Stats.WAWWritebacks)
+	}
+}
+
+// TestWAWContigVsElemDown: under a DOWN region the contiguous store's byte
+// lanes are reversed (lane 0 holds the HIGHEST address), so the same-byte
+// ordering against an element entry must use the reversed lane.
+func TestWAWContigVsElemDown(t *testing.T) {
+	const base = 0x4000
+	l, im, ctrl := newLSU(16)
+	startRegion(t, ctrl, isa.DirDown)
+	// Contiguous DOWN store at position 5: byte of element 15 belongs to
+	// lane 0, element 0 to lane 15.
+	c := reserve(t, l, 1, 5, -1, true, 1)
+	l.ExecStore(c, core.KindContig, base, 4, isa.DirDown, all(), all(),
+		vecOf(func(i int) int64 { return int64(100 + i) }), 1)
+	// Element entry in lane 2 at element 15's address, EARLIER position
+	// (ID 3 < 5). Element 15's contig lane is 0 < 2, so the element entry
+	// is sequentially younger and must win.
+	e := reserve(t, l, 1, 3, 2, true, 2)
+	l.ExecStore(e, core.KindElem, base+15*4, 4, isa.DirDown, onlyLane(2), all(), isa.Vec{2: 777}, 2)
+	l.CommitRegion(1)
+	if got := im.ReadInt(base+15*4, 4); got != 777 {
+		t.Errorf("element-15 byte = %d, want 777 (lane 2 younger than DOWN lane 0)", got)
+	}
+	// Element 0's byte belongs to DOWN lane 15, which stored its own
+	// per-lane value (data is lane-indexed; lane 15 lands at element 0).
+	if got := im.ReadInt(base, 4); got != 115 {
+		t.Errorf("element-0 byte = %d, want 115 (lane 15's value)", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package mem provides the memory substrate for the simulator: a flat
+// byte-addressable memory image with a bump allocator for laying out
+// workload arrays, and a two-level set-associative cache timing model with
+// the hit latencies of the paper's Table I (L1 32KiB 4-way 2-cycle,
+// L2 1MiB 16-way 7-cycle).
+package mem
+
+import "fmt"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Image is a sparse, byte-addressable memory image. Pages are allocated on
+// first touch and zero-filled, so reads of untouched memory return zero.
+type Image struct {
+	pages map[uint64]*[pageSize]byte
+	next  uint64 // bump allocation cursor
+}
+
+// NewImage returns an empty image. Allocation starts at a non-zero base so
+// that address 0 stays invalid.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint64]*[pageSize]byte), next: 0x1000}
+}
+
+// Alloc reserves n bytes aligned to align (which must be a power of two) and
+// returns the base address. A guard gap is left between allocations so that
+// out-of-bounds accesses land in distinct regions during debugging.
+func (im *Image) Alloc(n int, align uint64) uint64 {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	base := (im.next + align - 1) &^ (align - 1)
+	im.next = base + uint64(n) + 64 // guard gap
+	return base
+}
+
+func (im *Image) page(addr uint64) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := im.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		im.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies len(p) bytes starting at addr into p.
+func (im *Image) ReadBytes(addr uint64, p []byte) {
+	for len(p) > 0 {
+		pg := im.page(addr)
+		off := int(addr & (pageSize - 1))
+		n := copy(p, pg[off:])
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// WatchAddr and WatchFn are a debug hook: when WatchFn is non-nil, every
+// write covering WatchAddr invokes it. Test-only instrumentation.
+var (
+	WatchAddr uint64
+	WatchFn   func(addr uint64, val byte)
+)
+
+// WriteBytes copies p into memory starting at addr.
+func (im *Image) WriteBytes(addr uint64, p []byte) {
+	if WatchFn != nil && addr <= WatchAddr && WatchAddr < addr+uint64(len(p)) {
+		WatchFn(addr, p[WatchAddr-addr])
+	}
+	for len(p) > 0 {
+		pg := im.page(addr)
+		off := int(addr & (pageSize - 1))
+		n := copy(pg[off:], p)
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadInt loads n little-endian bytes and sign-extends.
+func (im *Image) ReadInt(addr uint64, n int) int64 {
+	var buf [8]byte
+	im.ReadBytes(addr, buf[:n])
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(buf[i]) << (8 * uint(i))
+	}
+	shift := uint(64 - 8*n)
+	return int64(v<<shift) >> shift
+}
+
+// WriteInt stores the low n bytes of v little-endian.
+func (im *Image) WriteInt(addr uint64, n int, v int64) {
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		buf[i] = byte(uint64(v) >> (8 * uint(i)))
+	}
+	im.WriteBytes(addr, buf[:n])
+}
+
+// Clone returns a deep copy of the image, used to run the same initial state
+// through several execution strategies.
+func (im *Image) Clone() *Image {
+	c := NewImage()
+	c.next = im.next
+	for pn, p := range im.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Equal reports whether two images hold identical contents. Zero pages are
+// treated as absent.
+func (im *Image) Equal(o *Image) bool {
+	return im.coveredBy(o) && o.coveredBy(im)
+}
+
+func isZero(p *[pageSize]byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (im *Image) coveredBy(o *Image) bool {
+	for pn, p := range im.pages {
+		q := o.pages[pn]
+		if q == nil {
+			if !isZero(p) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the lowest address at which the images differ, for test
+// diagnostics. The second result is false when the images are equal.
+func (im *Image) FirstDiff(o *Image) (uint64, bool) {
+	seen := make(map[uint64]bool)
+	var lowest uint64
+	found := false
+	check := func(pn uint64) {
+		if seen[pn] {
+			return
+		}
+		seen[pn] = true
+		a, b := im.pages[pn], o.pages[pn]
+		var za, zb [pageSize]byte
+		if a == nil {
+			a = &za
+		}
+		if b == nil {
+			b = &zb
+		}
+		for i := 0; i < pageSize; i++ {
+			if a[i] != b[i] {
+				addr := pn<<pageBits + uint64(i)
+				if !found || addr < lowest {
+					lowest, found = addr, true
+				}
+				return
+			}
+		}
+	}
+	for pn := range im.pages {
+		check(pn)
+	}
+	for pn := range o.pages {
+		check(pn)
+	}
+	return lowest, found
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+// TestBroadcastRAWReplay exercises paper §IV-C4: a broadcast load is "an
+// access to the same memory address by each lane". When a later scatter
+// writes that address from lane K, every broadcast lane > K consumed stale
+// data and must replay; lanes <= K keep the original value. Sequentially:
+//
+//	for i: d[i] = a[5]; a[x[i]] = 99   (x[3] == 5)
+//
+// so d[0..3] hold the original a[5] and d[4..15] hold 99.
+func TestBroadcastRAWReplay(t *testing.T) {
+	im := mem.NewImage()
+	a := im.Alloc(64*4, 64)
+	x := im.Alloc(16*4, 64)
+	d := im.Alloc(16*4, 64)
+	im.WriteInt(a+5*4, 4, 1234) // original a[5]
+	for i := 0; i < 16; i++ {
+		xi := int64(40 + i) // far away: no conflict
+		if i == 3 {
+			xi = 5 // lane 3 writes a[5]
+		}
+		im.WriteInt(x+uint64(i*4), 4, xi)
+	}
+	prog := isa.NewBuilder().
+		MovI(0, int64(a)).
+		MovI(1, int64(x)).
+		MovI(2, int64(d)).
+		MovI(3, 99).
+		SRVStart(isa.DirUp).
+		VBcast(0, 0, 5*4, 4, isa.NoPred).    // v0[i] = a[5]
+		VLoad(1, 1, 0, 4, isa.NoPred).       // v1 = x[i]
+		VSplat(2, 3).                        // v2 = 99
+		VScatter(0, 1, 2, 0, 4, isa.NoPred). // a[x[i]] = 99
+		VStore(2, 0, 4, 0, isa.NoPred).      // d[i] = v0[i]
+		SRVEnd().
+		Halt().
+		MustBuild()
+
+	// Pipeline.
+	p := New(testConfig(), prog, im.Clone())
+	run(t, p)
+	checkBroadcast(t, "pipeline", p.Mem, d)
+	if p.Ctrl.Stats.Replays == 0 {
+		t.Error("pipeline: broadcast RAW must trigger a replay")
+	}
+
+	// Interpreter agrees.
+	im2 := im.Clone()
+	ip := isa.NewInterp(prog, im2)
+	if err := ip.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	checkBroadcast(t, "interp", im2, d)
+	if ip.Counts.Replays == 0 {
+		t.Error("interp: broadcast RAW must trigger a replay")
+	}
+}
+
+func checkBroadcast(t *testing.T, who string, im *mem.Image, d uint64) {
+	t.Helper()
+	for i := 0; i < 16; i++ {
+		want := int64(1234)
+		if i > 3 {
+			want = 99
+		}
+		if got := im.ReadInt(d+uint64(i*4), 4); got != want {
+			t.Errorf("%s: d[%d] = %d, want %d", who, i, got, want)
+		}
+	}
+}
+
+// TestElementSizeAgnosticism: the paper fixes the vector length to 16
+// elements "agnostic of the element size". The same kernel must be correct
+// at every element width, and the speedup must stay in the same band.
+func TestElementSizeAgnosticism(t *testing.T) {
+	for _, elem := range []int{1, 2, 4, 8} {
+		im := mem.NewImage()
+		const n = 256
+		aBase := im.Alloc((n+16)*elem, 64)
+		xBase := im.Alloc(n*4, 64)
+		ref := make([]int64, n+16)
+		mask := int64(1)<<(8*uint(elem)-1) - 1 // keep values positive in-width
+		for i := 0; i < n; i++ {
+			v := int64(i*3+1) & mask
+			ref[i] = v
+			im.WriteInt(aBase+uint64(i*elem), elem, v)
+			xi := int64(i - 1)
+			if i%4 == 0 {
+				xi = int64(i + 3)
+			}
+			im.WriteInt(xBase+uint64(i*4), 4, xi)
+		}
+		// Reference.
+		for i := 0; i < n; i++ {
+			xi := i - 1
+			if i%4 == 0 {
+				xi = i + 3
+			}
+			nv := ref[i] + 2
+			shift := uint(64 - 8*elem)
+			ref[xi] = nv << shift >> shift // value truncated to elem width
+		}
+
+		prog := isa.NewBuilder().
+			MovI(0, 0).
+			MovI(1, n).
+			MovI(2, int64(aBase)).
+			MovI(3, int64(xBase)).
+			MovI(4, int64(aBase)).
+			Label("loop").
+			SRVStart(isa.DirUp).
+			VLoad(0, 2, 0, elem, isa.NoPred).
+			VAddI(0, 0, 2, isa.NoPred).
+			VLoad(1, 3, 0, 4, isa.NoPred).
+			VScatter(4, 1, 0, 0, elem, isa.NoPred).
+			SRVEnd().
+			AddI(0, 0, 16).
+			AddI(2, 2, int64(16*elem)).
+			AddI(3, 3, 64).
+			BLT(0, 1, "loop").
+			Halt().
+			MustBuild()
+		p := New(testConfig(), prog, im)
+		run(t, p)
+		for i := 0; i < n; i++ {
+			if got := p.Mem.ReadInt(aBase+uint64(i*elem), elem); got != ref[i] {
+				t.Errorf("elem=%d: a[%d] = %d, want %d", elem, i, got, ref[i])
+			}
+		}
+		if p.Ctrl.Stats.Replays != int64(n/16) {
+			t.Errorf("elem=%d: replays = %d, want %d (one per group)",
+				elem, p.Ctrl.Stats.Replays, n/16)
+		}
+	}
+}

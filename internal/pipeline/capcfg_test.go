@@ -1,0 +1,9 @@
+package pipeline
+
+// testConfig returns the default configuration with a small cycle budget so
+// deadlocks fail fast in tests.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.MaxCycles = 2_000_000
+	return c
+}

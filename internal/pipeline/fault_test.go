@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+// faultProg builds a gather loop: d[i] = a[x[i]] over one vector group.
+func faultProg(aBase, xBase, dBase uint64) *isa.Program {
+	return isa.NewBuilder().
+		MovI(0, int64(aBase)).
+		MovI(1, int64(xBase)).
+		MovI(2, int64(dBase)).
+		SRVStart(isa.DirUp).
+		VLoad(1, 1, 0, 4, isa.NoPred).      // v1 = x[0:15]
+		VGather(0, 0, 1, 0, 4, isa.NoPred). // v0 = a[x[i]]
+		VStore(2, 0, 4, 0, isa.NoPred).     // d[i] = v0
+		SRVEnd().
+		Halt().
+		MustBuild()
+}
+
+func setupFault(t *testing.T) (*Pipeline, *mem.Image, uint64, uint64) {
+	t.Helper()
+	im := mem.NewImage()
+	aBase := im.Alloc(64*4, 64)
+	xBase := im.Alloc(16*4, 64)
+	dBase := im.Alloc(16*4, 64)
+	for i := 0; i < 64; i++ {
+		im.WriteInt(aBase+uint64(i*4), 4, int64(i*7))
+	}
+	for i := 0; i < 16; i++ {
+		im.WriteInt(xBase+uint64(i*4), 4, int64(i*2))
+	}
+	p := New(testConfig(), faultProg(aBase, xBase, dBase), im)
+	return p, im, aBase, dBase
+}
+
+func checkFaultResult(t *testing.T, im *mem.Image, dBase uint64) {
+	t.Helper()
+	for i := 0; i < 16; i++ {
+		want := int64(i * 2 * 7) // a[x[i]] = a[2i] = 2i*7
+		if got := im.ReadInt(dBase+uint64(i*4), 4); got != want {
+			t.Errorf("d[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFaultOldestLaneTakenPrecisely(t *testing.T) {
+	p, im, aBase, dBase := setupFault(t)
+	// Lane 0 gathers a[0]: fault on the very first element — the oldest
+	// active lane, so the exception is taken immediately and precisely.
+	p.FaultAddrs = map[uint64]bool{aBase: true}
+	p.FaultServiceCycles = 25
+	run(t, p)
+	checkFaultResult(t, im, dBase)
+	if p.Stats.Exceptions != 1 {
+		t.Errorf("exceptions = %d, want 1", p.Stats.Exceptions)
+	}
+	if p.Stats.DeferredFaults != 0 {
+		t.Errorf("deferred faults = %d, want 0 (lane 0 is oldest)", p.Stats.DeferredFaults)
+	}
+	if len(p.FaultAddrs) != 0 {
+		t.Error("fault must be serviced (address mapped)")
+	}
+}
+
+func TestFaultYoungerLaneDeferredToReplay(t *testing.T) {
+	p, im, aBase, dBase := setupFault(t)
+	// Lane 5 gathers a[10]: not the oldest lane on the first pass, so the
+	// fault defers — lane 5 and all younger lanes are marked for replay
+	// (§III-D3: "to guard against exceptions occurring as a result of using
+	// erroneous data"). On the replay, lane 5 IS the oldest active lane and
+	// the fault is taken precisely.
+	p.FaultAddrs = map[uint64]bool{aBase + 10*4: true}
+	run(t, p)
+	checkFaultResult(t, im, dBase)
+	if p.Stats.DeferredFaults == 0 {
+		t.Error("the first encounter must defer the fault")
+	}
+	if p.Stats.Exceptions != 1 {
+		t.Errorf("exceptions = %d, want exactly 1 (taken on replay)", p.Stats.Exceptions)
+	}
+	if p.Ctrl.Stats.ExcReplays == 0 {
+		t.Error("exception-lane re-marking must be counted")
+	}
+}
+
+func TestFaultOutsideRegionScalar(t *testing.T) {
+	im := mem.NewImage()
+	base := im.Alloc(64, 64)
+	im.WriteInt(base, 8, 4242)
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, int64(base)).
+		Load(1, 0, 0, 8).
+		AddI(2, 1, 1).
+		Halt().
+		MustBuild(), im)
+	p.FaultAddrs = map[uint64]bool{base: true}
+	run(t, p)
+	if p.Stats.Exceptions != 1 {
+		t.Errorf("exceptions = %d, want 1", p.Stats.Exceptions)
+	}
+	if p.S[2] != 4243 {
+		t.Errorf("post-fault result = %d, want 4243 (re-executed after service)", p.S[2])
+	}
+}
+
+func TestFaultMultipleLanes(t *testing.T) {
+	p, im, aBase, dBase := setupFault(t)
+	// Faults in lanes 3 and 9: both defer on the first pass; on replay lane
+	// 3 is oldest -> taken; after resume lane 9's fault is taken in turn.
+	p.FaultAddrs = map[uint64]bool{aBase + 6*4: true, aBase + 18*4: true}
+	run(t, p)
+	checkFaultResult(t, im, dBase)
+	if p.Stats.Exceptions != 2 {
+		t.Errorf("exceptions = %d, want 2", p.Stats.Exceptions)
+	}
+	if len(p.FaultAddrs) != 0 {
+		t.Error("all faults must be serviced")
+	}
+}
+
+// TestFaultContiguousLoadLane: contiguous vector loads identify the faulting
+// lane by byte offset (reversed under DOWN) and follow the same
+// oldest-lane/defer discipline as gathers.
+func TestFaultContiguousLoadLane(t *testing.T) {
+	im := mem.NewImage()
+	aBase := im.Alloc(64, 64)
+	dBase := im.Alloc(64, 64)
+	for i := 0; i < 16; i++ {
+		im.WriteInt(aBase+uint64(i*4), 4, int64(i*11))
+	}
+	prog := isa.NewBuilder().
+		MovI(0, int64(aBase)).
+		MovI(1, int64(dBase)).
+		SRVStart(isa.DirUp).
+		VLoad(0, 0, 0, 4, isa.NoPred).
+		VStore(1, 0, 4, 0, isa.NoPred).
+		SRVEnd().
+		Halt().
+		MustBuild()
+	p := New(testConfig(), prog, im)
+	// Fault at lane 6's element: deferred on the first pass, taken on the
+	// replay where lane 6 is oldest.
+	p.FaultAddrs = map[uint64]bool{aBase + 6*4: true}
+	run(t, p)
+	for i := 0; i < 16; i++ {
+		want := int64(i * 11)
+		if got := im.ReadInt(dBase+uint64(i*4), 4); got != want {
+			t.Errorf("d[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if p.Stats.DeferredFaults == 0 || p.Stats.Exceptions != 1 {
+		t.Errorf("deferred=%d exceptions=%d, want >0 and 1",
+			p.Stats.DeferredFaults, p.Stats.Exceptions)
+	}
+}

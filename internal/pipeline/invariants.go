@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"srvsim/internal/core"
+	"srvsim/internal/isa"
+)
+
+// Paranoid mode: when enabled (tests), structural invariants are checked
+// after every cycle and violations panic with a diagnostic. The checks cover
+// the properties the rest of the model silently relies on.
+func (p *Pipeline) EnableParanoid() { p.paranoid = true }
+
+func (p *Pipeline) checkInvariants() {
+	// 1. ROB sequence numbers strictly increase and states are sane.
+	var prev int64 = -1
+	dispatched := 0
+	for i, e := range p.rob {
+		if e.seq <= prev {
+			panic(fmt.Sprintf("invariant: ROB seq not increasing at %d (%d after %d), cycle %d",
+				i, e.seq, prev, p.cycle))
+		}
+		prev = e.seq
+		switch e.state {
+		case sDispatched:
+			dispatched++
+		case sIssued, sDone:
+		default:
+			panic(fmt.Sprintf("invariant: bad state %d at seq %d", e.state, e.seq))
+		}
+	}
+	// 2. Structural capacities.
+	if len(p.rob) > p.Cfg.ROBSize {
+		panic(fmt.Sprintf("invariant: ROB %d > %d", len(p.rob), p.Cfg.ROBSize))
+	}
+	if dispatched > p.Cfg.IQSize {
+		panic(fmt.Sprintf("invariant: IQ %d > %d", dispatched, p.Cfg.IQSize))
+	}
+	if p.LSU.Len() > p.Cfg.LSQSize {
+		panic(fmt.Sprintf("invariant: LSU %d > %d", p.LSU.Len(), p.Cfg.LSQSize))
+	}
+	// 3. srv_end instances never execute concurrently (serialisation); any
+	// number may be dispatched-but-waiting.
+	executing := 0
+	for _, e := range p.rob {
+		if e.inst.Op == isa.OpSRVEnd && e.state == sIssued {
+			executing++
+		}
+	}
+	if executing > 1 {
+		panic(fmt.Sprintf("invariant: %d srv_end executing concurrently, cycle %d", executing, p.cycle))
+	}
+	// 4. Controller consistency: an active speculative region has a restart
+	// PC; outside regions both replay registers are clear.
+	switch p.Ctrl.Mode() {
+	case core.ModeOff:
+		if p.Ctrl.Replay().Any() || p.Ctrl.NeedsReplay().Any() {
+			panic("invariant: replay registers set outside a region")
+		}
+		if p.Ctrl.StartPC() != 0 {
+			panic("invariant: restart PC set outside a region")
+		}
+	case core.ModeSpeculative:
+		if !p.Ctrl.Replay().Any() {
+			panic("invariant: speculative region with an empty SRV-replay register")
+		}
+	case core.ModeFallback:
+		if p.Ctrl.Replay().Count() != 1 {
+			panic("invariant: fallback pass must run exactly one lane")
+		}
+	}
+	// 5. The rename map only points at live or committed entries that wrote
+	// the mapped register.
+	for ref, e := range p.rename {
+		if e == nil {
+			panic("invariant: nil rename mapping")
+		}
+		if !e.hasWrite || e.writeRef != ref {
+			panic(fmt.Sprintf("invariant: rename[%v] points at a non-writer (pc %d)", ref, e.pc))
+		}
+	}
+}

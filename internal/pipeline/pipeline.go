@@ -1,0 +1,929 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"srvsim/internal/core"
+	"srvsim/internal/isa"
+	"srvsim/internal/lsu"
+	"srvsim/internal/mem"
+	"srvsim/internal/predictor"
+)
+
+// entry states.
+const (
+	sDispatched = iota
+	sIssued
+	sDone
+)
+
+// src links an operand to its producing in-flight instruction (nil producer
+// means the architectural register file holds the value).
+type src struct {
+	ref  isa.RegRef
+	prod *robEntry
+	// mergeOnly marks an old-destination read added solely for SRV-replay
+	// merging of an unpredicated in-region write: when the SRV-replay
+	// register is fully set, every lane is overwritten and the old value is
+	// not consumed, so the dependency is waived (the mask only changes at
+	// the srv_end serialisation point, so this is safe to evaluate at issue).
+	mergeOnly bool
+}
+
+type robEntry struct {
+	seq   int64
+	pc    int
+	inst  *isa.Inst
+	state int
+
+	// Region bookkeeping: regionIdx is the SRV region instance this
+	// instruction belongs to (-1 outside); the After fields snapshot the
+	// dispatcher's region state after this instruction, for squash rollback.
+	regionIdx          int
+	regionCounterAfter int
+	inRegionAfter      bool
+	fallback           bool // dispatched while the region ran in fallback mode
+
+	srcs       []src
+	hasWrite   bool
+	writeRef   isa.RegRef
+	prevWriter *robEntry // rename rollback: previous producer of writeRef
+
+	doneAt int64
+
+	// Results (valid once state >= sIssued).
+	sclRes  int64
+	vecRes  isa.Vec
+	predRes isa.Pred
+
+	// Branch state.
+	predTaken  bool
+	predTarget int
+
+	// Memory state.
+	lsuEntries []*lsu.Entry
+	memElems   int // port slots still to drain
+	cacheLat   int
+	granted    bool // all port slots granted; doneAt fixed
+
+	// Stage cycles for the timeline (recorded when enabled).
+	fetchAt, dispatchAt, issueAt int64
+
+	// faulted marks an instruction that raised a memory exception in its
+	// oldest active lane: it blocks commit (and srv_end) until the fault is
+	// delivered precisely at the ROB head (§III-D3).
+	faulted   bool
+	faultAddr uint64
+}
+
+// fetchSlot is one instruction travelling through the front end.
+type fetchSlot struct {
+	pc         int
+	readyAt    int64
+	predTaken  bool
+	predTarget int
+}
+
+// Pipeline is the simulated core.
+type Pipeline struct {
+	Cfg   Config
+	Prog  *isa.Program
+	Mem   *mem.Image
+	Hier  *mem.Hierarchy
+	Ctrl  *core.Controller
+	LSU   *lsu.LSU
+	BP    *predictor.Branch
+	SS    *predictor.StoreSet
+	Stats Stats
+
+	// Architectural state.
+	S  [isa.NumSclRegs]int64
+	Vr [isa.NumVecRegs]isa.Vec
+	Pr [isa.NumPredReg]isa.Pred
+
+	rob     []*robEntry
+	rename  map[isa.RegRef]*robEntry
+	nextSeq int64
+	cycle   int64
+
+	fetchPC      int
+	fetchStalled bool // stop fetching (after halt or program end)
+	fetchq       []fetchSlot
+
+	// Dispatcher region state.
+	dispRegionCounter int
+	dispInRegion      bool
+
+	// Current architecturally started region.
+	curInstance int
+	curStartSeq int64 // seq of the srv_start that opened it
+	halted      bool
+	haltSeen    bool
+
+	// Interrupt injection (tests / examples).
+	intrAt   int64 // cycle to take an interrupt; 0 = none
+	intrDur  int64
+	resumeAt int64 // front-end frozen until this cycle
+	savedSRV core.Saved
+	resuming bool
+
+	// Fault injection: accesses whose element address is in FaultAddrs
+	// raise a memory exception (e.g. an unmapped page). Servicing a fault
+	// removes the address and costs FaultServiceCycles.
+	FaultAddrs         map[uint64]bool
+	FaultServiceCycles int64
+
+	// Stage-timeline recording (pipeview).
+	recordTimeline bool
+	timeline       []TimelineEntry
+
+	// Region durations: cycles from srv_start execution to region commit
+	// (including replays), capped at TimelineCap entries.
+	regionStartCycle int64
+	regionDurations  []int64
+
+	// Paranoid mode: check structural invariants after every cycle.
+	paranoid bool
+}
+
+// New builds a pipeline over prog with fresh architectural state.
+func New(cfg Config, prog *isa.Program, image *mem.Image) *Pipeline {
+	ctrl := &core.Controller{}
+	p := &Pipeline{
+		Cfg:         cfg,
+		Prog:        prog,
+		Mem:         image,
+		Hier:        mem.DefaultHierarchy(),
+		Ctrl:        ctrl,
+		BP:          predictor.NewBranch(predictor.DefaultBranchConfig()),
+		SS:          predictor.NewStoreSet(1024, 128),
+		rename:      make(map[isa.RegRef]*robEntry),
+		curInstance: -1,
+	}
+	p.Hier.NextLinePrefetch = cfg.Prefetch
+	p.LSU = lsu.New(cfg.LSQSize, image, ctrl)
+	return p
+}
+
+// ScheduleInterrupt injects an interrupt at the given cycle, freezing the
+// front end for dur cycles (the handler's cost) before resuming per §III-D2.
+func (p *Pipeline) ScheduleInterrupt(at, dur int64) {
+	p.intrAt, p.intrDur = at, dur
+}
+
+// Run simulates until Halt commits. It returns an error when the cycle
+// budget is exhausted.
+func (p *Pipeline) Run() error {
+	max := p.Cfg.MaxCycles
+	if max == 0 {
+		max = 2_000_000_000
+	}
+	for !p.halted {
+		if p.cycle >= max {
+			return fmt.Errorf("pipeline: cycle budget %d exhausted at pc %d (rob=%d)", max, p.fetchPC, len(p.rob))
+		}
+		p.step()
+	}
+	p.Stats.Cycles = p.cycle
+	return nil
+}
+
+func (p *Pipeline) step() {
+	p.cycle++
+	if p.intrAt > 0 && p.cycle >= p.intrAt && p.interruptSafe() {
+		p.takeInterrupt()
+		p.intrAt = 0
+	}
+	if p.resumeAt > 0 {
+		if p.cycle < p.resumeAt {
+			return
+		}
+		p.resumeAt = 0
+		if p.resuming {
+			p.Ctrl.Resume(p.savedSRV)
+			p.resuming = false
+		}
+	}
+	// Precise exception delivery: the faulting instruction has reached the
+	// ROB head with every older instruction committed (§III-D3).
+	if len(p.rob) > 0 && p.rob[0].faulted {
+		p.deliverFault()
+		return
+	}
+	p.commit()
+	p.complete()
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	if p.paranoid {
+		p.checkInvariants()
+	}
+}
+
+// raiseFault is called at execute time when an access in the instruction's
+// oldest active lane hits a faulting address: the instruction stalls commit
+// until it reaches the ROB head, where the fault is taken precisely.
+func (p *Pipeline) raiseFault(e *robEntry, addr uint64) {
+	e.faulted = true
+	e.faultAddr = addr
+}
+
+// deliverFault services the fault at the ROB head: the address becomes
+// mappable, the pipeline flushes, and execution resumes at the faulting
+// instruction — through the §III-D2 save/resume path when inside a region.
+func (p *Pipeline) deliverFault() {
+	e := p.rob[0]
+	p.Stats.Exceptions++
+	delete(p.FaultAddrs, e.faultAddr)
+	committedSeq := e.seq - 1
+	if p.Ctrl.InRegion() && e.pc >= p.Ctrl.StartPC() {
+		mode := p.Ctrl.Mode()
+		saved := p.Ctrl.Suspend(e.pc)
+		if mode == core.ModeSpeculative {
+			p.LSU.WritebackNonSpec(p.curInstance, saved.Replay.Oldest(), e.pc)
+		}
+		p.savedSRV = saved
+		p.resuming = true
+		p.squashAfter(committedSeq)
+		p.dispRegionCounter++
+		p.curInstance = p.dispRegionCounter
+		p.dispInRegion = true
+		p.curStartSeq = committedSeq
+		p.redirect(saved.CurrentPC)
+	} else {
+		if p.Ctrl.InRegion() {
+			p.Ctrl.Abort()
+			p.LSU.DiscardRegion(p.curInstance)
+			p.curInstance = -1
+		}
+		p.squashAfter(committedSeq)
+		p.dispInRegion = false
+		p.redirect(e.pc)
+	}
+	dur := p.FaultServiceCycles
+	if dur <= 0 {
+		dur = 30
+	}
+	p.resumeAt = p.cycle + dur
+}
+
+// ---- Fetch ----
+
+func (p *Pipeline) fetch() {
+	if p.fetchStalled {
+		return
+	}
+	for n := 0; n < p.Cfg.Width; n++ {
+		if p.fetchPC < 0 || p.fetchPC >= p.Prog.Len() {
+			p.fetchStalled = true
+			return
+		}
+		in := p.Prog.At(p.fetchPC)
+		slot := fetchSlot{pc: p.fetchPC, readyAt: p.cycle + int64(p.Cfg.FrontEndDelay)}
+		switch {
+		case in.Op == isa.OpHalt:
+			p.fetchq = append(p.fetchq, slot)
+			p.fetchStalled = true
+			return
+		case in.Op == isa.OpJmp:
+			slot.predTaken, slot.predTarget = true, in.Tgt
+			p.fetchq = append(p.fetchq, slot)
+			p.fetchPC = in.Tgt
+			return // taken-branch fetch break
+		case in.IsCondBranch():
+			taken, target, hit := p.BP.Predict(p.fetchPC)
+			if !hit {
+				taken, target = false, p.fetchPC+1
+			} else if taken {
+				// BTB target used only on predicted-taken.
+			} else {
+				target = p.fetchPC + 1
+			}
+			slot.predTaken, slot.predTarget = taken, target
+			p.fetchq = append(p.fetchq, slot)
+			p.fetchPC = target
+			if taken {
+				return
+			}
+		default:
+			p.fetchq = append(p.fetchq, slot)
+			p.fetchPC++
+		}
+	}
+}
+
+// ---- Dispatch ----
+
+func (p *Pipeline) iqOccupancy() int {
+	n := 0
+	for _, e := range p.rob {
+		if e.state == sDispatched {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.Cfg.Width; n++ {
+		if len(p.fetchq) == 0 || p.fetchq[0].readyAt > p.cycle {
+			return
+		}
+		if len(p.rob) >= p.Cfg.ROBSize {
+			p.Stats.DispatchStallROB++
+			return
+		}
+		if p.iqOccupancy() >= p.Cfg.IQSize {
+			p.Stats.DispatchStallIQ++
+			return
+		}
+		slot := p.fetchq[0]
+		in := p.Prog.At(slot.pc)
+
+		e := &robEntry{
+			seq:        p.nextSeq + 1,
+			pc:         slot.pc,
+			inst:       in,
+			regionIdx:  -1,
+			predTaken:  slot.predTaken,
+			predTarget: slot.predTarget,
+			fetchAt:    slot.readyAt - int64(p.Cfg.FrontEndDelay),
+			dispatchAt: p.cycle,
+		}
+		if p.dispInRegion {
+			e.regionIdx = p.dispRegionCounter
+			// Fallback dispatch applies only to the region instance that is
+			// currently executing in fallback mode — instructions of the
+			// NEXT region fetched ahead must reserve speculative entries.
+			e.fallback = p.Ctrl.Mode() == core.ModeFallback &&
+				p.dispRegionCounter == p.curInstance
+		}
+
+		// Reserve LSU entries before committing to dispatch.
+		if in.IsMem() {
+			instance := lsu.NoInstance
+			if e.regionIdx >= 0 && !e.fallback {
+				instance = e.regionIdx
+			}
+			if !p.reserveLSU(e, instance) {
+				return // stalled (or fallback redirect emptied the queue)
+			}
+		}
+
+		p.nextSeq++
+		p.fetchq = p.fetchq[1:]
+
+		// Region bookkeeping.
+		switch in.Op {
+		case isa.OpSRVStart:
+			p.dispRegionCounter++
+			p.dispInRegion = true
+			e.regionIdx = p.dispRegionCounter
+		case isa.OpSRVEnd:
+			p.dispInRegion = false
+		}
+		e.regionCounterAfter = p.dispRegionCounter
+		e.inRegionAfter = p.dispInRegion
+
+		// Rename: capture producers for reads, record previous writer.
+		for _, r := range in.Reads() {
+			e.srcs = append(e.srcs, src{ref: r, prod: p.rename[r]})
+		}
+		if e.regionIdx >= 0 && in.Pg == isa.NoPred {
+			// Inside a region every vector/predicate write merges with its
+			// old value under the SRV-replay mask (paper §III-D5), so the
+			// old destination becomes a source even without a governing
+			// predicate. The read is only consumed when the mask is partial.
+			for _, w := range in.Writes() {
+				if w.Class != isa.RegScalar {
+					e.srcs = append(e.srcs, src{ref: w, prod: p.rename[w], mergeOnly: true})
+				}
+			}
+		}
+		if ws := in.Writes(); len(ws) == 1 {
+			e.hasWrite, e.writeRef = true, ws[0]
+			e.prevWriter = p.rename[ws[0]]
+			p.rename[ws[0]] = e
+		}
+
+		p.rob = append(p.rob, e)
+	}
+}
+
+// reserveLSU allocates the LSU entries for a memory instruction: one per
+// lane for gathers and scatters, one otherwise. On overflow the region is
+// demoted to sequential fallback (paper §III-D7).
+func (p *Pipeline) reserveLSU(e *robEntry, instance int) bool {
+	want := 1
+	if e.inst.IsGatherScatter() && !e.fallback {
+		// One entry per lane (paper §III-B). In sequential fallback mode a
+		// single lane executes per pass, needing one conventional entry.
+		want = isa.NumLanes
+	}
+	seq := p.nextSeq + 1
+	for lane := 0; lane < want; lane++ {
+		l := lane
+		if want == 1 {
+			l = -1
+		}
+		r := p.LSU.Reserve(instance, e.pc, l, e.inst.IsStore(), seq)
+		if r.OK {
+			e.lsuEntries = append(e.lsuEntries, r.Entry)
+			continue
+		}
+		// Roll back partial reservations unless they are reused region
+		// entries (which must persist).
+		if instance == lsu.NoInstance {
+			p.LSU.SquashYounger(seq - 1)
+		}
+		e.lsuEntries = nil
+		if r.Overflow && p.Ctrl.Mode() == core.ModeSpeculative {
+			p.enterFallback()
+			return false
+		}
+		p.Stats.DispatchStallLSQ++
+		return false
+	}
+	return true
+}
+
+// enterFallback demotes the current region to sequential execution: all
+// instructions younger than the region's srv_start are squashed, the
+// region's LSU entries discarded, and fetch restarts at the region body with
+// a single active lane.
+func (p *Pipeline) enterFallback() {
+	p.Ctrl.EnterFallback()
+	p.LSU.DiscardRegion(p.curInstance)
+	p.squashAfter(p.curStartSeq)
+	p.dispRegionCounter = p.curInstance
+	p.dispInRegion = true
+	p.redirect(p.Ctrl.StartPC())
+}
+
+// ---- Issue ----
+
+func (p *Pipeline) issue() {
+	budget := struct{ total, scalar, branch, vecInt, vecOther, load, store int }{}
+	loadSlots := p.Cfg.LoadPorts
+	storeSlots := p.Cfg.StoreElemPerCycle
+	if storeSlots == 0 {
+		storeSlots = p.Cfg.StorePorts
+	}
+
+	// Drain pending gather/scatter element accesses first: they own port
+	// slots from previous cycles.
+	for _, e := range p.rob {
+		if e.state != sIssued || e.granted || !e.inst.IsMem() {
+			continue
+		}
+		ports := &loadSlots
+		if e.inst.IsStore() {
+			ports = &storeSlots
+		}
+		for e.memElems > 0 && *ports > 0 {
+			e.memElems--
+			*ports--
+		}
+		if e.memElems == 0 {
+			e.granted = true
+			e.doneAt = p.cycle + int64(e.cacheLat)
+		}
+	}
+
+	barrierSeq := int64(-1) // seq of a pending srv_end (RelaxedBarrier mode)
+	for _, e := range p.rob {
+		// The srv_end serialisation barrier: a pending srv_end (waiting or
+		// executing) blocks all younger issue (paper §III-D1). The cycles
+		// *introduced by* the barrier (Fig 8) are those where everything
+		// older has already completed — the machine is purely performing
+		// the serialisation handshake — while younger work sits ready; the
+		// preceding drain is attributed to the memory operations themselves.
+		if e.inst.Op == isa.OpSRVEnd && e.state != sDone {
+			if e.state == sDispatched && p.allOlderDone(e) {
+				if p.anyYoungerReady(e.seq) {
+					p.Stats.BarrierCycles++
+				}
+				p.execute(e, &loadSlots, &storeSlots)
+				break // nothing younger issues in the same cycle
+			}
+			if e.state == sIssued && p.anyYoungerReady(e.seq) {
+				p.Stats.BarrierCycles++
+			}
+			if !p.Cfg.RelaxedBarrier {
+				break
+			}
+			// Relaxed mode: younger non-memory work may proceed past the
+			// pending barrier; srv_start and memory operations still wait.
+			barrierSeq = e.seq
+			continue
+		}
+		if barrierSeq >= 0 && e.seq > barrierSeq {
+			if e.inst.IsMem() || e.inst.Op == isa.OpSRVStart || e.inst.Op == isa.OpSRVEnd {
+				continue
+			}
+		}
+		if e.state != sDispatched {
+			continue
+		}
+		if !p.ready(e) {
+			if p.Cfg.InOrder {
+				break // in-order issue: stall at the first not-ready instruction
+			}
+			continue
+		}
+		// Global issue width (Table I: issue width 8), then per-class
+		// functional-unit budgets.
+		if budget.total >= p.Cfg.Width {
+			break
+		}
+		switch p.fuClass(e.inst) {
+		case fuScalar:
+			if budget.scalar >= p.Cfg.ScalarPerCycle {
+				continue
+			}
+			budget.scalar++
+		case fuBranch:
+			if budget.branch >= p.Cfg.BranchPerCycle {
+				continue
+			}
+			budget.branch++
+		case fuVecInt:
+			if budget.vecInt >= p.Cfg.VecIntPerCycle {
+				continue
+			}
+			budget.vecInt++
+		case fuVecOther:
+			if budget.vecOther >= p.Cfg.VecOtherPerCycle {
+				continue
+			}
+			budget.vecOther++
+		case fuLoad:
+			if budget.load >= p.Cfg.LoadPorts || loadSlots <= 0 {
+				continue
+			}
+			budget.load++
+		case fuStore:
+			if budget.store >= p.Cfg.StorePorts || storeSlots <= 0 {
+				continue
+			}
+			budget.store++
+		}
+		budget.total++
+		if p.execute(e, &loadSlots, &storeSlots) {
+			break // squash/redirect invalidated the scan
+		}
+	}
+}
+
+// anyYoungerReady reports whether an instruction younger than seq could
+// issue were the barrier not in the way (barrier-cycle accounting, Fig 8).
+func (p *Pipeline) anyYoungerReady(seq int64) bool {
+	for _, e := range p.rob {
+		if e.seq > seq && e.state == sDispatched && p.readySrcs(e) {
+			return true
+		}
+	}
+	return false
+}
+
+type fuKind int
+
+const (
+	fuScalar fuKind = iota
+	fuBranch
+	fuVecInt
+	fuVecOther
+	fuLoad
+	fuStore
+)
+
+func (p *Pipeline) fuClass(in *isa.Inst) fuKind {
+	switch {
+	case in.IsLoad():
+		return fuLoad
+	case in.IsStore():
+		return fuStore
+	case in.IsBranch():
+		return fuBranch
+	case !in.IsVector():
+		return fuScalar
+	}
+	switch in.Op {
+	case isa.OpVAdd, isa.OpVSub, isa.OpVAddI, isa.OpVAnd, isa.OpVXor,
+		isa.OpVShrI, isa.OpVAndI, isa.OpVAddS, isa.OpVMov, isa.OpVSplat,
+		isa.OpVIota, isa.OpVIotaRev:
+		if in.FP {
+			return fuVecOther
+		}
+		return fuVecInt
+	default:
+		return fuVecOther
+	}
+}
+
+func (p *Pipeline) readySrcs(e *robEntry) bool {
+	fullMask := p.Ctrl.InRegion() && p.Ctrl.Replay() == isa.AllTrue()
+	for _, s := range e.srcs {
+		if s.mergeOnly && fullMask {
+			continue
+		}
+		if s.prod != nil && s.prod.state != sDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) ready(e *robEntry) bool {
+	if !p.readySrcs(e) {
+		return false
+	}
+	in := e.inst
+	switch in.Op {
+	case isa.OpSRVStart:
+		// No wrong-path region entry: wait for all older branches to
+		// resolve, and for any previous region to finish.
+		if p.Ctrl.InRegion() {
+			return false
+		}
+		for _, o := range p.rob {
+			if o.seq >= e.seq {
+				break
+			}
+			if o.inst.IsBranch() && o.state != sDone {
+				return false
+			}
+		}
+		return true
+	case isa.OpSRVEnd:
+		return p.allOlderDone(e)
+	}
+	if e.regionIdx >= 0 && in.IsVector() {
+		// Region micro-ops execute only once their region has started.
+		if !p.Ctrl.InRegion() || p.curInstance != e.regionIdx {
+			return false
+		}
+	}
+	if in.IsLoad() {
+		if e.regionIdx >= 0 {
+			// Inside a region: conservative — wait for older same-region
+			// stores so forwarding and horizontal disambiguation see all
+			// addresses and data. (Region bodies load first and store last,
+			// so this costs little.)
+			for _, o := range p.rob {
+				if o.seq >= e.seq {
+					break
+				}
+				if o.inst.IsStore() && o.state == sDispatched {
+					return false
+				}
+			}
+			return true
+		}
+		if p.Cfg.ConservativeMem {
+			for _, o := range p.rob {
+				if o.seq >= e.seq {
+					break
+				}
+				if o.inst.IsStore() && o.state == sDispatched {
+					return false
+				}
+			}
+			return true
+		}
+		// Outside regions: aggressive memory-order speculation gated by the
+		// store-set predictor (paper §IV-B). The load waits only for
+		// unexecuted older stores in its own store set; a misprediction is
+		// caught by the vertical RAW check at store execution and squashed.
+		sid := p.SS.SetOf(e.pc)
+		for _, o := range p.rob {
+			if o.seq >= e.seq {
+				break
+			}
+			if !o.inst.IsStore() || o.state != sDispatched {
+				continue
+			}
+			if o.regionIdx >= 0 {
+				return false // never run ahead of a speculative region's stores
+			}
+			if sid >= 0 && p.SS.SetOf(o.pc) == sid {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) allOlderDone(e *robEntry) bool {
+	for _, o := range p.rob {
+		if o.seq >= e.seq {
+			break
+		}
+		if o.state != sDone || o.faulted {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Complete / commit ----
+
+func (p *Pipeline) complete() {
+	for _, e := range p.rob {
+		if e.state == sIssued && e.granted && p.cycle >= e.doneAt {
+			e.state = sDone
+		}
+	}
+}
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.Cfg.Width && len(p.rob) > 0; n++ {
+		e := p.rob[0]
+		if e.state != sDone || e.faulted {
+			return
+		}
+		p.rob = p.rob[1:]
+		p.Stats.Committed++
+		if p.recordTimeline && len(p.timeline) < TimelineCap {
+			p.timeline = append(p.timeline, TimelineEntry{
+				Seq: e.seq, PC: e.pc, Op: e.inst.Op.String(),
+				Fetch: e.fetchAt, Dispatch: e.dispatchAt, Issue: e.issueAt,
+				Done: e.doneAt, Commit: p.cycle,
+			})
+		}
+		if e.inst.IsMem() {
+			p.Stats.CommittedMem++
+		}
+		if e.inst.IsVector() {
+			p.Stats.CommittedVec++
+		}
+		if e.inst.IsGatherScatter() {
+			p.Stats.MicroOps += isa.NumLanes
+		} else {
+			p.Stats.MicroOps++
+		}
+		// Architectural effects.
+		if e.hasWrite {
+			p.writeArch(e)
+			if p.rename[e.writeRef] == e {
+				delete(p.rename, e.writeRef)
+			}
+		}
+		for _, le := range e.lsuEntries {
+			if e.inst.IsStore() {
+				p.LSU.CommitStore(le)
+			} else {
+				p.LSU.Release(le)
+			}
+		}
+		if e.inst.Op == isa.OpHalt {
+			p.halted = true
+			p.Stats.Cycles = p.cycle
+			return
+		}
+	}
+}
+
+func (p *Pipeline) writeArch(e *robEntry) {
+	switch e.writeRef.Class {
+	case isa.RegScalar:
+		p.S[e.writeRef.Idx] = e.sclRes
+	case isa.RegVector:
+		p.Vr[e.writeRef.Idx] = e.vecRes
+	case isa.RegPred:
+		p.Pr[e.writeRef.Idx] = e.predRes
+	}
+}
+
+// ---- Squash ----
+
+// squashAfter removes every instruction with seq > after, restoring the
+// rename table and dispatcher state.
+func (p *Pipeline) squashAfter(after int64) {
+	cut := len(p.rob)
+	for i, e := range p.rob {
+		if e.seq > after {
+			cut = i
+			break
+		}
+	}
+	doomed := p.rob[cut:]
+	// Unwind the rename map youngest-first. A doomed writer's previous
+	// writer may itself be doomed; restoring it anyway lets the chain unwind
+	// until the youngest SURVIVING writer (or the architectural file) is the
+	// final mapping.
+	for i := len(doomed) - 1; i >= 0; i-- {
+		e := doomed[i]
+		if e.hasWrite && p.rename[e.writeRef] == e {
+			if e.prevWriter != nil {
+				p.rename[e.writeRef] = e.prevWriter
+			} else {
+				delete(p.rename, e.writeRef)
+			}
+		}
+	}
+	p.Stats.SquashedInsts += int64(len(doomed))
+	if len(doomed) > 0 {
+		p.Stats.Squashes++
+	}
+	p.rob = p.rob[:cut]
+	p.LSU.SquashYounger(after)
+	// Restore dispatcher region state from the youngest survivor.
+	if len(p.rob) > 0 {
+		last := p.rob[len(p.rob)-1]
+		p.dispRegionCounter = last.regionCounterAfter
+		p.dispInRegion = last.inRegionAfter
+	} else {
+		p.dispInRegion = p.Ctrl.InRegion()
+		p.dispRegionCounter = p.curInstance
+	}
+	p.fetchq = p.fetchq[:0]
+	p.fetchStalled = false
+}
+
+func (p *Pipeline) redirect(pc int) {
+	p.fetchPC = pc
+	p.fetchStalled = false
+	p.fetchq = p.fetchq[:0]
+}
+
+// ---- Interrupts ----
+
+// takeInterrupt implements paper §III-D2/D3: the pipeline is flushed; inside
+// a region the non-speculative LSU data is written back, the SRV state
+// (current PC, SRV-replay, restart PC) saved, and on resumption only the
+// oldest saved lane re-executes, with all younger lanes marked for a full
+// replay after srv_end.
+// interruptSafe reports whether the machine is at a point where an
+// interrupt can be delivered precisely: the ROB head must not be a
+// completed-but-uncommitted instruction (its effects are already
+// architectural), and no srv_start/srv_end may be in flight with its
+// execute-time region transition applied but not yet committed. Hardware
+// drains to such a boundary before vectoring to a handler; the wait is
+// bounded because completed heads retire at the commit width.
+func (p *Pipeline) interruptSafe() bool {
+	if len(p.rob) == 0 {
+		return true
+	}
+	if p.rob[0].state == sDone {
+		return false
+	}
+	for _, e := range p.rob {
+		op := e.inst.Op
+		if (op == isa.OpSRVStart || op == isa.OpSRVEnd) && e.state != sDispatched {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) takeInterrupt() {
+	p.Stats.Interrupts++
+	// The architectural point is the oldest uncommitted instruction: the ROB
+	// head, else the oldest front-end slot, else the fetch PC.
+	archPC := p.fetchPC
+	if len(p.rob) > 0 {
+		archPC = p.rob[0].pc
+	} else if len(p.fetchq) > 0 {
+		archPC = p.fetchq[0].pc
+	}
+	var committedSeq int64
+	if len(p.rob) > 0 {
+		committedSeq = p.rob[0].seq - 1
+	} else {
+		committedSeq = p.nextSeq
+	}
+	if p.Ctrl.InRegion() && archPC >= p.Ctrl.StartPC() {
+		// Architecturally inside the region: write back the non-speculative
+		// LSU data (the oldest active lane up to the current PC plus all
+		// older lanes), save the SRV state, and arrange the §III-D2 resume.
+		mode := p.Ctrl.Mode()
+		saved := p.Ctrl.Suspend(archPC)
+		if mode == core.ModeSpeculative {
+			p.LSU.WritebackNonSpec(p.curInstance, saved.Replay.Oldest(), archPC)
+		}
+		// Fallback-mode entries are conventional: committed stores already
+		// reached memory, the rest die with the squash.
+		p.savedSRV = saved
+		p.resuming = true
+		p.squashAfter(committedSeq)
+		// The resumed pass is a fresh instance with no srv_start in flight.
+		p.dispRegionCounter++
+		p.curInstance = p.dispRegionCounter
+		p.dispInRegion = true
+		p.curStartSeq = committedSeq
+		p.redirect(saved.CurrentPC)
+	} else {
+		if p.Ctrl.InRegion() {
+			// srv_start executed but never committed: the region has not
+			// architecturally begun; discard it and re-enter from scratch.
+			p.Ctrl.Abort()
+			p.LSU.DiscardRegion(p.curInstance)
+			p.curInstance = -1
+		}
+		p.squashAfter(committedSeq)
+		p.dispInRegion = false
+		p.redirect(archPC)
+	}
+	p.resumeAt = p.cycle + p.intrDur
+}

@@ -1,0 +1,393 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+func run(t *testing.T, p *Pipeline) {
+	t.Helper()
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarLoopSum(t *testing.T) {
+	im := mem.NewImage()
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, 0).
+		MovI(1, 0).
+		MovI(2, 100).
+		Label("loop").
+		Add(1, 1, 0).
+		AddI(0, 0, 1).
+		BLT(0, 2, "loop").
+		Halt().
+		MustBuild(), im)
+	run(t, p)
+	if p.S[1] != 4950 {
+		t.Errorf("sum = %d, want 4950", p.S[1])
+	}
+	if p.Stats.Committed < 300 {
+		t.Errorf("committed = %d, want >= 300", p.Stats.Committed)
+	}
+	if ipc := p.Stats.IPC(); ipc < 0.5 || ipc > 8 {
+		t.Errorf("IPC = %.2f out of sane range", ipc)
+	}
+	// Loop branch should mispredict only on warm-up and exit.
+	if p.BP.Stats.Mispredicts > 5 {
+		t.Errorf("mispredicts = %d, want few", p.BP.Stats.Mispredicts)
+	}
+}
+
+func TestBranchMispredictRecovery(t *testing.T) {
+	// Data-dependent alternating branch: predictor will mispredict; results
+	// must still be exact.
+	im := mem.NewImage()
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, 0).  // i
+		MovI(1, 0).  // acc
+		MovI(2, 64). // n
+		MovI(3, 2).
+		MovI(5, 0).
+		Label("loop").
+		// if i%2 == 0 { acc += 3 } else { acc += 5 }
+		AddI(4, 0, 0).
+		And(4, 4, 6). // s6 = 1 below; compute i&1
+		BNE(4, 5, "odd").
+		AddI(1, 1, 3).
+		Jmp("next").
+		Label("odd").
+		AddI(1, 1, 5).
+		Label("next").
+		AddI(0, 0, 1).
+		BLT(0, 2, "loop").
+		Halt().
+		MustBuild(), im)
+	p.S[6] = 1
+	run(t, p)
+	if p.S[1] != 32*3+32*5 {
+		t.Errorf("acc = %d, want %d", p.S[1], 32*3+32*5)
+	}
+	if p.Stats.Squashes == 0 {
+		t.Error("alternating branch should cause squashes")
+	}
+}
+
+func TestScalarStoreLoadForwarding(t *testing.T) {
+	im := mem.NewImage()
+	base := im.Alloc(64, 64)
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, int64(base)).
+		MovI(1, 77).
+		Store(0, 0, 8, 1).
+		Load(2, 0, 0, 8).
+		AddI(3, 2, 1).
+		Halt().
+		MustBuild(), im)
+	run(t, p)
+	if p.S[3] != 78 {
+		t.Errorf("forwarded+1 = %d, want 78", p.S[3])
+	}
+	if got := im.ReadInt(base, 8); got != 77 {
+		t.Errorf("memory = %d, want 77", got)
+	}
+}
+
+func TestVectorSVELoop(t *testing.T) {
+	// b[i] = a[i]*2 + 1 over 64 elements, vectorised without SRV.
+	im := mem.NewImage()
+	a := im.Alloc(64*4, 64)
+	b := im.Alloc(64*4, 64)
+	for i := 0; i < 64; i++ {
+		im.WriteInt(a+uint64(i*4), 4, int64(i))
+	}
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, int64(a)).
+		MovI(1, int64(b)).
+		MovI(2, 0).
+		MovI(3, 64).
+		Label("loop").
+		VLoad(0, 0, 0, 4, isa.NoPred).
+		VMulI(1, 0, 2, isa.NoPred).
+		VAddI(1, 1, 1, isa.NoPred).
+		VStore(1, 0, 4, 1, isa.NoPred).
+		AddI(0, 0, 64).
+		AddI(1, 1, 64).
+		AddI(2, 2, 16).
+		BLT(2, 3, "loop").
+		Halt().
+		MustBuild(), im)
+	run(t, p)
+	for i := 0; i < 64; i++ {
+		want := int64(i*2 + 1)
+		if got := im.ReadInt(b+uint64(i*4), 4); got != want {
+			t.Fatalf("b[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPredicatedVectorMerging(t *testing.T) {
+	im := mem.NewImage()
+	a := im.Alloc(64, 64)
+	for i := 0; i < 16; i++ {
+		im.WriteInt(a+uint64(i*4), 4, int64(i))
+	}
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, int64(a)).
+		MovI(1, 8).
+		VLoad(0, 0, 0, 4, isa.NoPred). // v0 = 0..15
+		VSplat(1, 1).                  // v1 = 8
+		VCmpLT(0, 0, 1, isa.NoPred).   // p0 = i<8
+		VMulI(2, 0, 10, isa.NoPred).   // v2 = i*10
+		VAddI(2, 0, 1000, 0).          // v2 = i+1000 where i<8, else keeps i*10
+		VStore(0, 0, 4, 2, isa.NoPred).
+		Halt().
+		MustBuild(), im)
+	run(t, p)
+	for i := 0; i < 16; i++ {
+		want := int64(i + 1000)
+		if i >= 8 {
+			want = int64(i * 10)
+		}
+		if got := im.ReadInt(a+uint64(i*4), 4); got != want {
+			t.Errorf("a[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// listing1Prog builds the SRV form of the paper's listing 1.
+func listing1Prog(aBase, xBase uint64, n int) *isa.Program {
+	return isa.NewBuilder().
+		MovI(0, 0).
+		MovI(1, int64(n)).
+		MovI(2, int64(aBase)).
+		MovI(3, int64(xBase)).
+		MovI(4, int64(aBase)).
+		Label("loop").
+		SRVStart(isa.DirUp).
+		VLoad(0, 2, 0, 4, isa.NoPred).
+		VAddI(0, 0, 2, isa.NoPred).
+		VLoad(1, 3, 0, 4, isa.NoPred).
+		VScatter(4, 1, 0, 0, 4, isa.NoPred).
+		SRVEnd().
+		AddI(0, 0, 16).
+		AddI(2, 2, 64).
+		AddI(3, 3, 64).
+		BLT(0, 1, "loop").
+		Halt().
+		MustBuild()
+}
+
+func setupListing1(n int, xs []int64) (*mem.Image, uint64, uint64, []int64) {
+	im := mem.NewImage()
+	aBase := im.Alloc(4*(n+17), 64)
+	xBase := im.Alloc(4*n, 64)
+	ref := make([]int64, n+17)
+	for i := 0; i < n; i++ {
+		ref[i] = int64(i*3 + 1)
+		im.WriteInt(aBase+uint64(i*4), 4, ref[i])
+		im.WriteInt(xBase+uint64(i*4), 4, xs[i])
+	}
+	for i := range xs {
+		ref[xs[i]] = ref[i] + 2
+	}
+	return im, aBase, xBase, ref
+}
+
+func paperIndices(n int) []int64 {
+	xs := make([]int64, n)
+	for i := 0; i < n; i += 4 {
+		xs[i] = int64(i + 3)
+		for j := 1; j < 4 && i+j < n; j++ {
+			xs[i+j] = int64(i + j - 1)
+		}
+	}
+	return xs
+}
+
+func checkListing1(t *testing.T, im *mem.Image, aBase uint64, ref []int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if got := im.ReadInt(aBase+uint64(i*4), 4); got != ref[i] {
+			t.Errorf("a[%d] = %d, want %d", i, got, ref[i])
+		}
+	}
+}
+
+func TestSRVListing1Pipeline(t *testing.T) {
+	const n = 64
+	xs := paperIndices(n)
+	im, aBase, xBase, ref := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n)
+	if p.Ctrl.Stats.Regions != 4 {
+		t.Errorf("regions = %d, want 4", p.Ctrl.Stats.Regions)
+	}
+	if p.Ctrl.Stats.Replays != 4 {
+		t.Errorf("replays = %d, want 4 (one per region)", p.Ctrl.Stats.Replays)
+	}
+	if p.Ctrl.Stats.RAWViol == 0 {
+		t.Error("RAW violations must be recorded")
+	}
+}
+
+func TestSRVNoConflictNoReplay(t *testing.T) {
+	const n = 64
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	im, aBase, xBase, ref := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n)
+	if p.Ctrl.Stats.Replays != 0 {
+		t.Errorf("replays = %d, want 0", p.Ctrl.Stats.Replays)
+	}
+	if p.Stats.BarrierCycles == 0 {
+		t.Error("srv_end serialisation should cost some barrier cycles")
+	}
+}
+
+func TestSRVSerialChain(t *testing.T) {
+	const n = 16
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	im, aBase, xBase, ref := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n+1)
+	if p.Ctrl.Stats.Replays == 0 || p.Ctrl.Stats.Replays > isa.NumLanes-1 {
+		t.Errorf("replays = %d, want within (0, %d]", p.Ctrl.Stats.Replays, isa.NumLanes-1)
+	}
+}
+
+func TestSRVMatchesInterpreterRandomised(t *testing.T) {
+	// Cross-validate the pipeline against the functional interpreter on
+	// random conflict patterns (the paper validated its emulator against
+	// its gem5 implementation the same way).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		const n = 32
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(n))
+		}
+		im, aBase, xBase, _ := setupListing1(n, xs)
+		im2 := im.Clone()
+		prog := listing1Prog(aBase, xBase, n)
+
+		p := New(testConfig(), prog, im)
+		if err := p.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ip := isa.NewInterp(prog, im2)
+		if err := ip.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d interp: %v", trial, err)
+		}
+		if addr, diff := im.FirstDiff(im2); diff {
+			t.Fatalf("trial %d: pipeline and interpreter diverge at %#x (xs=%v)", trial, addr, xs)
+		}
+	}
+}
+
+func TestSRVFallbackOnOverflow(t *testing.T) {
+	// A 12-entry LSU cannot hold the region's 2 contiguous loads + 16
+	// scatter elements: the region must fall back to sequential execution
+	// and still produce the right answer.
+	const n = 32
+	xs := paperIndices(n)
+	im, aBase, xBase, ref := setupListing1(n, xs)
+	cfg := DefaultConfig()
+	cfg.LSQSize = 12
+	p := New(cfg, listing1Prog(aBase, xBase, n), im)
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n)
+	if p.Ctrl.Stats.Fallbacks == 0 {
+		t.Error("overflow must trigger the sequential fallback")
+	}
+	if p.LSU.Stats.Overflows == 0 {
+		t.Error("LSU must count the overflow")
+	}
+}
+
+func TestSRVInterruptMidRegion(t *testing.T) {
+	// Deliver an interrupt while the region executes; final memory must be
+	// unchanged vs the uninterrupted run (§III-D2).
+	const n = 64
+	xs := paperIndices(n)
+	for _, at := range []int64{10, 25, 40, 60, 90, 130} {
+		im, aBase, xBase, ref := setupListing1(n, xs)
+		p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+		p.ScheduleInterrupt(at, 50)
+		run(t, p)
+		checkListing1(t, im, aBase, ref, n)
+		if p.Stats.Interrupts != 1 {
+			t.Errorf("at=%d: interrupts = %d, want 1", at, p.Stats.Interrupts)
+		}
+	}
+}
+
+// warmLines pre-touches the arrays so both variants run against a warm
+// hierarchy (the steady state the workloads measure).
+func warmLines(p *Pipeline, aBase, xBase uint64, n int) {
+	for _, base := range []uint64{aBase, xBase} {
+		for off := 0; off < n*4; off += 64 {
+			p.Hier.Latency(base + uint64(off))
+		}
+	}
+}
+
+func TestSRVSpeedupOverScalar(t *testing.T) {
+	// The headline claim, in miniature: the SRV-vectorised loop must beat
+	// the scalar version of the same loop on conflict-free data.
+	const n = 1024
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i) // no conflicts
+	}
+	im, aBase, xBase, _ := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	warmLines(p, aBase, xBase, n)
+	run(t, p)
+	vecCycles := p.Stats.Cycles
+
+	// Scalar version: a[x[i]] = a[i]+2 one element at a time.
+	im2, aBase2, xBase2, _ := setupListing1(n, xs)
+	_ = aBase2
+	sp := New(testConfig(), isa.NewBuilder().
+		MovI(0, 0).
+		MovI(1, n).
+		MovI(2, int64(aBase2)).
+		MovI(3, int64(xBase2)).
+		MovI(4, int64(aBase2)).
+		Label("loop").
+		Load(5, 2, 0, 4). // a[i]
+		AddI(5, 5, 2).
+		Load(6, 3, 0, 4). // x[i]
+		ShlI(6, 6, 2).
+		Add(6, 6, 4).
+		Store(6, 0, 4, 5). // a[x[i]] = a[i]+2
+		AddI(0, 0, 1).
+		AddI(2, 2, 4).
+		AddI(3, 3, 4).
+		BLT(0, 1, "loop").
+		Halt().
+		MustBuild(), im2)
+	warmLines(sp, aBase2, xBase2, n)
+	run(t, sp)
+	scalarCycles := sp.Stats.Cycles
+
+	speedup := float64(scalarCycles) / float64(vecCycles)
+	t.Logf("scalar %d cycles, SRV %d cycles, speedup %.2fx", scalarCycles, vecCycles, speedup)
+	if speedup < 1.5 {
+		t.Errorf("SRV speedup = %.2fx, want > 1.5x", speedup)
+	}
+}

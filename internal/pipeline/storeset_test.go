@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+// TestVerticalSquashRecovery engineers a memory-order misspeculation
+// outside any SRV region: an older store's address resolves through a
+// pointer chase while a younger load to the same location has an
+// immediate address. Aggressive scheduling issues the load first, the
+// store's execution detects the ordering violation, the pipeline squashes
+// back to the load, and the store-set predictor learns the pair — so the
+// second loop iteration synchronises instead of squashing again.
+func TestVerticalSquashRecovery(t *testing.T) {
+	im := mem.NewImage()
+	aAddr := im.Alloc(8, 64)
+	cell1 := im.Alloc(8, 64)
+	cell2 := im.Alloc(8, 64)
+	im.WriteInt(cell1, 8, int64(cell2))
+	im.WriteInt(cell2, 8, int64(aAddr)) // two-hop chase ends at &a
+	im.WriteInt(aAddr, 8, 5)
+
+	prog := isa.NewBuilder().
+		MovI(7, 0).  // iteration counter
+		MovI(8, 2).  // two iterations
+		MovI(9, 77). // stored value
+		Label("loop").
+		MovI(1, int64(cell1)).
+		Load(2, 1, 0, 8). // s2 = cell2
+		Load(2, 2, 0, 8). // s2 = &a (late)
+		Store(2, 0, 8, 9).
+		MovI(4, int64(aAddr)).
+		Load(5, 4, 0, 8). // same location, immediate address
+		AddI(6, 5, 1).
+		AddI(9, 9, 100). // next iteration stores 177
+		AddI(7, 7, 1).
+		BLT(7, 8, "loop").
+		Halt().
+		MustBuild()
+
+	p := New(testConfig(), prog, im)
+	p.EnableParanoid()
+	run(t, p)
+
+	// Second iteration stored 177; the load must have observed it.
+	if p.S[5] != 177 || p.S[6] != 178 {
+		t.Errorf("s5/s6 = %d/%d, want 177/178 (load must see the older store)", p.S[5], p.S[6])
+	}
+	if got := im.ReadInt(aAddr, 8); got != 177 {
+		t.Errorf("a = %d, want 177", got)
+	}
+	if p.Stats.VerticalSquashes == 0 {
+		t.Fatal("the first encounter must misspeculate and squash")
+	}
+	if p.SS.Stats.Assignments == 0 {
+		t.Error("the squash must train the store-set predictor")
+	}
+	if p.Stats.VerticalSquashes > 1 {
+		t.Errorf("squashes = %d, want 1 (the predictor must prevent the repeat)",
+			p.Stats.VerticalSquashes)
+	}
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+// TestTinyStructuresCorrect shrinks every core structure to near-minimal
+// sizes: correctness must be configuration-independent (only cycles change).
+func TestTinyStructuresCorrect(t *testing.T) {
+	const n = 128
+	xs := paperIndices(n)
+	configs := []func(*Config){
+		func(c *Config) { c.ROBSize = 24 },
+		func(c *Config) { c.IQSize = 4 },
+		func(c *Config) { c.Width = 1 },
+		func(c *Config) { c.FrontEndDelay = 12 },
+		func(c *Config) { c.LoadPorts, c.StorePorts, c.StoreElemPerCycle = 1, 1, 1 },
+		func(c *Config) { c.VecIntPerCycle, c.VecOtherPerCycle = 1, 1 },
+		func(c *Config) { c.ROBSize, c.IQSize, c.Width = 20, 3, 2 },
+	}
+	base, _ := runVariant(t, testConfig(), n, xs)
+	for i, mod := range configs {
+		cfg := testConfig()
+		mod(&cfg)
+		cycles, p := runVariant(t, cfg, n, xs)
+		if p.Ctrl.Stats.Regions != int64(n/16) {
+			t.Errorf("config %d: regions = %d, want %d", i, p.Ctrl.Stats.Regions, n/16)
+		}
+		if cycles < base/2 {
+			t.Errorf("config %d: shrunk machine faster than baseline (%d < %d)?", i, cycles, base)
+		}
+	}
+}
+
+// TestMispredictStorm mixes data-dependent guarded code with SRV regions:
+// constant squash pressure around region boundaries must not corrupt
+// results.
+func TestMispredictStorm(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(13))
+	im, aBase, xBase, ref := setupListing1(n, func() []int64 {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(n))
+		}
+		return xs
+	}())
+	// Scalar prologue per group with a random branch: beq on a pseudo-random
+	// value flips unpredictably, keeping the front end on its toes.
+	junk := im.Alloc(n*4, 64)
+	for i := 0; i < n; i++ {
+		im.WriteInt(junk+uint64(i*4), 4, int64(rng.Intn(2)))
+	}
+	b := isa.NewBuilder().
+		MovI(0, 0).
+		MovI(1, int64(n)).
+		MovI(2, int64(aBase)).
+		MovI(3, int64(xBase)).
+		MovI(4, int64(aBase)).
+		MovI(7, int64(junk)).
+		MovI(8, 0).
+		MovI(9, 0).
+		Label("loop").
+		Load(5, 7, 0, 4). // pseudo-random 0/1
+		BEQ(5, 8, "skipjunk").
+		AddI(9, 9, 1). // counted taken paths
+		Label("skipjunk").
+		SRVStart(isa.DirUp).
+		VLoad(0, 2, 0, 4, isa.NoPred).
+		VAddI(0, 0, 2, isa.NoPred).
+		VLoad(1, 3, 0, 4, isa.NoPred).
+		VScatter(4, 1, 0, 0, 4, isa.NoPred).
+		SRVEnd().
+		AddI(0, 0, 16).
+		AddI(2, 2, 64).
+		AddI(3, 3, 64).
+		AddI(7, 7, 64).
+		BLT(0, 1, "loop").
+		Halt().
+		MustBuild()
+	p := New(testConfig(), b, im)
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n)
+	if p.Stats.Squashes == 0 {
+		t.Error("random branches should cause squashes")
+	}
+}
+
+// TestBackToBackRegionsMixedDirections alternates UP and DOWN regions in
+// one program: controller state must reset cleanly between them.
+func TestBackToBackRegionsMixedDirections(t *testing.T) {
+	m := mem.NewImage()
+	a := uint64(0x2000)
+	d := uint64(0x3000)
+	for i := 0; i < 16; i++ {
+		m.WriteInt(a+uint64(i*4), 4, int64(i+1))
+	}
+	prog := isa.NewBuilder().
+		MovI(0, int64(a)).
+		MovI(1, int64(d)).
+		// UP region: d[i] = a[i] * 2
+		SRVStart(isa.DirUp).
+		VLoad(0, 0, 0, 4, isa.NoPred).
+		VMulI(0, 0, 2, isa.NoPred).
+		VStore(1, 0, 4, 0, isa.NoPred).
+		SRVEnd().
+		// DOWN region over the same data: d[i] += 1 with reversed lanes.
+		SRVStart(isa.DirDown).
+		VLoad(1, 1, 0, 4, isa.NoPred).
+		VAddI(1, 1, 1, isa.NoPred).
+		VStore(1, 0, 4, 1, isa.NoPred).
+		SRVEnd().
+		Halt().
+		MustBuild()
+	p := New(testConfig(), prog, m)
+	run(t, p)
+	for i := 0; i < 16; i++ {
+		want := int64((i+1)*2 + 1)
+		if got := m.ReadInt(d+uint64(i*4), 4); got != want {
+			t.Errorf("d[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if p.Ctrl.Stats.Regions != 2 {
+		t.Errorf("regions = %d, want 2", p.Ctrl.Stats.Regions)
+	}
+}

@@ -1,0 +1,143 @@
+// Package predictor implements the branch predictor of Table I (a
+// tournament predictor: 64-entry local, 1024-entry global, 1024-entry
+// chooser, 128-entry BTB, 8-entry RAS) and the store-set memory-dependence
+// predictor of Chrysos & Emer used for vertical disambiguation (paper §IV-B).
+package predictor
+
+// counter is a 2-bit saturating counter.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// BranchConfig sizes the predictor tables.
+type BranchConfig struct {
+	LocalEntries   int
+	GlobalEntries  int
+	ChooserEntries int
+	BTBEntries     int
+	RASEntries     int
+}
+
+// DefaultBranchConfig matches Table I.
+func DefaultBranchConfig() BranchConfig {
+	return BranchConfig{LocalEntries: 64, GlobalEntries: 1024, ChooserEntries: 1024, BTBEntries: 128, RASEntries: 8}
+}
+
+// BranchStats counts prediction outcomes.
+type BranchStats struct {
+	Lookups     int64
+	Mispredicts int64
+}
+
+// Branch is a tournament branch predictor.
+type Branch struct {
+	cfg     BranchConfig
+	local   []counter
+	global  []counter
+	chooser []counter // high = use global
+	ghr     uint64
+	btb     []btbEntry
+	ras     []int
+	Stats   BranchStats
+}
+
+type btbEntry struct {
+	pc     int
+	target int
+	valid  bool
+}
+
+// NewBranch returns a predictor with the given table sizes.
+func NewBranch(cfg BranchConfig) *Branch {
+	return &Branch{
+		cfg:     cfg,
+		local:   make([]counter, cfg.LocalEntries),
+		global:  make([]counter, cfg.GlobalEntries),
+		chooser: make([]counter, cfg.ChooserEntries),
+		btb:     make([]btbEntry, cfg.BTBEntries),
+		ras:     make([]int, 0, cfg.RASEntries),
+	}
+}
+
+func (b *Branch) localIdx(pc int) int   { return pc & (b.cfg.LocalEntries - 1) }
+func (b *Branch) globalIdx() int        { return int(b.ghr) & (b.cfg.GlobalEntries - 1) }
+func (b *Branch) chooserIdx(pc int) int { return (pc ^ int(b.ghr)) & (b.cfg.ChooserEntries - 1) }
+func (b *Branch) btbIdx(pc int) int     { return pc & (b.cfg.BTBEntries - 1) }
+
+// Predict returns the predicted direction and target for a conditional
+// branch at pc. The target prediction is only meaningful when the BTB hits.
+func (b *Branch) Predict(pc int) (taken bool, target int, btbHit bool) {
+	b.Stats.Lookups++
+	useGlobal := b.chooser[b.chooserIdx(pc)].taken()
+	if useGlobal {
+		taken = b.global[b.globalIdx()].taken()
+	} else {
+		taken = b.local[b.localIdx(pc)].taken()
+	}
+	e := b.btb[b.btbIdx(pc)]
+	if e.valid && e.pc == pc {
+		return taken, e.target, true
+	}
+	// Without a BTB entry the front end cannot redirect; predict
+	// fall-through.
+	return false, pc + 1, false
+}
+
+// Update trains the predictor with the resolved outcome, and reports whether
+// the earlier prediction would have been correct.
+func (b *Branch) Update(pc int, predTaken bool, taken bool, target int) {
+	lIdx, gIdx, cIdx := b.localIdx(pc), b.globalIdx(), b.chooserIdx(pc)
+	localRight := b.local[lIdx].taken() == taken
+	globalRight := b.global[gIdx].taken() == taken
+	if localRight != globalRight {
+		b.chooser[cIdx] = b.chooser[cIdx].update(globalRight)
+	}
+	b.local[lIdx] = b.local[lIdx].update(taken)
+	b.global[gIdx] = b.global[gIdx].update(taken)
+	b.ghr = b.ghr<<1 | boolBit(taken)
+	if taken {
+		b.btb[b.btbIdx(pc)] = btbEntry{pc: pc, target: target, valid: true}
+	}
+	if predTaken != taken {
+		b.Stats.Mispredicts++
+	}
+}
+
+// Push records a call return address on the RAS.
+func (b *Branch) Push(ret int) {
+	if len(b.ras) == cap(b.ras) && cap(b.ras) > 0 {
+		copy(b.ras, b.ras[1:])
+		b.ras = b.ras[:len(b.ras)-1]
+	}
+	b.ras = append(b.ras, ret)
+}
+
+// Pop predicts a return target from the RAS.
+func (b *Branch) Pop() (int, bool) {
+	if len(b.ras) == 0 {
+		return 0, false
+	}
+	r := b.ras[len(b.ras)-1]
+	b.ras = b.ras[:len(b.ras)-1]
+	return r, true
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

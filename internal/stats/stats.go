@@ -1,0 +1,175 @@
+// Package stats provides the small numeric and formatting helpers shared by
+// the experiment harness: geometric means, histograms, aligned text tables
+// and ASCII bar series for reproducing the paper's figures on a terminal.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (1.0 for an empty slice).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram buckets integer observations.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]int)} }
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int { return h.total }
+
+// CumulativeAtMost returns the fraction of observations <= v.
+func (h *Histogram) CumulativeAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for k, c := range h.counts {
+		if k <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Keys returns the observed values in ascending order.
+func (h *Histogram) Keys() []int {
+	var ks []int
+	for k := range h.counts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Count returns the observations equal to v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Table renders aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v, floats with 3 decimals.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bars renders a labelled horizontal ASCII bar chart, scaled to width 40.
+func Bars(labels []string, values []float64, unit string) string {
+	max := Max(values)
+	if max == 0 {
+		max = 1
+	}
+	wl := 0
+	for _, l := range labels {
+		if len(l) > wl {
+			wl = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := int(values[i] / max * 40)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s  %-40s %8.3f%s\n", wl, l, strings.Repeat("#", n), values[i], unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f, want 4", g)
+	}
+	if g := Geomean(nil); g != 1 {
+		t.Errorf("geomean(nil) = %f, want 1", g)
+	}
+	if g := Geomean([]float64{1, 0}); g != 0 {
+		t.Errorf("geomean with zero = %f, want 0", g)
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = 1 + float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %f", m)
+	}
+	if m := Max([]float64{1, 5, 3}); m != 5 {
+		t.Errorf("max = %f", m)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty mean/max must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 3, 5, 10, 17} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if f := h.CumulativeAtMost(10); math.Abs(f-0.8) > 1e-9 {
+		t.Errorf("cdf(10) = %f, want 0.8", f)
+	}
+	if got := h.Keys(); len(got) != 4 || got[0] != 3 || got[3] != 17 {
+		t.Errorf("keys = %v", got)
+	}
+	if h.Count(3) != 2 {
+		t.Errorf("count(3) = %d", h.Count(3))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("bench", "speedup")
+	tb.Row("bzip2", 3.976)
+	tb.Row("is", 5.3)
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[2], "3.976") || !strings.Contains(lines[3], "5.300") {
+		t.Errorf("table values missing:\n%s", s)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, "x")
+	if !strings.Contains(out, "########################################") {
+		t.Errorf("max bar should be full width:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Errorf("bar lines = %d, want 2", len(lines))
+	}
+}

@@ -1,0 +1,295 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/mem"
+)
+
+// LoopSpec is one SRV-vectorisable loop of a benchmark.
+type LoopSpec struct {
+	Shape    Shape
+	Weight   float64 // share of the benchmark's dynamic instructions
+	PredTail bool    // vectorise the remainder as a predicated tail group
+}
+
+// Instantiate builds the loop and seeds its data.
+func (ls LoopSpec) Instantiate(seed int64) (*compiler.Loop, *mem.Image) {
+	l := ls.Shape.Build()
+	l.PredTail = ls.PredTail
+	im := mem.NewImage()
+	ls.Shape.Seed(l, im, rand.New(rand.NewSource(seed)))
+	return l, im
+}
+
+// LimitLoop is an inner loop used only by the §II limit study: loops whose
+// vectorisation is blocked by more than unknown dependences (function calls,
+// inner control flow) are marked OtherBlocker — SRV alone cannot vectorise
+// them, but the limit study may.
+type LimitLoop struct {
+	Shape        Shape
+	Weight       float64
+	Safe         bool // provably safe (already vectorised by SVE)
+	OtherBlocker bool
+}
+
+// Benchmark is one application of the paper's evaluation.
+type Benchmark struct {
+	Name  string
+	Suite string // "SPEC" or "HPC"
+	FP    bool
+	// Loops SRV can vectorise (unknown deps are the sole blocker).
+	Loops []LoopSpec
+	// Coverage: fraction of whole-program dynamic instructions inside the
+	// SRV-vectorisable loops (Fig 6, bottom).
+	Coverage float64
+	// Limit-study inner-loop population (§II), including loops SRV cannot
+	// reach.
+	Limit []LimitLoop
+}
+
+// srvLoop is shorthand for a conflict-bearing indirect-update kernel.
+func srvLoop(name string, trip, contig, gathers, chain int, pat Pattern, fp, guarded bool, rng int, w float64) LoopSpec {
+	return LoopSpec{
+		Shape: Shape{
+			Name: name, Trip: trip, Contig: contig, Gathers: gathers,
+			Chain: chain, Pattern: pat, FP: fp, Guarded: guarded,
+			ReadSelf: true, StoreVia: true, Range: rng,
+		},
+		Weight: w,
+	}
+}
+
+// gatherBound builds the paper's low-speedup profile (omnetpp, soplex,
+// xalancbmk, milc): a cheap scatter statement plus a gather-dominated
+// statement, leaving the vector code load-port bound.
+func gatherBound(name string, trip, gathers int, fp bool, w float64) LoopSpec {
+	return LoopSpec{
+		Shape: Shape{
+			Name: name, Trip: trip, Gathers: gathers, FP: fp,
+			Pattern: PatIdentity, GatherStmt: true,
+		},
+		Weight: w,
+	}
+}
+
+// big builds a many-statement kernel (Fig 10's >16-access tail).
+func big(name string, trip, stmts, contig, gathers int, pat Pattern, w float64) LoopSpec {
+	return LoopSpec{
+		Shape: Shape{
+			Name: name, Trip: trip, Contig: contig, Gathers: gathers,
+			Stmts: stmts, Pattern: pat, ReadSelf: true, StoreVia: true,
+		},
+		Weight: w,
+	}
+}
+
+// limitPop builds a generic limit-study population for a benchmark:
+// innerCov of the program is inner loops; safeCov of that is provably safe;
+// the rest is unknown-dependence loops (of which SRV reaches only the
+// benchmark's Loops). The paper: >70% of unvectorised inner loops have
+// unknown through-memory dependences.
+func limitPop(name string, innerCov, safeCov float64) []LimitLoop {
+	unknown := innerCov - safeCov
+	return []LimitLoop{
+		{Shape: Shape{Name: name + ".safe", Trip: 2048, Contig: 2, Chain: 1,
+			Pattern: PatIdentity}, Weight: safeCov, Safe: true},
+		{Shape: Shape{Name: name + ".unk1", Trip: 2048, Contig: 1, Chain: 1,
+			Pattern: PatIdentity, ReadSelf: true, StoreVia: true}, Weight: unknown * 0.5},
+		{Shape: Shape{Name: name + ".unk2", Trip: 2048, Contig: 2,
+			Pattern: PatDisjoint, ReadSelf: true, StoreVia: true}, Weight: unknown * 0.3,
+			OtherBlocker: true},
+		{Shape: Shape{Name: name + ".dep", Trip: 2048, Contig: 1,
+			Pattern: PatRare, Range: 64, ReadSelf: true, StoreVia: true}, Weight: unknown * 0.2,
+			OtherBlocker: true},
+	}
+}
+
+// All returns the sixteen benchmarks of the evaluation: eleven C/C++ SPEC
+// CPU2006 applications and five HPC/scientific kernels (NPB is, Livermore,
+// SSCA2, HPCC RandomAccess, Rodinia lc), with shapes calibrated to the
+// paper's published per-benchmark statistics.
+func All() []Benchmark {
+	return []Benchmark{
+		// ---- SPEC CPU2006 (general-purpose) ----
+		{
+			Name: "perlbench", Suite: "SPEC",
+			// Small string/hash bodies with short trip counts: high barrier
+			// fraction, middling speedup.
+			Loops: []LoopSpec{
+				srvLoop("perl.hashfix", 512, 2, 0, 2, PatIdentity, false, false, 0, 0.7),
+				srvLoop("perl.strmap", 512, 2, 0, 2, PatDisjoint, false, false, 0, 0.3),
+			},
+			Coverage: 0.020,
+			Limit:    limitPop("perlbench", 0.50, 0.02),
+		},
+		{
+			Name: "bzip2", Suite: "SPEC",
+			// Move-to-front / sorting pointer updates: decent compute chain,
+			// rare real conflicts (Fig 9: a handful of RAW violations).
+			Loops: []LoopSpec{
+				srvLoop("bzip2.mtf", 8192, 8, 0, 6, PatRare, false, false, 1<<15, 0.9),
+				srvLoop("bzip2.sort", 2048, 3, 0, 4, PatDisjoint, false, false, 0, 0.1),
+			},
+			Coverage: 0.030,
+			Limit:    limitPop("bzip2", 0.55, 0.02),
+		},
+		{
+			Name: "gcc", Suite: "SPEC",
+			Loops: []LoopSpec{
+				srvLoop("gcc.bitmap", 8192, 8, 0, 6, PatSpreadHigh, false, false, 1<<15, 0.8),
+				srvLoop("gcc.alias", 2048, 3, 0, 4, PatDisjoint, false, false, 0, 0.2),
+			},
+			Coverage: 0.040,
+			Limit:    limitPop("gcc", 0.45, 0.02),
+		},
+		{
+			Name: "gobmk", Suite: "SPEC",
+			// Board-scan loops with data-dependent guards (if-converted).
+			Loops: []LoopSpec{
+				srvLoop("gobmk.board", 1024, 2, 0, 3, PatIdentity, false, true, 0, 0.85),
+				srvLoop("gobmk.capture", 512, 2, 0, 2, PatDisjoint, false, true, 0, 0.15),
+			},
+			Coverage: 0.020,
+			Limit:    limitPop("gobmk", 0.40, 0.02),
+		},
+		{
+			Name: "hmmer", Suite: "SPEC",
+			// Viterbi-like bands: small bodies, short trips -> barrier-heavy.
+			Loops: []LoopSpec{
+				srvLoop("hmmer.band", 1024, 6, 0, 6, PatSpreadHigh, false, false, 1<<15, 0.8),
+				srvLoop("hmmer.msv", 512, 3, 0, 3, PatIdentity, false, false, 0, 0.2),
+			},
+			Coverage: 0.045,
+			Limit:    limitPop("hmmer", 0.60, 0.03),
+		},
+		{
+			Name: "h264ref", Suite: "SPEC",
+			Loops: []LoopSpec{
+				srvLoop("h264.mc", 256, 2, 0, 3, PatDisjoint, false, false, 0, 0.6),
+				srvLoop("h264.sad", 256, 3, 0, 3, PatIdentity, false, false, 0, 0.4),
+			},
+			Coverage: 0.030,
+			Limit:    limitPop("h264ref", 0.50, 0.03),
+		},
+		{
+			Name: "omnetpp", Suite: "SPEC",
+			// Event-queue pointer chasing: several gathers feed one store —
+			// the paper's "high memory-to-computation ratio" low-speedup case.
+			Loops: []LoopSpec{
+				gatherBound("omnetpp.evq", 4096, 2, false, 0.8),
+				gatherBound("omnetpp.sched", 2048, 1, false, 0.2),
+			},
+			Coverage: 0.015,
+			Limit:    limitPop("omnetpp", 0.35, 0.01),
+		},
+		{
+			Name: "astar", Suite: "SPEC",
+			// Open-list updates with guards; sizeable coverage (12.7%).
+			Loops: []LoopSpec{
+				srvLoop("astar.open", 4096, 2, 1, 2, PatIdentity, false, true, 0, 0.7),
+				srvLoop("astar.relax", 2048, 2, 1, 1, PatDisjoint, false, false, 0, 0.3),
+			},
+			Coverage: 0.127,
+			Limit:    limitPop("astar", 0.45, 0.02),
+		},
+		{
+			Name: "soplex", Suite: "SPEC", FP: true,
+			// Sparse LP pivots: FP gathers dominate — lowest loop speedup.
+			Loops: []LoopSpec{
+				gatherBound("soplex.pivot", 4096, 2, true, 0.75),
+				gatherBound("soplex.price", 2048, 2, true, 0.25),
+			},
+			Coverage: 0.020,
+			Limit:    limitPop("soplex", 0.55, 0.05),
+		},
+		{
+			Name: "xalancbmk", Suite: "SPEC",
+			// DOM traversal: gather-heavy with small bodies, high coverage.
+			Loops: []LoopSpec{
+				gatherBound("xalan.dom", 4096, 2, false, 0.7),
+				srvLoop("xalan.attr", 2048, 1, 1, 0, PatDisjoint, false, false, 0, 0.3),
+			},
+			Coverage: 0.208,
+			Limit:    limitPop("xalancbmk", 0.45, 0.02),
+		},
+		{
+			Name: "milc", Suite: "SPEC", FP: true,
+			// Lattice-QCD site updates: FP with indirection, big coverage.
+			Loops: []LoopSpec{
+				gatherBound("milc.site", 8192, 2, true, 0.8),
+				gatherBound("milc.stout", 4096, 2, true, 0.2),
+			},
+			Coverage: 0.257,
+			Limit:    limitPop("milc", 0.65, 0.05),
+		},
+
+		// ---- HPC / scientific ----
+		{
+			Name: "is", Suite: "HPC",
+			// NPB integer sort key ranking: "all but one operation
+			// vectorisable using existing techniques" — contiguous-dominated
+			// body with one scatter; rare key duplicates cause RAW (Fig 9).
+			Loops: []LoopSpec{
+				srvLoop("is.rank", 8192, 8, 0, 8, PatRare, false, false, 1<<15, 0.95),
+				srvLoop("is.perm", 4096, 3, 0, 3, PatDisjoint, false, false, 0, 0.05),
+			},
+			Coverage: 0.253,
+			Limit:    limitPop("is", 0.70, 0.05),
+		},
+		{
+			Name: "livermore", Suite: "HPC", FP: true,
+			// Livermore kernels with potential pointer aliasing that never
+			// materialises at run time.
+			Loops: []LoopSpec{
+				srvLoop("liv.k2", 8192, 8, 0, 4, PatSpreadHigh, true, false, 1<<15, 0.6),
+				srvLoop("liv.k13", 8192, 5, 0, 4, PatSpreadHigh, true, false, 1<<15, 0.4),
+			},
+			Coverage: 0.050,
+			Limit:    limitPop("livermore", 0.75, 0.10),
+		},
+		{
+			Name: "ssca2", Suite: "HPC",
+			// Graph kernel: edge-list indirection with occasional collisions.
+			Loops: []LoopSpec{
+				srvLoop("ssca2.edges", 4096, 2, 1, 2, PatRare, false, false, 1<<15, 0.6),
+				gatherBound("ssca2.visit", 2048, 1, false, 0.4),
+			},
+			Coverage: 0.080,
+			Limit:    limitPop("ssca2", 0.50, 0.03),
+		},
+		{
+			Name: "randacc", Suite: "HPC",
+			// HPCC RandomAccess: t[r&mask] ^= r — random updates, rare
+			// window collisions.
+			Loops: []LoopSpec{
+				srvLoop("randacc.upd", 8192, 2, 0, 3, PatRare, false, false, 1<<14, 0.9),
+				srvLoop("randacc.init", 2048, 2, 0, 1, PatIdentity, false, false, 0, 0.1),
+			},
+			Coverage: 0.173,
+			Limit:    limitPop("randacc", 0.60, 0.02),
+		},
+		{
+			Name: "lc", Suite: "HPC",
+			// Rodinia-style grid relaxation through an indirection table;
+			// includes one large multi-statement body (Fig 10's tail).
+			Loops: []LoopSpec{
+				srvLoop("lc.relax", 8192, 8, 0, 5, PatRare, false, false, 1<<15, 0.98),
+				big("lc.bigbody", 2048, 2, 6, 0, PatIdentity, 0.02),
+			},
+			Coverage: 0.114,
+			Limit:    limitPop("lc", 0.70, 0.05),
+		},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,228 @@
+// Package workloads defines the benchmark suite of the paper's §V as
+// synthetic kernels: one entry per SPEC CPU2006 / NPB / Livermore / SSCA2 /
+// HPCC / Rodinia application evaluated, each with SRV-vectorisable loops
+// whose shape (memory accesses, gather fraction, arithmetic chain, guards),
+// runtime conflict pattern, trip counts and dynamic-instruction coverage are
+// calibrated to what the paper reports per benchmark (Figs 6-13). SPEC
+// binaries and reference inputs are licensed and gem5 checkpoints are
+// unavailable, so the suite reproduces the published per-benchmark loop
+// statistics rather than the applications themselves (see DESIGN.md §2).
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/mem"
+)
+
+// Pattern describes the runtime behaviour of the conflict-bearing index
+// array of a kernel.
+type Pattern int
+
+const (
+	// PatIdentity: x[i] = i — statically unknown, never conflicts.
+	PatIdentity Pattern = iota
+	// PatDisjoint: x[i] = i - i%4 — every lane writes the 4-aligned slot at
+	// or below its own index: no RAW (stores never hit later lanes' reads),
+	// but WAW between the four lanes of each block and WAR against earlier
+	// reads — exercising the immediate resolution paths.
+	PatDisjoint
+	// PatPeriodic4: the paper's listing-1 pattern {3,0,1,2, 7,4,5,6, ...} —
+	// one RAW violation every four iterations (lanes 3,7,11,15 replay).
+	PatPeriodic4
+	// PatRare: random indices over a large range — conflicts within a
+	// 16-iteration window are rare but occur.
+	PatRare
+	// PatSmallRange: random indices over a small range — frequent duplicate
+	// targets (histogram-style RAW).
+	PatSmallRange
+	// PatSpreadHigh: a conflict-free spread over the upper half of a large
+	// array — stores never touch the region the loop reads, so no runtime
+	// violations occur, but the footprint defeats the L1 (statically the
+	// loop remains unknown-dependence).
+	PatSpreadHigh
+)
+
+// Shape parameterises one synthetic kernel.
+type Shape struct {
+	Name     string
+	Trip     int
+	Elem     int
+	FP       bool
+	Contig   int     // extra contiguous source arrays in the value expression
+	Gathers  int     // extra (conflict-free) gather sources
+	Chain    int     // extra arithmetic depth on the value
+	Guarded  bool    // if-converted statement guard
+	Pattern  Pattern // conflict pattern for the main index array
+	ReadSelf bool    // value reads a[i] (makes RAW possible, listing 1)
+	StoreVia bool    // store through the index array (scatter); else contiguous store
+	Range    int     // index range for PatRare/PatSmallRange (defaults to Trip)
+	Stmts    int     // number of statements (>=1), each a variant of the kernel
+	// GatherStmt separates the kernel into a cheap scatter statement and a
+	// gather-dominated contiguous-store statement — the paper's omnetpp /
+	// soplex / xalancbmk profile, where "one operation requires multiple
+	// gather instructions to prepare data": the vector code is gather
+	// port-bound while the scalar code pipelines freely.
+	GatherStmt bool
+}
+
+// Build materialises the loop IR for the shape.
+func (s Shape) Build() *compiler.Loop {
+	elem := s.Elem
+	if elem == 0 {
+		elem = 4
+	}
+	rng := s.Range
+	if rng == 0 {
+		rng = s.Trip
+	}
+	arrLen := s.Trip
+	if rng > arrLen {
+		arrLen = rng
+	}
+	a := &compiler.Array{Name: "a", Elem: elem, Len: arrLen + 32}
+	x := &compiler.Array{Name: "x", Elem: 4, Len: s.Trip + 32}
+	stmts := s.Stmts
+	if stmts == 0 {
+		stmts = 1
+	}
+	l := &compiler.Loop{Name: s.Name, Trip: s.Trip, FP: s.FP}
+	if s.GatherStmt {
+		// Statement 0: a[x[i]] = b[i] + 1 (cheap value, keeps the loop an
+		// SRV candidate). Statement 1: d[i] = sum of gathers.
+		b := &compiler.Array{Name: "b0_0", Elem: elem, Len: s.Trip + 32}
+		l.Body = append(l.Body, compiler.Stmt{
+			Dst: a, Idx: compiler.Via(x, 1, 0),
+			Val: compiler.Bin{Op: compiler.OpAdd,
+				L: compiler.Ref{Arr: b, Idx: compiler.Affine(1, 0)},
+				R: compiler.Const{V: 1}},
+		})
+		var val compiler.Expr = compiler.Const{V: 5}
+		for gI := 0; gI < s.Gathers; gI++ {
+			gt := &compiler.Array{Name: fmt.Sprintf("g0_%d", gI), Elem: elem, Len: arrLen + 32}
+			gx := &compiler.Array{Name: fmt.Sprintf("gx0_%d", gI), Elem: 4, Len: s.Trip + 32}
+			val = compiler.Bin{Op: compiler.OpAdd, L: val, R: compiler.Ref{Arr: gt, Idx: compiler.Via(gx, 1, 0)}}
+		}
+		d := &compiler.Array{Name: "d0", Elem: elem, Len: s.Trip + 32}
+		l.Body = append(l.Body, compiler.Stmt{Dst: d, Idx: compiler.Affine(1, 0), Val: val})
+		return l
+	}
+	for st := 0; st < stmts; st++ {
+		var val compiler.Expr
+		if s.ReadSelf {
+			val = compiler.Ref{Arr: a, Idx: compiler.Affine(1, int64(st))}
+		} else {
+			val = compiler.Const{V: int64(7 + st)}
+		}
+		for c := 0; c < s.Contig; c++ {
+			b := &compiler.Array{Name: fmt.Sprintf("b%d_%d", st, c), Elem: elem, Len: s.Trip + 32}
+			val = compiler.Bin{Op: compiler.OpAdd, L: val, R: compiler.Ref{Arr: b, Idx: compiler.Affine(1, 0)}}
+		}
+		for gI := 0; gI < s.Gathers; gI++ {
+			gt := &compiler.Array{Name: fmt.Sprintf("g%d_%d", st, gI), Elem: elem, Len: arrLen + 32}
+			gx := &compiler.Array{Name: fmt.Sprintf("gx%d_%d", st, gI), Elem: 4, Len: s.Trip + 32}
+			val = compiler.Bin{Op: compiler.OpAdd, L: val, R: compiler.Ref{Arr: gt, Idx: compiler.Via(gx, 1, 0)}}
+		}
+		for ch := 0; ch < s.Chain; ch++ {
+			op := compiler.OpAdd
+			if ch%3 == 1 {
+				op = compiler.OpMul
+			} else if ch%3 == 2 {
+				op = compiler.OpXor
+			}
+			val = compiler.Bin{Op: op, L: val, R: compiler.Const{V: int64(3 + ch)}}
+		}
+		stmt := compiler.Stmt{Val: val}
+		if s.StoreVia {
+			stmt.Dst, stmt.Idx = a, compiler.Via(x, 1, 0)
+		} else {
+			d := &compiler.Array{Name: fmt.Sprintf("d%d", st), Elem: elem, Len: s.Trip + 32}
+			stmt.Dst, stmt.Idx = d, compiler.Affine(1, 0)
+			if st == 0 && !s.ReadSelf {
+				// Keep the loop statically unknown even with a contiguous
+				// store by reading through the index array.
+				stmt.Val = compiler.Bin{Op: compiler.OpAdd, L: stmt.Val,
+					R: compiler.Ref{Arr: a, Idx: compiler.Via(x, 1, 0)}}
+			}
+		}
+		if s.Guarded {
+			m := &compiler.Array{Name: fmt.Sprintf("m%d", st), Elem: 4, Len: s.Trip + 32}
+			stmt.Mask = &compiler.Mask{Op: compiler.CmpLT,
+				L: compiler.Ref{Arr: m, Idx: compiler.Affine(1, 0)},
+				R: compiler.Const{V: 30}}
+		}
+		l.Body = append(l.Body, stmt)
+	}
+	return l
+}
+
+// Seed fills the kernel's arrays: the main index array per the conflict
+// pattern, everything else with deterministic pseudo-random data.
+func (s Shape) Seed(l *compiler.Loop, im *mem.Image, rng *rand.Rand) {
+	idxRange := s.Range
+	if idxRange == 0 {
+		idxRange = s.Trip
+	}
+	for _, arr := range l.Bind(im) {
+		switch {
+		case arr.Name == "x":
+			seedPattern(arr, im, s.Pattern, s.Trip, idxRange, rng)
+		case len(arr.Name) > 1 && arr.Name[0] == 'g' && arr.Name[1] == 'x':
+			// Conflict-free gather indices: a random permutation-free spread.
+			for i := 0; i < arr.Len; i++ {
+				im.WriteInt(arr.Addr(int64(i)), arr.Elem, int64(rng.Intn(idxRange)))
+			}
+		case arr.Name[0] == 'm':
+			// Guard data: ~94% pass rate (predictable branches in the
+			// scalar code, sparse inactive lanes in the vector code).
+			for i := 0; i < arr.Len; i++ {
+				im.WriteInt(arr.Addr(int64(i)), arr.Elem, int64(rng.Intn(32)))
+			}
+		default:
+			for i := 0; i < arr.Len; i++ {
+				im.WriteInt(arr.Addr(int64(i)), arr.Elem, int64(rng.Intn(64)))
+			}
+		}
+	}
+}
+
+func seedPattern(x *compiler.Array, im *mem.Image, p Pattern, trip, idxRange int, rng *rand.Rand) {
+	for i := 0; i < x.Len; i++ {
+		var v int64
+		switch p {
+		case PatIdentity:
+			v = int64(i)
+		case PatDisjoint:
+			v = int64(i - i%4)
+		case PatPeriodic4:
+			if i%4 == 0 {
+				v = int64(i + 3)
+			} else {
+				v = int64(i - 1)
+			}
+			if v >= int64(idxRange) {
+				v = int64(i % idxRange)
+			}
+		case PatRare:
+			v = int64(rng.Intn(idxRange))
+		case PatSmallRange:
+			v = int64(rng.Intn(maxInt(idxRange/8, 8)))
+		case PatSpreadHigh:
+			span := idxRange - trip
+			if span <= 0 {
+				span = trip
+			}
+			v = int64(trip + int(uint32(i)*2654435761)%span)
+		}
+		im.WriteInt(x.Addr(int64(i)), x.Elem, v)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

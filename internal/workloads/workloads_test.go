@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	bs := All()
+	if len(bs) != 16 {
+		t.Fatalf("benchmarks = %d, want 16", len(bs))
+	}
+	spec, hpc := 0, 0
+	for _, b := range bs {
+		switch b.Suite {
+		case "SPEC":
+			spec++
+		case "HPC":
+			hpc++
+		default:
+			t.Errorf("%s: unknown suite %q", b.Name, b.Suite)
+		}
+		if b.Coverage <= 0 || b.Coverage > 0.30 {
+			t.Errorf("%s: coverage %.3f outside (0, 0.30]", b.Name, b.Coverage)
+		}
+		if len(b.Loops) == 0 {
+			t.Errorf("%s: no SRV loops", b.Name)
+		}
+		if len(b.Limit) == 0 {
+			t.Errorf("%s: no limit-study population", b.Name)
+		}
+		w := 0.0
+		for _, ls := range b.Loops {
+			w += ls.Weight
+		}
+		if w < 0.99 || w > 1.01 {
+			t.Errorf("%s: loop weights sum to %.3f, want 1.0", b.Name, w)
+		}
+	}
+	if spec != 11 || hpc != 5 {
+		t.Errorf("suites = %d SPEC / %d HPC, want 11 / 5 (paper §V)", spec, hpc)
+	}
+}
+
+func TestEveryLoopIsSRVCandidate(t *testing.T) {
+	// Every workload loop must be statically unknown (SRV's raison d'être):
+	// SVE compilation is rejected, SRV succeeds.
+	for _, b := range All() {
+		for _, ls := range b.Loops {
+			l, im := ls.Instantiate(1)
+			if v := compiler.Analyse(l).Verdict; v != compiler.VerdictUnknown {
+				t.Errorf("%s/%s: verdict %v, want unknown", b.Name, ls.Shape.Name, v)
+			}
+			if _, err := compiler.Compile(l, im, compiler.ModeSVE); err == nil {
+				t.Errorf("%s/%s: SVE compilation must be rejected", b.Name, ls.Shape.Name)
+			}
+			if _, err := compiler.Compile(l, im, compiler.ModeSRV); err != nil {
+				t.Errorf("%s/%s: SRV compilation failed: %v", b.Name, ls.Shape.Name, err)
+			}
+		}
+	}
+}
+
+func TestSeedPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, pat := range []Pattern{PatIdentity, PatDisjoint, PatPeriodic4, PatRare, PatSmallRange, PatSpreadHigh} {
+		s := Shape{Name: "p", Trip: 64, Pattern: pat, ReadSelf: true, StoreVia: true, Range: 256}
+		l := s.Build()
+		im := mem.NewImage()
+		s.Seed(l, im, rng)
+		var x *compiler.Array
+		for _, a := range l.Arrays() {
+			if a.Name == "x" {
+				x = a
+			}
+		}
+		if x == nil {
+			t.Fatalf("%v: no index array", pat)
+		}
+		for i := 0; i < 64; i++ {
+			v := im.ReadInt(x.Addr(int64(i)), 4)
+			if v < 0 || v >= 256 {
+				t.Errorf("pattern %v: x[%d] = %d outside [0, 256)", pat, i, v)
+			}
+			switch pat {
+			case PatIdentity:
+				if v != int64(i) {
+					t.Errorf("identity x[%d] = %d", i, v)
+				}
+			case PatDisjoint:
+				if v != int64(i-i%4) {
+					t.Errorf("disjoint x[%d] = %d, want %d", i, v, i-i%4)
+				}
+			case PatPeriodic4:
+				want := int64(i - 1)
+				if i%4 == 0 {
+					want = int64(i + 3)
+				}
+				if v != want {
+					t.Errorf("periodic4 x[%d] = %d, want %d", i, v, want)
+				}
+			case PatSpreadHigh:
+				if v < 64 {
+					t.Errorf("spread-high x[%d] = %d, must stay above the read region", i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestShapeAccessCounts(t *testing.T) {
+	// The Fig 10 knobs: srvLoop shapes must have total accesses = contig +
+	// 2*gathers + 3 (a[i] read, x[i] read, scatter) plus the guard load.
+	s := Shape{Name: "c", Trip: 64, Contig: 2, Gathers: 1, ReadSelf: true, StoreVia: true}
+	total, gs := s.Build().MemAccessCount()
+	if total != 2+2+3 || gs != 2 {
+		t.Errorf("accesses = %d/%d, want 7 total / 2 gather-scatter", total, gs)
+	}
+	s.Guarded = true
+	total, _ = s.Build().MemAccessCount()
+	if total != 8 {
+		t.Errorf("guarded accesses = %d, want 8", total)
+	}
+}
+
+func TestGatherStmtShape(t *testing.T) {
+	s := Shape{Name: "g", Trip: 64, Gathers: 2, GatherStmt: true}
+	l := s.Build()
+	if len(l.Body) != 2 {
+		t.Fatalf("statements = %d, want 2", len(l.Body))
+	}
+	total, gs := l.MemAccessCount()
+	// stmt0: b load, x load, scatter; stmt1: 2x (gx load + gather), d store.
+	if total != 3+5 || gs != 3 {
+		t.Errorf("accesses = %d/%d, want 8 total / 3 gather-scatter", total, gs)
+	}
+	// LSU budget: 3 gather/scatter * 16 + 5 contiguous = 53 entries < 64, so
+	// gather-bound loops never overflow (paper Fig 10's 55-entry argument).
+	if entries := gs*isa.NumLanes + (total - gs); entries > 64 {
+		t.Errorf("gather-bound shape needs %d LSU entries, exceeding 64", entries)
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	b, _ := ByName("is")
+	l1, im1 := b.Loops[0].Instantiate(5)
+	_, im2 := b.Loops[0].Instantiate(5)
+	if !im1.Equal(im2) {
+		t.Error("same seed must produce identical images")
+	}
+	compiler.Eval(l1, im1)
+	if im1.Equal(im2) {
+		t.Error("evaluation must change memory")
+	}
+}
+
+func TestAllLoopsFitLSUOrFallBackDeliberately(t *testing.T) {
+	for _, b := range All() {
+		for _, ls := range b.Loops {
+			total, gs := ls.Shape.Build().MemAccessCount()
+			entries := gs*isa.NumLanes + (total - gs)
+			if entries > 64 {
+				t.Errorf("%s/%s needs %d LSU entries (> 64): would always fall back",
+					b.Name, ls.Shape.Name, entries)
+			}
+		}
+	}
+}

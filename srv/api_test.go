@@ -1,0 +1,200 @@
+package srv_test
+
+import (
+	"strings"
+	"testing"
+
+	"srvsim/srv"
+)
+
+// TestRunWithInterrupt verifies the public interrupt path preserves
+// sequential semantics when the handler fires mid-region.
+func TestRunWithInterrupt(t *testing.T) {
+	const n = 256
+	a := &srv.Array{Name: "a", Elem: 4, Len: n + 16}
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	loop := &srv.Loop{Trip: n, Body: []srv.Stmt{
+		{Dst: a, Idx: srv.Via(x, 1, 0),
+			Val: srv.Sub(srv.Load(a, srv.At(1, 0)), srv.Int(3))},
+	}}
+	m := srv.NewMemory()
+	loop.Bind(m)
+	for i := 0; i < n; i++ {
+		m.WriteInt(a.Addr(int64(i)), 4, int64(i*5))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		m.WriteInt(x.Addr(int64(i)), 4, xi)
+	}
+	ref := m.Clone()
+	srv.Reference(loop, ref)
+
+	res, err := srv.RunWithInterrupt(loop, m, srv.ModeSRV, srv.DefaultConfig(), 60, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := m.FirstDiff(ref); diff {
+		t.Fatalf("interrupted run diverges at %#x", addr)
+	}
+	if res.Regions == 0 {
+		t.Error("regions must be counted")
+	}
+}
+
+// TestRunWithInterruptCompileError covers the error path.
+func TestRunWithInterruptCompileError(t *testing.T) {
+	a := &srv.Array{Name: "a", Elem: 4, Len: 64}
+	dep := &srv.Loop{Trip: 32, Body: []srv.Stmt{
+		{Dst: a, Idx: srv.At(1, 1), Val: srv.Load(a, srv.At(1, 0))},
+	}}
+	m := srv.NewMemory()
+	dep.Bind(m)
+	if _, err := srv.RunWithInterrupt(dep, m, srv.ModeSVE, srv.DefaultConfig(), 10, 10); err == nil {
+		t.Error("SVE compilation of a dependent loop must fail")
+	}
+}
+
+// TestRunBlock exercises the SLP public API: a straight-line block with
+// may-aliasing arrays, SRV-packed, verified against the sequential block
+// evaluator.
+func TestRunBlock(t *testing.T) {
+	// Two views of the same allocation (AliasGroup marks may-aliasing).
+	p := &srv.Array{Name: "p", Elem: 4, Len: 64, AliasGroup: 1}
+	q := &srv.Array{Name: "q", Elem: 4, Len: 64, AliasGroup: 1}
+	blk := &srv.Block{Name: "stencil"}
+	for i := 0; i < 16; i++ {
+		blk.Stmts = append(blk.Stmts, srv.SLPStmt{
+			Dst: p, DstIdx: int64(i),
+			Val: srv.Add(srv.Load(q, srv.At(0, int64(i))), srv.Int(100)),
+		})
+	}
+
+	m := srv.NewMemory()
+	blk.Bind(m)
+	q.Base = p.Base + 8 // real overlap: q[i] = p[i+2]
+	for i := 0; i < 64; i++ {
+		m.WriteInt(p.Addr(int64(i)), 4, int64(i))
+	}
+	ref := m.Clone()
+	srv.ReferenceBlock(blk, ref)
+
+	// Compare only the data range: compiling a block writes its index
+	// tables into the image, which the reference image does not contain.
+	checkData := func(t *testing.T, got *srv.Memory, label string) {
+		t.Helper()
+		for i := 0; i < 64; i++ {
+			w, g := ref.ReadInt(p.Addr(int64(i)), 4), got.ReadInt(p.Addr(int64(i)), 4)
+			if w != g {
+				t.Fatalf("%s: p[%d] = %d, want %d", label, i, g, w)
+			}
+		}
+	}
+
+	res, err := srv.RunBlock(blk, m, srv.ModeSRV, srv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkData(t, m, "SLP SRV")
+	if res.Regions == 0 {
+		t.Error("the packed block must execute at least one SRV region")
+	}
+
+	// Scalar mode must agree too.
+	m2 := srv.NewMemory()
+	for i := 0; i < 64; i++ {
+		m2.WriteInt(p.Addr(int64(i)), 4, int64(i))
+	}
+	if _, err := srv.RunBlock(blk, m2, srv.ModeScalar, srv.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	checkData(t, m2, "scalar")
+}
+
+// TestCostModelAPI covers EstimateSpeedup/Profitable and their agreement.
+func TestCostModelAPI(t *testing.T) {
+	a := &srv.Array{Name: "a", Elem: 4, Len: 1024}
+	x := &srv.Array{Name: "x", Elem: 4, Len: 1024}
+	var wide srv.Expr = srv.Load(a, srv.At(1, 0))
+	for k := 0; k < 8; k++ {
+		b := &srv.Array{Name: "b", Elem: 4, Len: 1024}
+		wide = srv.Add(srv.And(wide, srv.Int(255)), srv.Load(b, srv.At(1, 0)))
+	}
+	good := &srv.Loop{Trip: 512, Body: []srv.Stmt{{Dst: a, Idx: srv.Via(x, 1, 0), Val: wide}}}
+	bad := &srv.Loop{Trip: 512, Body: []srv.Stmt{{Dst: a, Idx: srv.Via(x, 1, 0), Val: srv.IV()}}}
+
+	if est := srv.EstimateSpeedup(good); est <= 1.5 || !srv.Profitable(good) {
+		t.Errorf("wide loop estimate %.2f must be profitable", est)
+	}
+	if est := srv.EstimateSpeedup(bad); est >= 1.5 || srv.Profitable(bad) {
+		t.Errorf("bare scatter estimate %.2f must be rejected", est)
+	}
+}
+
+// TestExecuteCycleBudget covers Execute's error path (an infinite loop
+// exhausts MaxCycles).
+func TestExecuteCycleBudget(t *testing.T) {
+	prog, err := srv.Assemble(`
+loop:
+	addi s0, s0, 1
+	jmp loop
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := srv.DefaultConfig()
+	cfg.MaxCycles = 1000
+	_, err = srv.Execute(prog, srv.NewMemory(), cfg)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop must exhaust the cycle budget, got %v", err)
+	}
+}
+
+// TestRunProgram runs a two-phase synthetic application: a provably safe
+// SVE loop followed by an unknown-dependence SRV loop, in one program.
+func TestRunProgram(t *testing.T) {
+	const n = 256
+	a := &srv.Array{Name: "a", Elem: 4, Len: n}
+	b := &srv.Array{Name: "b", Elem: 4, Len: n}
+	safe := &srv.Loop{Name: "p0", Trip: n, Body: []srv.Stmt{
+		{Dst: a, Idx: srv.At(1, 0), Val: srv.Add(srv.Load(b, srv.At(1, 0)), srv.Int(5))},
+	}}
+	h := &srv.Array{Name: "h", Elem: 4, Len: n}
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	spec := &srv.Loop{Name: "p1", Trip: n, Body: []srv.Stmt{
+		{Dst: h, Idx: srv.Via(x, 1, 0), Val: srv.Add(srv.Load(a, srv.At(1, 0)), srv.Int(1))},
+	}}
+
+	m := srv.NewMemory()
+	safe.Bind(m)
+	spec.Bind(m)
+	for i := 0; i < n; i++ {
+		m.WriteInt(b.Addr(int64(i)), 4, int64(i*2))
+		m.WriteInt(x.Addr(int64(i)), 4, int64((i*13)%n))
+	}
+	ref := m.Clone()
+	srv.Reference(safe, ref)
+	srv.Reference(spec, ref)
+
+	res, err := srv.RunProgram([]srv.Phase{
+		{Loop: safe, Mode: srv.ModeSVE},
+		{Loop: spec, Mode: srv.ModeSRV},
+	}, m, srv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, diff := m.FirstDiff(ref); diff {
+		t.Fatalf("program diverges at %#x", addr)
+	}
+	if res.Regions != n/16 {
+		t.Errorf("regions = %d, want %d (only phase 1 is speculative)", res.Regions, n/16)
+	}
+
+	// Phase legality: an SVE phase with a dependent loop must be refused.
+	dep := &srv.Loop{Trip: n, Body: []srv.Stmt{
+		{Dst: a, Idx: srv.At(1, 1), Val: srv.Load(a, srv.At(1, 0))},
+	}}
+	if _, err := srv.RunProgram([]srv.Phase{{Loop: dep, Mode: srv.ModeSVE}}, srv.NewMemory(), srv.DefaultConfig()); err == nil {
+		t.Error("dependent SVE phase must be refused")
+	}
+}

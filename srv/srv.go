@@ -1,0 +1,307 @@
+// Package srv is the public API of the selective-replay vectorisation
+// library: declare a loop over arrays, hand it to the compiler in scalar or
+// SRV form, and execute it on the cycle-level out-of-order core — or
+// assemble programs directly in the textual ISA syntax.
+//
+// A minimal session:
+//
+//	a := &srv.Array{Name: "a", Elem: 4, Len: 1040}
+//	x := &srv.Array{Name: "x", Elem: 4, Len: 1024}
+//	loop := &srv.Loop{
+//		Name: "update", Trip: 1024,
+//		Body: []srv.Stmt{{
+//			Dst: a, Idx: srv.Via(x, 1, 0), // a[x[i]] = ...
+//			Val: srv.Add(srv.Load(a, srv.At(1, 0)), srv.Int(2)),
+//		}},
+//	}
+//	m := srv.NewMemory()
+//	loop.Bind(m)
+//	// ... fill a and x through m ...
+//	res, err := srv.Run(loop, m, srv.ModeSRV, srv.DefaultConfig())
+//
+// The dependence analysis (srv.Analyse) classifies the loop; ModeSVE is
+// refused for anything not provably safe, while ModeSRV executes it
+// speculatively with per-lane selective replay, exactly as in "Speculative
+// Vectorisation with Selective Replay" (ISCA 2021).
+package srv
+
+import (
+	"fmt"
+
+	"srvsim/internal/compiler"
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/pipeline"
+)
+
+// Core loop-declaration types (see the compiler package for full docs).
+type (
+	// Loop is a countable inner loop over i in [0, Trip).
+	Loop = compiler.Loop
+	// Array declares one array operand.
+	Array = compiler.Array
+	// Stmt is one optionally guarded store statement.
+	Stmt = compiler.Stmt
+	// Mask guards a statement with a per-iteration comparison.
+	Mask = compiler.Mask
+	// Index is a subscript: affine or routed through an index array.
+	Index = compiler.Index
+	// Expr is a value expression evaluated per iteration.
+	Expr = compiler.Expr
+)
+
+// Memory is the byte-addressable image programs execute against.
+type Memory = mem.Image
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory { return mem.NewImage() }
+
+// Config holds the core's structural and latency parameters (Table I).
+type Config = pipeline.Config
+
+// DefaultConfig returns the paper's simulated core configuration.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// Execution modes.
+const (
+	// ModeScalar compiles one element per iteration.
+	ModeScalar = compiler.ModeScalar
+	// ModeSVE compiles 16-lane vector code; only provably safe loops.
+	ModeSVE = compiler.ModeSVE
+	// ModeSRV compiles speculative 16-lane vector code bracketed by
+	// srv_start/srv_end; legal for unknown-dependence loops.
+	ModeSRV = compiler.ModeSRV
+)
+
+// Index constructors.
+
+// At builds the affine subscript scale*i + offset.
+func At(scale, offset int64) Index { return compiler.Affine(scale, offset) }
+
+// Via builds the indirect subscript arr[scale*i + offset].
+func Via(arr *Array, scale, offset int64) Index { return compiler.Via(arr, scale, offset) }
+
+// Expression constructors.
+
+// Int is an integer literal.
+func Int(v int64) Expr { return compiler.Const{V: v} }
+
+// IV is the induction-variable value i.
+func IV() Expr { return compiler.IV{} }
+
+// Load reads arr[idx].
+func Load(arr *Array, idx Index) Expr { return compiler.Ref{Arr: arr, Idx: idx} }
+
+// Add, Sub, Mul, Xor, And build arithmetic expressions.
+func Add(l, r Expr) Expr { return compiler.Bin{Op: compiler.OpAdd, L: l, R: r} }
+func Sub(l, r Expr) Expr { return compiler.Bin{Op: compiler.OpSub, L: l, R: r} }
+func Mul(l, r Expr) Expr { return compiler.Bin{Op: compiler.OpMul, L: l, R: r} }
+func Xor(l, r Expr) Expr { return compiler.Bin{Op: compiler.OpXor, L: l, R: r} }
+func And(l, r Expr) Expr { return compiler.Bin{Op: compiler.OpAnd, L: l, R: r} }
+
+// MulAdd builds the fused l*r + c.
+func MulAdd(l, r, c Expr) Expr { return compiler.Bin{Op: compiler.OpMulAdd, L: l, R: r, C: c} }
+
+// Guard builds a statement mask (if-converted under vector execution).
+type CmpOp = compiler.CmpOp
+
+// Comparison operators for Guard.
+const (
+	LT = compiler.CmpLT
+	GE = compiler.CmpGE
+	EQ = compiler.CmpEQ
+	NE = compiler.CmpNE
+)
+
+// Guard returns a statement mask comparing l against r.
+func Guard(op CmpOp, l, r Expr) *Mask { return &compiler.Mask{Op: op, L: l, R: r} }
+
+// Verdict is the dependence-analysis classification.
+type Verdict = compiler.Verdict
+
+// Verdicts.
+const (
+	// Safe: provably free of short-distance cross-iteration dependences.
+	Safe = compiler.VerdictSafe
+	// Unknown: statically undecidable — the SRV candidates.
+	Unknown = compiler.VerdictUnknown
+	// Dependent: a short-distance dependence provably exists.
+	Dependent = compiler.VerdictDependent
+)
+
+// Analyse classifies the loop's memory dependences.
+func Analyse(l *Loop) Verdict { return compiler.Analyse(l).Verdict }
+
+// EstimateSpeedup predicts the SRV-over-scalar speedup of the loop from its
+// static shape using the compiler's profitability model — no simulation.
+func EstimateSpeedup(l *Loop) float64 { return compiler.DefaultCostModel().Estimate(l) }
+
+// Profitable reports whether the compiler's cost model would choose to
+// SRV-vectorise the loop (estimate at or above the model's threshold).
+func Profitable(l *Loop) bool { return compiler.DefaultCostModel().Profitable(l) }
+
+// Result is one execution's outcome.
+type Result struct {
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+
+	// SRV activity (zero in scalar/SVE runs).
+	Regions       int64
+	Replays       int64
+	ReplayedLanes int64
+	RAW, WAR, WAW int64
+	Fallbacks     int64
+	BarrierCycles int64
+
+	// Stats is the full gem5-style statistics report.
+	Stats string
+}
+
+// resultFrom collects a finished pipeline's counters into a Result.
+func resultFrom(p *pipeline.Pipeline) Result {
+	st := p.Ctrl.Stats
+	return Result{
+		Cycles:        p.Stats.Cycles,
+		Instructions:  p.Stats.Committed,
+		IPC:           p.Stats.IPC(),
+		Regions:       st.Regions,
+		Replays:       st.Replays,
+		ReplayedLanes: st.ReplayLanes,
+		RAW:           st.RAWViol,
+		WAR:           st.WARViol,
+		WAW:           st.WAWViol,
+		Fallbacks:     st.Fallbacks,
+		BarrierCycles: p.Stats.BarrierCycles,
+		Stats:         p.DumpStats(),
+	}
+}
+
+// Run compiles the loop in the given mode and executes it on the simulated
+// core against m (which the run mutates). The loop's arrays must have been
+// bound with Loop.Bind(m) so callers could fill them first.
+func Run(l *Loop, m *Memory, mode compiler.Mode, cfg Config) (Result, error) {
+	c, err := compiler.Compile(l, m, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	p := pipeline.New(cfg, c.Prog, m)
+	if err := p.Run(); err != nil {
+		return Result{}, err
+	}
+	return resultFrom(p), nil
+}
+
+// RunWithInterrupt is Run with an interrupt injected at the given cycle and
+// a handler cost in cycles; SRV regions are suspended and resumed precisely
+// per the paper's §III-D2.
+func RunWithInterrupt(l *Loop, m *Memory, mode compiler.Mode, cfg Config, at, handlerCycles int64) (Result, error) {
+	c, err := compiler.Compile(l, m, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	p := pipeline.New(cfg, c.Prog, m)
+	p.ScheduleInterrupt(at, handlerCycles)
+	if err := p.Run(); err != nil {
+		return Result{}, err
+	}
+	return resultFrom(p), nil
+}
+
+// Reference executes the loop with strict sequential semantics directly
+// over m — the golden model every mode must match.
+func Reference(l *Loop, m *Memory) { compiler.Eval(l, m) }
+
+// Comparison reports a scalar-vs-SRV measurement over identical inputs.
+type Comparison struct {
+	Scalar  Result
+	SRV     Result
+	Speedup float64
+}
+
+// Compare runs the loop in scalar and SRV modes on identical copies of m
+// (seeded by the caller before the call), verifies both against the
+// sequential reference, and returns the cycle counts. m itself is not
+// mutated.
+func Compare(l *Loop, m *Memory, cfg Config) (Comparison, error) {
+	var cmp Comparison
+	ref := m.Clone()
+	Reference(l, ref)
+
+	ms := m.Clone()
+	scalar, err := Run(l, ms, ModeScalar, cfg)
+	if err != nil {
+		return cmp, err
+	}
+	if addr, diff := ms.FirstDiff(ref); diff {
+		return cmp, fmt.Errorf("srv: scalar execution diverges from the sequential reference at %#x", addr)
+	}
+	mv := m.Clone()
+	vec, err := Run(l, mv, ModeSRV, cfg)
+	if err != nil {
+		return cmp, err
+	}
+	if addr, diff := mv.FirstDiff(ref); diff {
+		return cmp, fmt.Errorf("srv: SRV execution diverges from the sequential reference at %#x", addr)
+	}
+	cmp.Scalar, cmp.SRV = scalar, vec
+	cmp.Speedup = float64(scalar.Cycles) / float64(vec.Cycles)
+	return cmp, nil
+}
+
+// Phase is one loop of a multi-phase program: a whole synthetic
+// application is a sequence of loops, each compiled in its own mode.
+type Phase = compiler.Phase
+
+// RunProgram lowers several loops into one program executed in sequence
+// (scalar phases interleaved with vector loops — a synthetic whole
+// application) and runs it on the simulated core. Each phase is validated
+// under the same legality rules as Run.
+func RunProgram(phases []Phase, m *Memory, cfg Config) (Result, error) {
+	prog, err := compiler.CompileProgram(phases, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Execute(prog, m, cfg)
+}
+
+// SLP: straight-line (non-loop) SRV regions, the extension paper §III-A
+// mentions ("SRV could also be used to vectorise non-loop code with unknown
+// dependences, through the SLP algorithm").
+
+// Block is a straight-line code block of constant-subscript statements.
+type Block = compiler.Block
+
+// SLPStmt is one statement of a Block: Dst[DstIdx] = Val.
+type SLPStmt = compiler.SLPStmt
+
+// RunBlock compiles the block (ModeScalar or ModeSRV — the latter packs
+// isomorphic statement runs into SRV regions) and executes it on the core.
+func RunBlock(b *Block, m *Memory, mode compiler.Mode, cfg Config) (Result, error) {
+	prog, err := compiler.CompileBlock(b, m, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	return Execute(prog, m, cfg)
+}
+
+// ReferenceBlock executes the block sequentially (the golden model).
+func ReferenceBlock(b *Block, m *Memory) { compiler.EvalBlock(b, m) }
+
+// Program is a resolved machine program in the simulator ISA.
+type Program = isa.Program
+
+// Assemble parses the textual assembly syntax (see isa.Assemble).
+func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
+
+// Disassemble renders a program in the canonical assembly syntax.
+func Disassemble(p *Program) string { return isa.Disassemble(p) }
+
+// Execute runs an assembled program on the simulated core.
+func Execute(p *Program, m *Memory, cfg Config) (Result, error) {
+	pl := pipeline.New(cfg, p, m)
+	if err := pl.Run(); err != nil {
+		return Result{}, err
+	}
+	return resultFrom(pl), nil
+}

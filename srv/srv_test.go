@@ -1,0 +1,113 @@
+package srv_test
+
+import (
+	"strings"
+	"testing"
+
+	"srvsim/srv"
+)
+
+// buildListing1 declares the paper's motivating loop through the public API.
+func buildListing1(n int) (*srv.Loop, *srv.Array, *srv.Array) {
+	a := &srv.Array{Name: "a", Elem: 4, Len: n + 16}
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	loop := &srv.Loop{
+		Name: "listing1",
+		Trip: n,
+		Body: []srv.Stmt{{
+			Dst: a, Idx: srv.Via(x, 1, 0),
+			Val: srv.Add(srv.Load(a, srv.At(1, 0)), srv.Int(2)),
+		}},
+	}
+	return loop, a, x
+}
+
+func TestPublicAPICompare(t *testing.T) {
+	const n = 256
+	loop, a, x := buildListing1(n)
+	m := srv.NewMemory()
+	loop.Bind(m)
+	for i := 0; i < n; i++ {
+		m.WriteInt(a.Addr(int64(i)), 4, int64(i*3))
+		xi := int64(i - 1)
+		if i%4 == 0 {
+			xi = int64(i + 3)
+		}
+		m.WriteInt(x.Addr(int64(i)), 4, xi)
+	}
+
+	if v := srv.Analyse(loop); v != srv.Unknown {
+		t.Fatalf("verdict = %v, want unknown", v)
+	}
+	if _, err := srv.Run(loop, m.Clone(), srv.ModeSVE, srv.DefaultConfig()); err == nil {
+		t.Fatal("SVE must refuse the unknown-dependence loop")
+	}
+
+	cmp, err := srv.Compare(loop, m, srv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup <= 1.0 {
+		t.Errorf("SRV speedup = %.2f, want > 1", cmp.Speedup)
+	}
+	if cmp.SRV.Replays != int64(n/16) {
+		t.Errorf("replays = %d, want %d (one per group)", cmp.SRV.Replays, n/16)
+	}
+	if cmp.SRV.RAW == 0 {
+		t.Error("RAW violations must be recorded")
+	}
+	if !strings.Contains(cmp.SRV.Stats, "srv.replays") {
+		t.Error("result must carry the statistics report")
+	}
+}
+
+func TestPublicAPIGuardedLoop(t *testing.T) {
+	const n = 64
+	a := &srv.Array{Name: "a", Elem: 4, Len: n}
+	b := &srv.Array{Name: "b", Elem: 4, Len: n}
+	x := &srv.Array{Name: "x", Elem: 4, Len: n}
+	loop := &srv.Loop{
+		Name: "guarded",
+		Trip: n,
+		Body: []srv.Stmt{{
+			Dst: a, Idx: srv.Via(x, 1, 0),
+			Val:  srv.MulAdd(srv.Load(b, srv.At(1, 0)), srv.Int(3), srv.IV()),
+			Mask: srv.Guard(srv.LT, srv.Load(b, srv.At(1, 0)), srv.Int(20)),
+		}},
+	}
+	m := srv.NewMemory()
+	loop.Bind(m)
+	for i := 0; i < n; i++ {
+		m.WriteInt(a.Addr(int64(i)), 4, 1)
+		m.WriteInt(b.Addr(int64(i)), 4, int64(i%40))
+		m.WriteInt(x.Addr(int64(i)), 4, int64(i))
+	}
+	cmp, err := srv.Compare(loop, m, srv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SRV.Cycles == 0 || cmp.Scalar.Cycles == 0 {
+		t.Error("both runs must report cycles")
+	}
+}
+
+func TestPublicAPIAssembler(t *testing.T) {
+	prog, err := srv.Assemble(`
+	movi s0, 7
+	addi s1, s0, 35
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Execute(prog, srv.NewMemory(), srv.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 3 {
+		t.Errorf("instructions = %d, want 3", res.Instructions)
+	}
+	text := srv.Disassemble(prog)
+	if !strings.Contains(text, "addi s1, s0, 35") {
+		t.Errorf("disassembly wrong:\n%s", text)
+	}
+}
