@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench timing
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static vetting plus the race detector over
+# the packages with concurrency (harness worker pool) and the rewritten
+# LSU hot path.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/lsu ./internal/pipeline
+
+# timing regenerates BENCH_harness.json (per-benchmark wall-clock of the
+# experiment harness on this machine).
+timing: build
+	$(GO) run ./cmd/srvbench -timing BENCH_harness.json

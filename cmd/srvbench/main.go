@@ -8,19 +8,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|tab1|limit|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|costmodel|regions|sweep")
 	seed := flag.Int64("seed", 7, "workload data seed")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
+	timing := flag.String("timing", "", "write per-benchmark wall-clock timings as JSON to this file")
+	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
 	flag.Parse()
+	harness.SetParallelism(*par)
 
+	if *timing != "" {
+		if err := writeTimings(*timing, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "srvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := harness.WriteJSON(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "srvbench:", err)
@@ -32,6 +46,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "srvbench:", err)
 		os.Exit(1)
 	}
+}
+
+// benchTiming is one row of the -timing report: how long the simulator took
+// in wall-clock terms to run every loop of one benchmark, plus the simulated
+// cycle totals so cycles/sec can be derived.
+type benchTiming struct {
+	Bench        string  `json:"bench"`
+	Loops        int     `json:"loops"`
+	WallMS       float64 `json:"wall_ms"`
+	ScalarCycles int64   `json:"scalar_cycles"`
+	SRVCycles    int64   `json:"srv_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type timingReport struct {
+	Seed        int64         `json:"seed"`
+	Workers     int           `json:"workers"`
+	NumCPU      int           `json:"num_cpu"`
+	GoVersion   string        `json:"go_version"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+	Benchmarks  []benchTiming `json:"benchmarks"`
+}
+
+// writeTimings wall-clocks RunBenchmark for every workload and writes the
+// result (BENCH_harness.json when invoked per the Makefile) to path.
+func writeTimings(path string, seed int64) error {
+	rep := timingReport{
+		Seed:      seed,
+		Workers:   harness.Parallelism(),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	start := time.Now()
+	for _, b := range workloads.All() {
+		t0 := time.Now()
+		br, err := harness.RunBenchmark(b, seed)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		bt := benchTiming{
+			Bench:   b.Name,
+			Loops:   len(br.Loops),
+			WallMS:  float64(wall.Microseconds()) / 1e3,
+			Speedup: br.Speedup,
+		}
+		for _, lr := range br.Loops {
+			bt.ScalarCycles += lr.ScalarCycles
+			bt.SRVCycles += lr.SRVCycles
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			bt.CyclesPerSec = float64(bt.ScalarCycles+bt.SRVCycles) / secs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bt)
+	}
+	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1e3
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, seed int64) error {

@@ -32,18 +32,20 @@ func main() {
 	seed := flag.Int64("seed", 7, "workload data seed")
 	dis := flag.Bool("dis", false, "print the compiled program")
 	trace := flag.Bool("trace", false, "print every executed instruction (cycle, seq, pc, op)")
-	flag.String("file", "", "assemble and run a .s program file")
+	file := flag.String("file", "", "assemble and run a .s program file")
 	statsFlag := flag.Bool("stats", false, "dump the full gem5-style statistics report")
 	pv := flag.Int("pipeview", 0, "render a stage timeline for the first N committed instructions")
 	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
+	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
 	flag.Parse()
 	dumpStats = *statsFlag
 	pipeview = *pv
 	showRegions = *regions
 	pipeline.DebugTrace = *trace
+	harness.SetParallelism(*par)
 
-	if file := flag.Lookup("file").Value.String(); file != "" {
-		if err := runFile(file); err != nil {
+	if *file != "" {
+		if err := runFile(*file); err != nil {
 			fmt.Fprintln(os.Stderr, "srvsim:", err)
 			os.Exit(1)
 		}

@@ -239,3 +239,8 @@ func (s *Set) EachByte(fn func(addr uint64)) {
 func (s *Set) Contains(addr uint64) bool {
 	return s.regions[Base(addr)].Test(Offset(addr))
 }
+
+// MarkByte marks the single byte at addr.
+func (s *Set) MarkByte(addr uint64) {
+	s.regions[Base(addr)] = s.regions[Base(addr)].Set(Offset(addr))
+}

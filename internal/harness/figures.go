@@ -30,15 +30,23 @@ type Results struct {
 	Bench []BenchResult
 }
 
-// Measure runs every benchmark's scalar and SRV variants once.
+// Measure runs every benchmark's scalar and SRV variants once. Benchmarks
+// fan out across the worker pool; the result order is the workload order
+// regardless of completion order.
 func Measure(seed int64) (Results, error) {
 	var rs Results
-	for _, b := range workloads.All() {
-		br, err := RunBenchmark(b, seed)
+	all := workloads.All()
+	rs.Bench = make([]BenchResult, len(all))
+	err := parMap(len(all), func(i int) error {
+		br, err := RunBenchmark(all[i], seed)
 		if err != nil {
-			return rs, err
+			return err
 		}
-		rs.Bench = append(rs.Bench, br)
+		rs.Bench[i] = br
+		return nil
+	})
+	if err != nil {
+		return Results{}, err
 	}
 	return rs, nil
 }

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The harness fans independent simulations out across a bounded worker
+// pool: every (benchmark, loop, variant) pipeline owns its memory image,
+// compiler output and pipeline state, so they are embarrassingly parallel.
+// Results are collected positionally, which keeps aggregation order — and
+// therefore every figure and JSON report — bit-identical to a serial run.
+
+var workers atomic.Int64
+
+func init() { workers.Store(int64(runtime.NumCPU())) }
+
+// SetParallelism bounds the number of simulations run concurrently. n < 1
+// selects serial execution. The default is NumCPU.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers.Store(int64(n))
+}
+
+// Parallelism returns the current worker bound.
+func Parallelism() int { return int(workers.Load()) }
+
+// parMap runs fn(0..n-1) across at most Parallelism() goroutines and
+// returns the first error in index order (not completion order), so error
+// reporting is deterministic. Each call sizes its own goroutine set; nested
+// calls therefore cannot deadlock, and the scheduler bounds real
+// parallelism at GOMAXPROCS.
+func parMap(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Parallelism()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

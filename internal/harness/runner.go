@@ -80,77 +80,99 @@ func RunLoop(bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error
 	return RunLoopWith(cfg(), bench, ls, seed)
 }
 
+// ratio returns a/b, or 0 when b is 0, so that a degenerate run (e.g. a
+// zero-cycle loop under an ablated configuration) yields 0 instead of a NaN
+// that would silently poison the Fig 6/8 weighted aggregates.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
 // RunLoopWith is RunLoop under a custom pipeline configuration (ablations).
+// The scalar and SRV variants are independent simulations on private memory
+// images; they run concurrently under the harness worker pool.
 func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
 	res := LoopResult{Bench: bench, Loop: ls.Shape.Name}
 
-	// Reference result.
+	// Reference result, computed once up front; both variants only read it.
 	refLoop, refIm := ls.Instantiate(seed)
 	compiler.Eval(refLoop, refIm)
 
-	// Scalar run.
-	sl, sim := ls.Instantiate(seed)
-	sc, err := compiler.Compile(sl, sim, compiler.ModeScalar)
-	if err != nil {
-		return res, fmt.Errorf("%s/%s scalar: %w", bench, ls.Shape.Name, err)
-	}
-	sp := pipeline.New(pcfg, sc.Prog, sim)
-	warm(sp, sl)
-	if err := sp.Run(); err != nil {
-		return res, fmt.Errorf("%s/%s scalar run: %w", bench, ls.Shape.Name, err)
-	}
-	if addr, diff := sim.FirstDiff(refIm); diff {
-		return res, fmt.Errorf("%s/%s: scalar result diverges at %#x", bench, ls.Shape.Name, addr)
-	}
-	res.ScalarCycles = sp.Stats.Cycles
-	res.SeqVertDisamb = sp.LSU.Stats.VertDisamb
-	res.SeqCam = power.Sample{CAMLookups: sp.LSU.Stats.CAMLookups, Cycles: sp.Stats.Cycles}
-
-	// SRV run.
-	vl, vim := ls.Instantiate(seed)
-	vc, err := compiler.Compile(vl, vim, compiler.ModeSRV)
-	if err != nil {
-		return res, fmt.Errorf("%s/%s srv: %w", bench, ls.Shape.Name, err)
-	}
-	vp := pipeline.New(pcfg, vc.Prog, vim)
-	warm(vp, vl)
-	if err := vp.Run(); err != nil {
-		return res, fmt.Errorf("%s/%s srv run: %w", bench, ls.Shape.Name, err)
-	}
-	if addr, diff := vim.FirstDiff(refIm); diff {
-		return res, fmt.Errorf("%s/%s: SRV result diverges at %#x", bench, ls.Shape.Name, addr)
-	}
-	res.SRVCycles = vp.Stats.Cycles
-	res.Speedup = float64(res.ScalarCycles) / float64(res.SRVCycles)
-	res.BarrierFrac = float64(vp.Stats.BarrierCycles) / float64(vp.Stats.Cycles)
-	res.VectorIters = vp.Ctrl.Stats.VectorIters
-	res.ReplayRounds = vp.Ctrl.Stats.Replays
-	res.ReplayLanes = vp.Ctrl.Stats.ReplayLanes
-	res.Fallbacks = vp.Ctrl.Stats.Fallbacks
-	res.RAW = vp.Ctrl.Stats.RAWViol
-	res.WAR = vp.Ctrl.Stats.WARViol
-	res.WAW = vp.Ctrl.Stats.WAWViol
-	res.SRVVertDisamb = vp.LSU.Stats.VertDisamb
-	res.SRVHorizDisamb = vp.LSU.Stats.HorizDisamb
-	res.SRVCam = power.Sample{CAMLookups: vp.LSU.Stats.CAMLookups,
-		HorizShifts: vp.LSU.Stats.HorizDisamb, Cycles: vp.Stats.Cycles}
-	res.StaticInsts = vc.Prog.Len()
-	res.Estimated = compiler.DefaultCostModel().Estimate(vl)
-	res.Regions = vp.Ctrl.Stats.Regions
-	res.LSUHighWater = vp.LSU.Stats.MaxOccupancy
-	if durs := vp.RegionDurations(); len(durs) > 0 {
-		sum := int64(0)
-		for _, d := range durs {
-			sum += d
-			if d > res.RegionDurMax {
-				res.RegionDurMax = d
+	variants := []func() error{
+		func() error { // scalar
+			sl, sim := ls.Instantiate(seed)
+			sc, err := compiler.Compile(sl, sim, compiler.ModeScalar)
+			if err != nil {
+				return fmt.Errorf("%s/%s scalar: %w", bench, ls.Shape.Name, err)
 			}
-		}
-		res.RegionDurMean = float64(sum) / float64(len(durs))
+			sp := pipeline.New(pcfg, sc.Prog, sim)
+			warm(sp, sl)
+			if err := sp.Run(); err != nil {
+				return fmt.Errorf("%s/%s scalar run: %w", bench, ls.Shape.Name, err)
+			}
+			if addr, diff := sim.FirstDiff(refIm); diff {
+				return fmt.Errorf("%s/%s: scalar result diverges at %#x", bench, ls.Shape.Name, addr)
+			}
+			res.ScalarCycles = sp.Stats.Cycles
+			res.SeqVertDisamb = sp.LSU.Stats.VertDisamb
+			res.SeqCam = power.Sample{CAMLookups: sp.LSU.Stats.CAMLookups, Cycles: sp.Stats.Cycles}
+			return nil
+		},
+		func() error { // SRV
+			vl, vim := ls.Instantiate(seed)
+			vc, err := compiler.Compile(vl, vim, compiler.ModeSRV)
+			if err != nil {
+				return fmt.Errorf("%s/%s srv: %w", bench, ls.Shape.Name, err)
+			}
+			vp := pipeline.New(pcfg, vc.Prog, vim)
+			warm(vp, vl)
+			if err := vp.Run(); err != nil {
+				return fmt.Errorf("%s/%s srv run: %w", bench, ls.Shape.Name, err)
+			}
+			if addr, diff := vim.FirstDiff(refIm); diff {
+				return fmt.Errorf("%s/%s: SRV result diverges at %#x", bench, ls.Shape.Name, addr)
+			}
+			res.SRVCycles = vp.Stats.Cycles
+			res.BarrierFrac = ratio(float64(vp.Stats.BarrierCycles), float64(vp.Stats.Cycles))
+			res.VectorIters = vp.Ctrl.Stats.VectorIters
+			res.ReplayRounds = vp.Ctrl.Stats.Replays
+			res.ReplayLanes = vp.Ctrl.Stats.ReplayLanes
+			res.Fallbacks = vp.Ctrl.Stats.Fallbacks
+			res.RAW = vp.Ctrl.Stats.RAWViol
+			res.WAR = vp.Ctrl.Stats.WARViol
+			res.WAW = vp.Ctrl.Stats.WAWViol
+			res.SRVVertDisamb = vp.LSU.Stats.VertDisamb
+			res.SRVHorizDisamb = vp.LSU.Stats.HorizDisamb
+			res.SRVCam = power.Sample{CAMLookups: vp.LSU.Stats.CAMLookups,
+				HorizShifts: vp.LSU.Stats.HorizDisamb, Cycles: vp.Stats.Cycles}
+			res.StaticInsts = vc.Prog.Len()
+			res.Estimated = compiler.DefaultCostModel().Estimate(vl)
+			res.Regions = vp.Ctrl.Stats.Regions
+			res.LSUHighWater = vp.LSU.Stats.MaxOccupancy
+			if durs := vp.RegionDurations(); len(durs) > 0 {
+				sum := int64(0)
+				for _, d := range durs {
+					sum += d
+					if d > res.RegionDurMax {
+						res.RegionDurMax = d
+					}
+				}
+				res.RegionDurMean = float64(sum) / float64(len(durs))
+			}
+			res.MemAccesses, res.GatherScatter = vl.MemAccessCount()
+			res.GatherLoads = countGatherLoads(vl)
+			res.TotalLoads = countLoads(vl)
+			return nil
+		},
 	}
-	res.MemAccesses, res.GatherScatter = vl.MemAccessCount()
-	res.GatherLoads = countGatherLoads(vl)
-	res.TotalLoads = countLoads(vl)
+	// The two variants write disjoint LoopResult fields, so running them
+	// concurrently needs no locking.
+	if err := parMap(len(variants), func(i int) error { return variants[i]() }); err != nil {
+		return res, err
+	}
+	res.Speedup = ratio(float64(res.ScalarCycles), float64(res.SRVCycles))
 	return res, nil
 }
 
@@ -183,50 +205,73 @@ type BenchResult struct {
 	Barrier float64 // weighted barrier fraction (Fig 8)
 }
 
-// RunBenchmark measures all SRV loops of a benchmark.
+// RunBenchmark measures all SRV loops of a benchmark. The loops fan out
+// across the worker pool; aggregation happens in loop order afterwards, so
+// the result is identical to a serial run.
 func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
 	out := BenchResult{Bench: b}
+	loops := make([]LoopResult, len(b.Loops))
+	err := parMap(len(b.Loops), func(i int) error {
+		lr, err := RunLoop(b.Name, b.Loops[i], seed+int64(i))
+		if err != nil {
+			return err
+		}
+		loops[i] = lr
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
 	wsum := 0.0
 	harm := 0.0
-	for i, ls := range b.Loops {
-		lr, err := RunLoop(b.Name, ls, seed+int64(i))
-		if err != nil {
-			return out, err
-		}
+	for i, lr := range loops {
 		out.Loops = append(out.Loops, lr)
+		ls := b.Loops[i]
 		wsum += ls.Weight
-		harm += ls.Weight / lr.Speedup
+		if lr.Speedup > 0 {
+			harm += ls.Weight / lr.Speedup
+		}
 		out.Barrier += ls.Weight * lr.BarrierFrac
 	}
-	if wsum > 0 {
+	if wsum > 0 && harm > 0 {
 		// Weighted harmonic mean: the loops' combined speedup over the
 		// benchmark's SRV-covered instructions.
 		out.Speedup = wsum / harm
 		out.Barrier /= wsum
 	}
-	out.Whole = 1 / (1 - b.Coverage + b.Coverage/out.Speedup)
+	if out.Speedup > 0 {
+		out.Whole = 1 / (1 - b.Coverage + b.Coverage/out.Speedup)
+	}
 	return out, nil
 }
 
 // RunFlexVec runs the Fig 13 comparison for a benchmark (weighted over its
-// loops).
+// loops, which fan out across the worker pool).
 func RunFlexVec(b workloads.Benchmark, seed int64) (flexvec.Result, float64, error) {
 	var agg flexvec.Result
-	wsum, ratio := 0.0, 0.0
-	for i, ls := range b.Loops {
-		l, im := ls.Instantiate(seed + int64(i))
+	results := make([]flexvec.Result, len(b.Loops))
+	err := parMap(len(b.Loops), func(i int) error {
+		l, im := b.Loops[i].Instantiate(seed + int64(i))
 		r, err := flexvec.Compare(l, im)
 		if err != nil {
-			return agg, 0, err
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return agg, 0, err
+	}
+	wsum, ratio := 0.0, 0.0
+	for i, r := range results {
 		agg.FlexVecInsts += r.FlexVecInsts
 		agg.SRVInsts += r.SRVInsts
 		agg.CheckInsts += r.CheckInsts
 		agg.Groups += r.Groups
 		agg.Subgroups += r.Subgroups
 		agg.SRVReplays += r.SRVReplays
-		wsum += ls.Weight
-		ratio += ls.Weight * r.Ratio()
+		wsum += b.Loops[i].Weight
+		ratio += b.Loops[i].Weight * r.Ratio()
 	}
 	if wsum > 0 {
 		ratio /= wsum
@@ -234,16 +279,19 @@ func RunFlexVec(b workloads.Benchmark, seed int64) (flexvec.Result, float64, err
 	return agg, ratio, nil
 }
 
-// RunLimit executes the §II limit study for a benchmark.
+// RunLimit executes the §II limit study for a benchmark, profiling the
+// inner loops concurrently and summarising them in order.
 func RunLimit(b workloads.Benchmark, seed int64) trace.Study {
-	var wls []trace.WeightedLoop
-	for i, ll := range b.Limit {
+	wls := make([]trace.WeightedLoop, len(b.Limit))
+	_ = parMap(len(b.Limit), func(i int) error {
+		ll := b.Limit[i]
 		l, im := workloads.LoopSpec{Shape: ll.Shape}.Instantiate(seed + int64(i))
 		p := trace.ProfileLoop(l, im)
 		if ll.Safe {
 			p.Verdict = compiler.VerdictSafe
 		}
-		wls = append(wls, trace.WeightedLoop{Profile: p, Weight: ll.Weight})
-	}
+		wls[i] = trace.WeightedLoop{Profile: p, Weight: ll.Weight}
+		return nil
+	})
 	return trace.Summarise(wls)
 }

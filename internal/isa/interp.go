@@ -35,6 +35,16 @@ func WriteInt(m Memory, addr uint64, n int, v int64) {
 	m.WriteBytes(addr, buf[:n])
 }
 
+// PutInt writes the n-byte little-endian encoding of v into dst, which must
+// hold at least n bytes. It is the allocation-free form of EncodeInt for
+// hot paths that own a destination buffer.
+func PutInt(dst []byte, n int, v int64) {
+	_ = dst[n-1]
+	for i := 0; i < n; i++ {
+		dst[i] = byte(uint64(v) >> (8 * uint(i)))
+	}
+}
+
 // EncodeInt returns the n-byte little-endian encoding of v.
 func EncodeInt(n int, v int64) []byte {
 	buf := make([]byte, n)

@@ -6,18 +6,31 @@
 // across replays; speculative store data stays buffered until the region
 // commits, when the sequentially youngest store to each byte is written
 // back (WAW resolution).
+//
+// The implementation is organised for the simulator's hot path: live
+// entries sit on an intrusive list in allocation order (the order the old
+// slice preserved), removed entries recycle through a free list so steady
+// state allocates nothing, a per-cacheline index narrows every candidate
+// search to the lines an access touches, and the CAM/disambiguation
+// statistics — which model a hardware CAM that compares against every
+// entry — are maintained arithmetically from live-entry counters so the
+// index never changes what Fig 11/12 report.
 package lsu
 
 import (
 	"fmt"
 	"sort"
 
+	"srvsim/internal/bitvec"
 	"srvsim/internal/core"
 	"srvsim/internal/isa"
 )
 
 // NoInstance marks entries that do not belong to an SRV region.
 const NoInstance = -1
+
+// lineShift selects the cacheline granule of the address index.
+const lineShift = 6
 
 // Entry is one LQ or SAQ/SDQ entry.
 type Entry struct {
@@ -41,6 +54,20 @@ type Entry struct {
 	ByteValid []bool
 	Spec      bool // speculative flag: buffered until region commit
 	Committed bool // reached ROB head (outside regions: data written back)
+
+	// Queue plumbing (not architectural state).
+	prev, next   *Entry // live list in allocation order; next doubles as the free-list link
+	alloc        int64  // allocation stamp: position in the legacy slice order
+	gen          uint64 // candidate-collection dedup stamp
+	key          lsuKey // current byKey registration (valid when inMap)
+	inMap        bool
+	indexed      bool   // registered in the per-line address index
+	idxLo, idxHi uint64 // registered line range
+}
+
+// lsuKey identifies a region entry for the SRV-id reuse rule.
+type lsuKey struct {
+	instance, id, lane int
 }
 
 // Access returns the core access descriptor for the entry's footprint.
@@ -69,6 +96,27 @@ func (e *Entry) laneBoundsAt(addr uint64) (int, int) {
 	return e.Access().LaneBounds(addr)
 }
 
+// sizeBuffers (re)sizes the SDQ byte buffers to fp zeroed bytes, reusing the
+// capacity a recycled entry carries.
+func (e *Entry) sizeBuffers(fp int) {
+	if cap(e.Data) >= fp {
+		e.Data = e.Data[:fp]
+		for i := range e.Data {
+			e.Data[i] = 0
+		}
+	} else {
+		e.Data = make([]byte, fp)
+	}
+	if cap(e.ByteValid) >= fp {
+		e.ByteValid = e.ByteValid[:fp]
+		for i := range e.ByteValid {
+			e.ByteValid[i] = false
+		}
+	} else {
+		e.ByteValid = make([]bool, fp)
+	}
+}
+
 // Stats aggregates the LSU event counts consumed by the evaluation figures
 // (Fig 11: address disambiguations; Fig 12: CAM lookups via the power
 // model).
@@ -80,6 +128,9 @@ type Stats struct {
 
 	// Address disambiguations (issuing access compared against one queue
 	// entry). Vertical uses pure program order; horizontal is lane-aware.
+	// The modelled CAM compares against every valid entry of the searched
+	// queue, so these counters are derived from live-entry counts, not from
+	// the (index-pruned) candidate walks.
 	VertDisamb  int64
 	HorizDisamb int64
 
@@ -106,20 +157,226 @@ type LSU struct {
 	capacity int
 	mem      isa.Memory
 	ctrl     *core.Controller
-	entries  []*Entry
 	Stats    Stats
+
+	head, tail *Entry // live entries in allocation order
+	live       int
+	free       *Entry // recycled entries, linked through next
+	allocSeq   int64
+
+	byKey     map[lsuKey]*Entry // region entries for the SRV-id reuse rule
+	instCount map[int]int       // live entries per region instance
+
+	// Valid-entry counters backing the CAM disambiguation statistics.
+	validStores       int
+	validStoresByInst map[int]int
+	validLoadsOutside int
+	validLoadsByInst  map[int]int
+
+	// Per-cacheline address index over valid entries.
+	loadLines  map[uint64][]*Entry
+	storeLines map[uint64][]*Entry
+	queryGen   uint64
+
+	// Scratch buffers, reused across calls on the hot path.
+	cands    []*Entry
+	memAddrs []uint64
+	byteBuf  [8]byte
+	written  *bitvec.Set
+	stores   []*Entry
 }
 
 // New returns an LSU with the given total entry capacity.
 func New(capacity int, m isa.Memory, ctrl *core.Controller) *LSU {
-	return &LSU{capacity: capacity, mem: m, ctrl: ctrl}
+	return &LSU{
+		capacity:          capacity,
+		mem:               m,
+		ctrl:              ctrl,
+		byKey:             make(map[lsuKey]*Entry),
+		instCount:         make(map[int]int),
+		validStoresByInst: make(map[int]int),
+		validLoadsByInst:  make(map[int]int),
+		loadLines:         make(map[uint64][]*Entry),
+		storeLines:        make(map[uint64][]*Entry),
+		written:           bitvec.NewSet(),
+	}
 }
 
 // Len returns the number of live entries.
-func (l *LSU) Len() int { return len(l.entries) }
+func (l *LSU) Len() int { return l.live }
 
 // Capacity returns the configured entry capacity.
 func (l *LSU) Capacity() int { return l.capacity }
+
+// ---- live list, free list, indexes ----
+
+func (l *LSU) allocEntry() *Entry {
+	e := l.free
+	if e == nil {
+		e = new(Entry)
+	} else {
+		l.free = e.next
+		data, bv := e.Data, e.ByteValid
+		*e = Entry{}
+		e.Data, e.ByteValid = data[:0], bv[:0]
+	}
+	l.allocSeq++
+	e.alloc = l.allocSeq
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.live++
+	if l.live > l.Stats.MaxOccupancy {
+		l.Stats.MaxOccupancy = l.live
+	}
+	return e
+}
+
+// unlink removes a live entry: list, rebind map, address index and validity
+// counters, then recycles it through the free list.
+func (l *LSU) unlink(e *Entry) {
+	if e.Valid {
+		l.dropValid(e)
+	}
+	l.unindex(e)
+	if e.inMap {
+		if l.byKey[e.key] == e {
+			delete(l.byKey, e.key)
+		}
+		e.inMap = false
+	}
+	if e.Instance != NoInstance {
+		if n := l.instCount[e.Instance] - 1; n > 0 {
+			l.instCount[e.Instance] = n
+		} else {
+			delete(l.instCount, e.Instance)
+		}
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	l.live--
+	e.prev = nil
+	e.next = l.free
+	l.free = e
+}
+
+func (l *LSU) noteValid(e *Entry) {
+	if e.IsStore {
+		l.validStores++
+		if e.Instance != NoInstance {
+			l.validStoresByInst[e.Instance]++
+		}
+	} else if e.Instance == NoInstance {
+		l.validLoadsOutside++
+	} else {
+		l.validLoadsByInst[e.Instance]++
+	}
+}
+
+func (l *LSU) dropValid(e *Entry) {
+	if e.IsStore {
+		l.validStores--
+		if e.Instance != NoInstance {
+			if n := l.validStoresByInst[e.Instance] - 1; n > 0 {
+				l.validStoresByInst[e.Instance] = n
+			} else {
+				delete(l.validStoresByInst, e.Instance)
+			}
+		}
+	} else if e.Instance == NoInstance {
+		l.validLoadsOutside--
+	} else {
+		if n := l.validLoadsByInst[e.Instance] - 1; n > 0 {
+			l.validLoadsByInst[e.Instance] = n
+		} else {
+			delete(l.validLoadsByInst, e.Instance)
+		}
+	}
+}
+
+func (l *LSU) lineTable(isStore bool) map[uint64][]*Entry {
+	if isStore {
+		return l.storeLines
+	}
+	return l.loadLines
+}
+
+// reindex registers a valid entry's current footprint in the per-line
+// index, replacing any previous registration.
+func (l *LSU) reindex(e *Entry) {
+	lo := e.Addr >> lineShift
+	hi := (e.Addr + uint64(e.footprint()) - 1) >> lineShift
+	if e.indexed && lo == e.idxLo && hi == e.idxHi {
+		return
+	}
+	l.unindex(e)
+	tbl := l.lineTable(e.IsStore)
+	for ln := lo; ln <= hi; ln++ {
+		tbl[ln] = append(tbl[ln], e)
+	}
+	e.indexed, e.idxLo, e.idxHi = true, lo, hi
+}
+
+func (l *LSU) unindex(e *Entry) {
+	if !e.indexed {
+		return
+	}
+	tbl := l.lineTable(e.IsStore)
+	for ln := e.idxLo; ln <= e.idxHi; ln++ {
+		b := tbl[ln]
+		for i, x := range b {
+			if x == e {
+				b[i] = b[len(b)-1]
+				tbl[ln] = b[:len(b)-1]
+				break
+			}
+		}
+	}
+	e.indexed = false
+}
+
+// collect gathers the valid entries of one queue whose indexed footprint
+// overlaps the line range of [addr, addr+n), deduplicated (an entry spans
+// several lines) and sorted into allocation order so that tie-breaks match
+// a front-to-back walk of the legacy entry slice. The returned slice is the
+// LSU's scratch buffer: it is valid until the next collect call.
+func (l *LSU) collect(isStore bool, addr uint64, n int) []*Entry {
+	l.queryGen++
+	g := l.queryGen
+	tbl := l.lineTable(isStore)
+	out := l.cands[:0]
+	hi := (addr + uint64(n) - 1) >> lineShift
+	for ln := addr >> lineShift; ln <= hi; ln++ {
+		for _, e := range tbl[ln] {
+			if e.gen == g {
+				continue
+			}
+			e.gen = g
+			out = append(out, e)
+		}
+	}
+	// Insertion sort: candidate sets are tiny and mostly ordered already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].alloc < out[j-1].alloc; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	l.cands = out
+	return out
+}
 
 // ReserveResult is the outcome of a dispatch-time reservation.
 type ReserveResult struct {
@@ -134,35 +391,58 @@ type ReserveResult struct {
 // entries with the same SRV-id are updated").
 func (l *LSU) Reserve(instance, id, lane int, isStore bool, dispSeq int64) ReserveResult {
 	if instance != NoInstance {
-		for _, e := range l.entries {
-			if e.Instance == instance && e.ID == id && e.Lane == lane {
-				e.DispSeq = dispSeq
-				return ReserveResult{Entry: e, OK: true}
+		if e := l.byKey[lsuKey{instance, id, lane}]; e != nil {
+			if instance == 5 && id == 20 {
 			}
+			e.DispSeq = dispSeq
+			return ReserveResult{Entry: e, OK: true}
 		}
 	}
-	if len(l.entries) >= l.capacity {
+	if l.live >= l.capacity {
 		// Overflow when every live entry belongs to this same region
 		// instance: nothing can be freed before srv_end, which is
 		// unreachable without more entries (paper §III-D7).
-		overflow := instance != NoInstance
-		for _, e := range l.entries {
-			if e.Instance != instance {
-				overflow = false
-				break
-			}
-		}
+		overflow := instance != NoInstance && l.instCount[instance] == l.live
 		if overflow {
 			l.Stats.Overflows++
 		}
 		return ReserveResult{OK: false, Overflow: overflow}
 	}
-	e := &Entry{Instance: instance, ID: id, Lane: lane, DispSeq: dispSeq, IsStore: isStore}
-	l.entries = append(l.entries, e)
-	if len(l.entries) > l.Stats.MaxOccupancy {
-		l.Stats.MaxOccupancy = len(l.entries)
+	e := l.allocEntry()
+	e.Instance, e.ID, e.Lane, e.DispSeq, e.IsStore = instance, id, lane, dispSeq, isStore
+	e.Seq = 0
+	if instance != NoInstance {
+		e.key = lsuKey{instance, id, lane}
+		l.byKey[e.key] = e
+		e.inMap = true
+		l.instCount[instance]++
 	}
 	return ReserveResult{Entry: e, OK: true}
+}
+
+// SetLane retargets a single-entry gather/scatter reservation at the lane
+// executing this sequential-fallback pass (the dispatcher reserves such
+// entries with lane -1). Routing the mutation through the LSU keeps the
+// rebind index keyed by the entry's current identity.
+func (l *LSU) SetLane(e *Entry, lane int) {
+	if e.Lane == lane {
+		return
+	}
+	e.Lane = lane
+	if !e.inMap {
+		return
+	}
+	if l.byKey[e.key] == e {
+		delete(l.byKey, e.key)
+	}
+	e.key.lane = lane
+	if old := l.byKey[e.key]; old != nil && old.alloc < e.alloc {
+		// An older entry already claims this identity; a lookup must keep
+		// finding it first, as a front-to-back scan would.
+		e.inMap = false
+		return
+	}
+	l.byKey[e.key] = e
 }
 
 // LoadResult reports a load execution's outcome.
@@ -170,8 +450,9 @@ type LoadResult struct {
 	Vals     isa.Vec // per-lane values (elem entries fill Vals[lane])
 	FwdBytes int
 	MemBytes int
-	MemAddrs []uint64 // distinct cache lines are derived by the pipeline
-	WARSuppr bool     // some forwarding was suppressed by the WAR rule
+	MemAddrs []uint64 // distinct cache lines are derived by the pipeline;
+	// aliases an LSU scratch buffer valid until the next ExecLoad
+	WARSuppr bool // some forwarding was suppressed by the WAR rule
 }
 
 // ExecLoad executes (or re-executes) a load entry. update marks the lanes
@@ -185,13 +466,18 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 	l.noteIssue(e, false)
 	e.Kind, e.Elem, e.Dir, e.Seq = kind, elem, dir, seq
 	if e.Instance == NoInstance {
-		e.Addr, e.Valid, e.ActLanes = addr, true, act
+		if !e.Valid {
+			e.Valid = true
+			l.noteValid(e)
+		}
+		e.Addr, e.ActLanes = addr, act
 	} else {
 		// Merge: refresh only updated lanes; keep previous rounds' state on
 		// the rest (paper §III-C).
 		if !e.Valid {
 			e.Addr, e.Valid = addr, true
 			e.ActLanes = isa.Pred{}
+			l.noteValid(e)
 		} else if kind == core.KindElem {
 			if update[e.Lane] {
 				e.Addr = addr
@@ -205,26 +491,33 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 			}
 		}
 	}
+	l.reindex(e)
 
-	// Collect candidate forwarding sources once: every valid store entry
-	// overlapping the load's footprint. The CAM search itself touches every
-	// valid SAQ entry — each comparison is one address disambiguation
-	// (Fig 11).
+	// The hardware CAM compares the issuing load against every valid SAQ
+	// entry — each comparison is one address disambiguation (Fig 11) —
+	// but only entries overlapping the footprint can forward, so the
+	// candidate walk below is pruned by the line index.
+	horiz := int64(0)
+	if e.Instance != NoInstance {
+		horiz = int64(l.validStoresByInst[e.Instance])
+	}
+	l.Stats.HorizDisamb += horiz
+	l.Stats.VertDisamb += int64(l.validStores) - horiz
+
 	footEnd := addr + uint64(e.footprint())
-	var cands []*Entry
-	warSuppressed := false
-	for _, st := range l.entries {
-		if !st.IsStore || !st.Valid || st == e {
-			continue
-		}
-		l.countDisamb(e, st)
+	cands := l.collect(true, addr, e.footprint())
+	kept := cands[:0]
+	for _, st := range cands {
 		if st.Addr >= footEnd || addr >= st.Addr+uint64(st.footprint()) {
 			continue
 		}
-		cands = append(cands, st)
+		kept = append(kept, st)
 	}
+	cands = kept
 
 	var res LoadResult
+	res.MemAddrs = l.memAddrs[:0]
+	warSuppressed := false
 	resolve := func(la uint64, lane int) int64 {
 		v, w := l.resolveLoad(e, cands, la, elem, lane, &res)
 		warSuppressed = warSuppressed || w
@@ -255,6 +548,7 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 	case core.KindScalar:
 		res.Vals[0] = resolve(addr, 0)
 	}
+	l.memAddrs = res.MemAddrs[:0]
 	if warSuppressed {
 		res.WARSuppr = true
 		l.ctrl.RecordWAR()
@@ -267,7 +561,7 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 // (partial store-to-load forwarding; paper §III-B1 / Witt). The second
 // result reports whether the WAR rule suppressed any forwarding.
 func (l *LSU) resolveLoad(e *Entry, cands []*Entry, addr uint64, n, lane int, res *LoadResult) (int64, bool) {
-	buf := make([]byte, n)
+	buf := l.byteBuf[:n]
 	l.mem.ReadBytes(addr, buf)
 	fwd, mem := 0, 0
 	war := false
@@ -402,9 +696,12 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 		fp = elem
 	}
 	if !e.Valid || e.Instance == NoInstance {
-		e.Addr, e.Valid = addr, true
-		e.Data = make([]byte, fp)
-		e.ByteValid = make([]bool, fp)
+		if !e.Valid {
+			e.Valid = true
+			l.noteValid(e)
+		}
+		e.Addr = addr
+		e.sizeBuffers(fp)
 		e.ActLanes = isa.Pred{}
 		e.Spec = e.Instance != NoInstance && l.ctrl.Mode() == core.ModeSpeculative
 	} else if kind == core.KindElem {
@@ -429,9 +726,8 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 			if dir == isa.DirDown {
 				off = isa.NumLanes - 1 - lane
 			}
-			enc := isa.EncodeInt(elem, vals[lane])
+			isa.PutInt(e.Data[off*elem:(off+1)*elem], elem, vals[lane])
 			for b := 0; b < elem; b++ {
-				e.Data[off*elem+b] = enc[b]
 				e.ByteValid[off*elem+b] = act[lane]
 			}
 		}
@@ -439,32 +735,33 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 		if update[e.Lane] {
 			e.ActLanes = isa.Pred{}
 			e.ActLanes[e.Lane] = act[e.Lane]
-			enc := isa.EncodeInt(elem, vals[e.Lane])
+			isa.PutInt(e.Data[:elem], elem, vals[e.Lane])
 			for b := 0; b < elem; b++ {
-				e.Data[b] = enc[b]
 				e.ByteValid[b] = act[e.Lane]
 			}
 		}
 	case core.KindScalar:
-		enc := isa.EncodeInt(elem, vals[0])
-		copy(e.Data, enc)
+		isa.PutInt(e.Data, elem, vals[0])
 		for b := range e.ByteValid {
 			e.ByteValid[b] = true
 		}
 	default:
 		panic(fmt.Sprintf("lsu: store kind %v unsupported", kind))
 	}
+	l.reindex(e)
 
 	var res StoreResult
 	res.SquashSeq = -1
 	if e.Instance == NoInstance || l.ctrl.Mode() != core.ModeSpeculative {
 		// Vertical disambiguation: search the LQ for younger loads that
-		// already read bytes this store produces.
-		for _, ld := range l.entries {
-			if ld.IsStore || !ld.Valid || ld.Instance != NoInstance {
+		// already read bytes this store produces. The CAM compares against
+		// every valid non-region load; only line-overlapping ones can
+		// violate.
+		l.Stats.VertDisamb += int64(l.validLoadsOutside)
+		for _, ld := range l.collect(false, addr, fp) {
+			if ld.Instance != NoInstance {
 				continue
 			}
-			l.countDisamb(e, ld)
 			if ld.Seq <= e.Seq {
 				continue
 			}
@@ -482,13 +779,13 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 	// re-executed this round will pick the fresh data up via forwarding and
 	// are skipped, as are bytes of store lanes not updated this round (their
 	// data is unchanged and was already forwarded or flagged).
+	l.Stats.HorizDisamb += int64(l.validLoadsByInst[e.Instance])
 	replay := l.ctrl.Replay()
 	iss := e.Access()
-	for _, ld := range l.entries {
-		if ld.IsStore || !ld.Valid || ld.Instance != e.Instance {
+	for _, ld := range l.collect(false, addr, fp) {
+		if ld.Instance != e.Instance {
 			continue
 		}
-		l.countDisamb(e, ld)
 		lanes := core.ViolatingLanesMasked(iss, ld.Access(), update)
 		for lane := 0; lane < isa.NumLanes; lane++ {
 			if !lanes[lane] || !ld.ActLanes[lane] {
@@ -508,11 +805,11 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 	}
 
 	// Horizontal WAW: older stores in later lanes covering common bytes.
-	for _, st := range l.entries {
-		if !st.IsStore || !st.Valid || st == e || st.Instance != e.Instance {
+	l.Stats.HorizDisamb += int64(l.validStoresByInst[e.Instance] - 1)
+	for _, st := range l.collect(true, addr, fp) {
+		if st == e || st.Instance != e.Instance {
 			continue
 		}
-		l.countDisamb(e, st)
 		if core.ViolatingLanes(iss, st.Access()).Any() && iss.Overlaps(st.Access()) {
 			res.WAW = true
 		}
@@ -546,16 +843,6 @@ func (l *LSU) noteIssue(e *Entry, isStore bool) {
 	}
 }
 
-// countDisamb attributes one issuing-vs-entry comparison to the vertical or
-// horizontal counter (Fig 11).
-func (l *LSU) countDisamb(issuing, entry *Entry) {
-	if issuing.Instance != NoInstance && entry.Instance == issuing.Instance {
-		l.Stats.HorizDisamb++
-	} else {
-		l.Stats.VertDisamb++
-	}
-}
-
 // CommitStore writes a non-speculative store's data to memory and releases
 // the entry (outside regions, or fallback-mode region stores).
 func (l *LSU) CommitStore(e *Entry) {
@@ -564,7 +851,7 @@ func (l *LSU) CommitStore(e *Entry) {
 		return
 	}
 	l.writeEntry(e)
-	l.remove(e)
+	l.unlink(e)
 }
 
 // Release frees a load entry (at commit, outside regions).
@@ -572,7 +859,7 @@ func (l *LSU) Release(e *Entry) {
 	if e.Instance != NoInstance {
 		return // region entries live until region commit
 	}
-	l.remove(e)
+	l.unlink(e)
 }
 
 // DebugWatch, when non-zero, prints every entry write-back covering the
@@ -591,18 +878,27 @@ func (l *LSU) writeEntry(e *Entry) {
 	}
 }
 
-// CommitRegion writes back the speculative stores of a region instance in
-// sequential (iteration-major) order so that the youngest store to each
-// byte wins, then frees every entry of the instance (paper §III-B3, §III-D4).
-func (l *LSU) CommitRegion(instance int) {
-	var stores []*Entry
-	for _, e := range l.entries {
+// collectStores gathers the valid stores of a region instance in allocation
+// order into the reusable scratch slice.
+func (l *LSU) collectStores(instance int) []*Entry {
+	stores := l.stores[:0]
+	for e := l.head; e != nil; e = e.next {
 		if e.Instance == instance && e.IsStore && e.Valid {
 			stores = append(stores, e)
 		}
 	}
+	l.stores = stores
+	return stores
+}
+
+// CommitRegion writes back the speculative stores of a region instance in
+// sequential (iteration-major) order so that the youngest store to each
+// byte wins, then frees every entry of the instance (paper §III-B3, §III-D4).
+func (l *LSU) CommitRegion(instance int) {
+	stores := l.collectStores(instance)
 	sort.Slice(stores, func(i, j int) bool { return storeSeqLess(stores[i], stores[j]) })
-	written := make(map[uint64]bool)
+	written := l.written
+	written.Reset()
 	for i := len(stores) - 1; i >= 0; i-- { // youngest first; skip overwritten bytes
 		e := stores[i]
 		for b := 0; b < len(e.Data); b++ {
@@ -610,11 +906,11 @@ func (l *LSU) CommitRegion(instance int) {
 				continue
 			}
 			a := e.Addr + uint64(b)
-			if written[a] {
+			if written.Contains(a) {
 				l.Stats.WAWWritebacks++
 				continue
 			}
-			written[a] = true
+			written.MarkByte(a)
 			l.mem.WriteBytes(a, e.Data[b:b+1])
 		}
 	}
@@ -675,12 +971,7 @@ func clampAddr(addr uint64, e *Entry) uint64 {
 // the oldest lane's stores at program positions before uptoID. The rest is
 // discarded with the instance.
 func (l *LSU) WritebackNonSpec(instance, oldestLane, uptoID int) {
-	var stores []*Entry
-	for _, e := range l.entries {
-		if e.Instance == instance && e.IsStore && e.Valid {
-			stores = append(stores, e)
-		}
-	}
+	stores := l.collectStores(instance)
 	sort.Slice(stores, func(i, j int) bool { return storeSeqLess(stores[i], stores[j]) })
 	for _, e := range stores {
 		for b := 0; b < len(e.Data); b++ {
@@ -701,44 +992,41 @@ func (l *LSU) WritebackNonSpec(instance, oldestLane, uptoID int) {
 }
 
 // DiscardRegion frees all entries of an instance without writing anything.
-func (l *LSU) DiscardRegion(instance int) { l.freeInstance(instance) }
+func (l *LSU) DiscardRegion(instance int) {
+	l.freeInstance(instance)
+}
 
 // SquashYounger removes entries dispatched after dispSeq that are not part
 // of a still-live older region pass.
 func (l *LSU) SquashYounger(dispSeq int64) {
-	kept := l.entries[:0]
-	for _, e := range l.entries {
+	for e := l.head; e != nil; {
+		next := e.next
 		if e.DispSeq > dispSeq && !(e.IsStore && e.Committed) {
-			continue
+			l.unlink(e)
 		}
-		kept = append(kept, e)
+		e = next
 	}
-	l.entries = kept
 }
 
 func (l *LSU) freeInstance(instance int) {
-	kept := l.entries[:0]
-	for _, e := range l.entries {
+	for e := l.head; e != nil; {
+		next := e.next
 		if e.Instance == instance {
-			continue
+			l.unlink(e)
 		}
-		kept = append(kept, e)
-	}
-	l.entries = kept
-}
-
-func (l *LSU) remove(e *Entry) {
-	for i, x := range l.entries {
-		if x == e {
-			l.entries = append(l.entries[:i], l.entries[i+1:]...)
-			return
-		}
+		e = next
 	}
 }
 
-// Entries exposes a snapshot of live entries for tests and debug dumps.
+// Entries exposes a snapshot of live entries for tests and debug dumps, in
+// allocation order. Returns nil without allocating when the LSU is empty.
 func (l *LSU) Entries() []*Entry {
-	out := make([]*Entry, len(l.entries))
-	copy(out, l.entries)
+	if l.live == 0 {
+		return nil
+	}
+	out := make([]*Entry, 0, l.live)
+	for e := l.head; e != nil; e = e.next {
+		out = append(out, e)
+	}
 	return out
 }

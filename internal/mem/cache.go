@@ -22,6 +22,7 @@ type Cache struct {
 	sets     [][]line
 	setMask  uint64
 	lineBits uint
+	lruTick  uint64 // per-cache so concurrent simulations share nothing
 	Stats    CacheStats
 }
 
@@ -50,17 +51,15 @@ func NewCache(cfg CacheConfig) *Cache {
 	return c
 }
 
-var lruTick uint64
-
 // Lookup probes the cache for addr, fills on miss, and reports whether the
 // access hit.
 func (c *Cache) Lookup(addr uint64) bool {
-	lruTick++
+	c.lruTick++
 	tag := addr >> c.lineBits
 	set := c.sets[tag&c.setMask]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			set[i].lru = lruTick
+			set[i].lru = c.lruTick
 			c.Stats.Hits++
 			return true
 		}
@@ -76,7 +75,7 @@ func (c *Cache) Lookup(addr uint64) bool {
 			victim = i
 		}
 	}
-	set[victim] = line{tag: tag, valid: true, lru: lruTick}
+	set[victim] = line{tag: tag, valid: true, lru: c.lruTick}
 	return false
 }
 

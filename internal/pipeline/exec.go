@@ -451,7 +451,7 @@ func (p *Pipeline) executeVecLoad(e *robEntry, update, act isa.Pred, loadSlots *
 			var laneAct, laneUpd isa.Pred
 			laneAct[lane], laneUpd[lane] = act[lane], true
 			le := e.lsuEntries[0]
-			le.Lane = lane
+			p.LSU.SetLane(le, lane)
 			res := p.LSU.ExecLoad(le, core.KindElem, addr, in.Elem, dir, laneUpd, laneAct, e.seq)
 			if act[lane] {
 				e.vecRes[lane] = res.Vals[lane]
@@ -516,7 +516,7 @@ func (p *Pipeline) executeVecStore(e *robEntry, update, act isa.Pred, storeSlots
 			var laneAct, laneUpd isa.Pred
 			laneAct[lane], laneUpd[lane] = act[lane], true
 			le := e.lsuEntries[0]
-			le.Lane = lane
+			p.LSU.SetLane(le, lane)
 			res := p.LSU.ExecStore(le, core.KindElem, addr, in.Elem, dir, laneUpd, laneAct, vals, e.seq)
 			p.scheduleMem(e, 1, 1, storeSlots)
 			return p.verticalSquash(e, res)
@@ -576,18 +576,28 @@ func (p *Pipeline) memLatency(addrs []uint64) int {
 	if len(addrs) == 0 {
 		return 2 // fully forwarded: AGU + SDQ read
 	}
-	seen := make(map[uint64]bool, 4)
+	// Dedup into a reusable scratch slice: accesses touch at most a handful
+	// of distinct lines, so a linear scan beats a per-call map.
+	lines := p.lineScratch[:0]
 	worst := 0
 	for _, a := range addrs {
 		line := a &^ (uint64(bitvec.RegionSize) - 1)
-		if seen[line] {
+		dup := false
+		for _, l := range lines {
+			if l == line {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[line] = true
+		lines = append(lines, line)
 		if lat := p.Hier.LatencyAt(p.cycle, line); lat > worst {
 			worst = lat
 		}
 	}
+	p.lineScratch = lines[:0]
 	return 1 + worst
 }
 

@@ -137,6 +137,9 @@ type Pipeline struct {
 	recordTimeline bool
 	timeline       []TimelineEntry
 
+	// Scratch buffer for memLatency's distinct-line dedup.
+	lineScratch []uint64
+
 	// Region durations: cycles from srv_start execution to region commit
 	// (including replays), capped at TimelineCap entries.
 	regionStartCycle int64
@@ -769,7 +772,20 @@ func (p *Pipeline) commit() {
 				delete(p.rename, e.writeRef)
 			}
 		}
+		// CommitRegion (at srv_end execution) frees a region's entries while
+		// the region's ROB entries may still await in-order commit, so an
+		// entry pointer here can already be recycled into a new reservation.
+		// Only touch entries that still carry this instruction's identity;
+		// region instances are never reused, so a mismatch means the entry
+		// was freed with its region and there is nothing left to do.
+		instance := lsu.NoInstance
+		if e.regionIdx >= 0 && !e.fallback {
+			instance = e.regionIdx
+		}
 		for _, le := range e.lsuEntries {
+			if le.Instance != instance || le.ID != e.pc {
+				continue
+			}
 			if e.inst.IsStore() {
 				p.LSU.CommitStore(le)
 			} else {

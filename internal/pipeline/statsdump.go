@@ -70,6 +70,7 @@ func (p *Pipeline) DumpStats() string {
 	w("lsu.wawSuppressedBytes", ls.WAWWritebacks, "write-backs suppressed by WAW resolution")
 	w("lsu.overflows", ls.Overflows, "region footprints exceeding the LSU")
 	w("lsu.maxOccupancy", ls.MaxOccupancy, "peak live entries (fallback headroom)")
+	w("lsu.liveEntries", len(p.LSU.Entries()), "entries still resident at end of run")
 
 	sec("predictors")
 	w("bp.lookups", p.BP.Stats.Lookups, "branch predictions")
