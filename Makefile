@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench timing
+.PHONY: build test check bench timing chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,13 @@ bench:
 # experiment harness on this machine).
 timing: build
 	$(GO) run ./cmd/srvbench -timing BENCH_harness.json
+
+# chaos-smoke is the resilience drill: fault-inject 20% of simulations on a
+# single figure and require the run to complete with contained failures
+# (exit code 3 — anything else, including a clean 0 or a fatal 1, fails).
+chaos-smoke: build
+	$(GO) build -o .chaos-smoke.bin ./cmd/srvbench
+	./.chaos-smoke.bin -exp fig6 -chaos 0.2 -crashdir chaos-crashes > /dev/null; \
+	code=$$?; rm -rf chaos-crashes .chaos-smoke.bin; \
+	if [ $$code -ne 3 ]; then echo "chaos-smoke: exit $$code, want 3"; exit 1; fi; \
+	echo "chaos-smoke: ok (completed with contained failures)"

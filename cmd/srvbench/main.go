@@ -5,10 +5,19 @@
 //	srvbench                 # everything (Table I, §II limit study, Figs 6-13)
 //	srvbench -exp fig6       # one experiment
 //	srvbench -exp limit -seed 11
+//	srvbench -chaos 0.2      # fault-inject 20% of simulations (resilience drill)
+//
+// Failure handling: a failing simulation (panic, deadlock, cycle-budget
+// blowout, divergence) is contained — its loop is dropped from the
+// aggregates, re-run once with diagnostics for a crash artifact (-crashdir),
+// and listed in the failure summary. The process then exits 3 ("completed
+// with contained failures") rather than 1 (fatal). -failfast restores
+// abort-on-first-error.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,27 +34,41 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
 	timing := flag.String("timing", "", "write per-benchmark wall-clock timings as JSON to this file")
 	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
+	failfast := flag.Bool("failfast", false, "abort on the first simulation failure instead of containing it")
+	crashdir := flag.String("crashdir", "crashes", "directory for crash artifacts and diagnostic re-runs (empty = disabled)")
+	simTimeout := flag.Duration("sim-timeout", 0, "wall-clock budget per simulation, e.g. 2m (0 = unbounded)")
+	chaos := flag.Float64("chaos", 0, "fault-injection probability per simulation in [0,1] (resilience drill)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "decision seed for -chaos fault injection")
 	flag.Parse()
 	harness.SetParallelism(*par)
+	harness.SetFailFast(*failfast)
+	harness.SetCrashDir(*crashdir)
+	harness.SetSimTimeout(*simTimeout)
+	harness.SetChaos(*chaos, *chaosSeed)
 
-	if *timing != "" {
-		if err := writeTimings(*timing, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "srvbench:", err)
-			os.Exit(1)
-		}
+	switch {
+	case *timing != "":
+		exit(writeTimings(*timing, *seed))
+	case *jsonOut:
+		exit(harness.WriteJSON(*seed, os.Stdout))
+	default:
+		exit(run(*exp, *seed))
+	}
+}
+
+// exit maps the harness's error taxonomy onto process exit codes: 0 clean,
+// 3 completed-with-contained-failures (partial results were produced), 1
+// fatal (no usable results).
+func exit(err error) {
+	if err == nil {
 		return
 	}
-	if *jsonOut {
-		if err := harness.WriteJSON(*seed, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "srvbench:", err)
-			os.Exit(1)
-		}
-		return
+	fmt.Fprintln(os.Stderr, "srvbench:", err)
+	var fe *harness.FleetError
+	if errors.As(err, &fe) {
+		os.Exit(3)
 	}
-	if err := run(*exp, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "srvbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(1)
 }
 
 // benchTiming is one row of the -timing report: how long the simulator took
@@ -54,6 +77,7 @@ func main() {
 type benchTiming struct {
 	Bench        string  `json:"bench"`
 	Loops        int     `json:"loops"`
+	Failures     int     `json:"failures,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
 	ScalarCycles int64   `json:"scalar_cycles"`
 	SRVCycles    int64   `json:"srv_cycles"`
@@ -79,6 +103,7 @@ func writeTimings(path string, seed int64) error {
 		NumCPU:    runtime.NumCPU(),
 		GoVersion: runtime.Version(),
 	}
+	var fails []*harness.SimError
 	start := time.Now()
 	for _, b := range workloads.All() {
 		t0 := time.Now()
@@ -86,12 +111,14 @@ func writeTimings(path string, seed int64) error {
 		if err != nil {
 			return err
 		}
+		fails = append(fails, br.Failures...)
 		wall := time.Since(t0)
 		bt := benchTiming{
-			Bench:   b.Name,
-			Loops:   len(br.Loops),
-			WallMS:  float64(wall.Microseconds()) / 1e3,
-			Speedup: br.Speedup,
+			Bench:    b.Name,
+			Loops:    len(br.Loops),
+			Failures: len(br.Failures),
+			WallMS:   float64(wall.Microseconds()) / 1e3,
+			Speedup:  br.Speedup,
 		}
 		for _, lr := range br.Loops {
 			bt.ScalarCycles += lr.ScalarCycles
@@ -113,7 +140,14 @@ func writeTimings(path string, seed int64) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if len(fails) > 0 {
+		fmt.Fprint(os.Stderr, harness.FailureSummary(fails))
+		return &harness.FleetError{Failures: fails}
+	}
+	return nil
 }
 
 func run(exp string, seed int64) error {
@@ -167,6 +201,10 @@ func run(exp string, seed int64) error {
 			rep = harness.RegionProfile(rs)
 		}
 		fmt.Print(rep)
+		if fails := rs.Failures(); len(fails) > 0 {
+			fmt.Print(harness.FailureSummary(fails))
+			return &harness.FleetError{Failures: fails}
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -5,23 +5,26 @@
 // Any divergence is a bug in disambiguation, forwarding, replay, merging
 // or recovery.
 //
+// Each trial draws from its own RNG stream derived from (seed, trial), so a
+// single failing trial can be replayed in isolation: with -keep-going a
+// failure writes a crash artifact (replayable via `srvsim -repro`) and the
+// campaign continues, exiting 3 with a summary at the end. Without it the
+// first failure stops the run (exit 1), as before.
+//
 // Usage:
 //
 //	srvfuzz -trials 500 -seed 1
 //	srvfuzz -trials 100 -interrupts        # inject interrupts mid-run
 //	srvfuzz -trials 300 -affine            # fuzz the dependence verdicts too
+//	srvfuzz -trials 500 -keep-going        # contain failures, write artifacts
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"srvsim/internal/compiler"
-	"srvsim/internal/isa"
-	"srvsim/internal/mem"
-	"srvsim/internal/pipeline"
+	"srvsim/internal/harness"
 )
 
 func main() {
@@ -30,83 +33,47 @@ func main() {
 	interrupts := flag.Bool("interrupts", false, "inject an interrupt mid-run")
 	affine := flag.Bool("affine", false, "generate affine loops and fuzz the dependence verdicts (SVE leg included)")
 	verbose := flag.Bool("v", false, "print each trial's shape")
+	keepGoing := flag.Bool("keep-going", false, "contain failures: write a crash artifact and continue fuzzing")
+	crashdir := flag.String("crashdir", "crashes", "directory for -keep-going crash artifacts")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	cfg := pipeline.DefaultConfig()
-	cfg.MaxCycles = 50_000_000
 	replays, regions := int64(0), int64(0)
+	var fails []*harness.SimError
 	for trial := 0; trial < *trials; trial++ {
-		l := compiler.RandomLoop(rng)
-		if *affine {
-			l = compiler.RandomAffineLoop(rng)
-		}
-		im := mem.NewImage()
-		compiler.SeedRandomLoop(l, im, rng)
-		ref := im.Clone()
-		compiler.Eval(l, ref)
-		verdict := compiler.Analyse(l).Verdict
-
-		// Scalar on the pipeline.
-		imS := im.Clone()
-		cs, err := compiler.Compile(l, imS, compiler.ModeScalar)
-		fatal(trial, "scalar compile", err)
-		ps := pipeline.New(cfg, cs.Prog, imS)
-		fatal(trial, "scalar run", ps.Run())
-		diverge(trial, "scalar pipeline", imS, ref)
-
-		// Loops the analysis proves safe must also run correctly under
-		// plain SVE (verdict soundness).
-		if verdict == compiler.VerdictSafe {
-			imV := im.Clone()
-			cs2, err := compiler.Compile(l, imV, compiler.ModeSVE)
-			fatal(trial, "sve compile", err)
-			pv2 := pipeline.New(cfg, cs2.Prog, imV)
-			fatal(trial, "sve run", pv2.Run())
-			diverge(trial, "SVE pipeline", imV, ref)
-		}
-
-		if verdict != compiler.VerdictDependent {
-			// SRV on the interpreter.
-			imI := im.Clone()
-			cv, err := compiler.Compile(l, imI, compiler.ModeSRV)
-			fatal(trial, "srv compile", err)
-			ip := isa.NewInterp(cv.Prog, imI)
-			fatal(trial, "srv interp", ip.Run(200_000_000))
-			diverge(trial, "SRV interpreter", imI, ref)
-
-			// SRV on the pipeline, optionally with an interrupt.
-			imP := im.Clone()
-			pv := pipeline.New(cfg, cv.Prog, imP)
-			if *interrupts {
-				pv.ScheduleInterrupt(int64(10+rng.Intn(400)), int64(20+rng.Intn(60)))
+		res, err := harness.RunFuzzTrial(*seed, trial, *affine, *interrupts)
+		if err != nil {
+			se := harness.AsSimError(err)
+			fmt.Fprintf(os.Stderr, "srvfuzz: %v\n", se)
+			if !*keepGoing {
+				os.Exit(1)
 			}
-			fatal(trial, "srv pipeline", pv.Run())
-			diverge(trial, "SRV pipeline", imP, ref)
-			replays += pv.Ctrl.Stats.Replays
-			regions += pv.Ctrl.Stats.Regions
+			if path, werr := harness.WriteFuzzArtifact(*crashdir, *seed, trial, *affine, *interrupts, se); werr != nil {
+				fmt.Fprintf(os.Stderr, "srvfuzz: writing crash artifact: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "srvfuzz: crash artifact written to %s (replay: srvsim -repro %s)\n", path, path)
+			}
+			fails = append(fails, se)
+			continue
 		}
-
+		replays += res.Replays
+		regions += res.Regions
 		if *verbose {
 			fmt.Printf("trial %4d ok: trip=%d down=%v stmts=%d verdict=%v\n",
-				trial, l.Trip, l.Down, len(l.Body), verdict)
+				trial, res.Trip, res.Down, res.Stmts, res.Verdict)
 		}
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "srvfuzz: %d of %d trials FAILED (%d regions, %d replay rounds, interrupts=%v):\n",
+			len(fails), *trials, regions, replays, *interrupts)
+		for _, se := range fails {
+			loc := se.Artifact
+			if loc == "" {
+				loc = "no artifact"
+			}
+			fmt.Fprintf(os.Stderr, "  %v (%s)\n", se, loc)
+		}
+		os.Exit(3)
 	}
 	fmt.Printf("srvfuzz: %d trials passed (%d regions, %d replay rounds, interrupts=%v)\n",
 		*trials, regions, replays, *interrupts)
-}
-
-func fatal(trial int, what string, err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "srvfuzz: trial %d %s: %v\n", trial, what, err)
-		os.Exit(1)
-	}
-}
-
-func diverge(trial int, who string, got, want *mem.Image) {
-	if addr, diff := got.FirstDiff(want); diff {
-		fmt.Fprintf(os.Stderr, "srvfuzz: trial %d: %s diverges from the sequential reference at %#x\n",
-			trial, who, addr)
-		os.Exit(1)
-	}
 }

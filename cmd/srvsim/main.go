@@ -9,6 +9,7 @@
 //	srvsim -bench bzip2 -loop 0 -dis # disassemble the compiled program
 //	srvsim -file prog.s              # assemble and run a .s file
 //	                                 # (".data addr, elem, v0, v1, ..." sets memory)
+//	srvsim -repro crashes/x.json     # replay a crash artifact with diagnostics
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	pv := flag.Int("pipeview", 0, "render a stage timeline for the first N committed instructions")
 	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
 	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
+	repro := flag.String("repro", "", "replay a crash artifact (JSON written by the harness or srvfuzz)")
 	flag.Parse()
 	dumpStats = *statsFlag
 	pipeview = *pv
@@ -44,6 +46,13 @@ func main() {
 	pipeline.DebugTrace = *trace
 	harness.SetParallelism(*par)
 
+	if *repro != "" {
+		if err := harness.ReplayArtifact(*repro, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "srvsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *file != "" {
 		if err := runFile(*file); err != nil {
 			fmt.Fprintln(os.Stderr, "srvsim:", err)

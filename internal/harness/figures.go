@@ -30,6 +30,16 @@ type Results struct {
 	Bench []BenchResult
 }
 
+// Failures flattens every benchmark's contained failures, in benchmark and
+// loop order (deterministic regardless of worker scheduling).
+func (rs Results) Failures() []*SimError {
+	var all []*SimError
+	for _, br := range rs.Bench {
+		all = append(all, br.Failures...)
+	}
+	return all
+}
+
 // Measure runs every benchmark's scalar and SRV variants once. Benchmarks
 // fan out across the worker pool; the result order is the workload order
 // regardless of completion order.
@@ -266,8 +276,14 @@ func CostModelReport(rs Results) Report {
 	var ratios []float64
 	agree, total := 0, 0
 	for _, br := range rs.Bench {
-		for i, lr := range br.Loops {
-			loop := br.Bench.Loops[i].Shape.Build()
+		// Failed loops are absent from br.Loops, so pair results with their
+		// specs by name rather than by position.
+		specs := make(map[string]workloads.LoopSpec, len(br.Bench.Loops))
+		for _, ls := range br.Bench.Loops {
+			specs[ls.Shape.Name] = ls
+		}
+		for _, lr := range br.Loops {
+			loop := specs[lr.Loop].Shape.Build()
 			est := cm.Estimate(loop)
 			ratio := est / lr.Speedup
 			ratios = append(ratios, ratio)
@@ -346,6 +362,27 @@ func Sweep(seed int64) (Report, error) {
 	return Report{ID: "Sweep", Title: "Structural sensitivity of the SRV speedup", Body: body}, nil
 }
 
+// FailureSummary tabulates every contained failure: kind, attribution and
+// where its crash artifact (if any) was written. Rendered at the end of a
+// degraded run so partial results are never mistaken for a clean evaluation.
+func FailureSummary(fails []*SimError) Report {
+	t := stats.NewTable("benchmark", "loop", "variant", "kind", "cycle", "artifact", "detail")
+	for _, se := range fails {
+		cyc := ""
+		if se.Cycle > 0 {
+			cyc = fmt.Sprint(se.Cycle)
+		}
+		msg := se.Msg
+		if len(msg) > 60 {
+			msg = msg[:57] + "..."
+		}
+		t.Row(se.Bench, se.Loop, se.Variant, se.Kind.String(), cyc, se.Artifact, msg)
+	}
+	body := t.String() + fmt.Sprintf(
+		"\n%d simulation(s) failed; their loops are excluded from the aggregates\nabove. Replay an artifact with: srvsim -repro <file>\n", len(fails))
+	return Report{ID: "Failures", Title: "Contained simulation failures", Body: body}
+}
+
 func barsFor(rs Results, f func(BenchResult) float64, unit string) string {
 	labels := make([]string, len(rs.Bench))
 	vals := make([]float64, len(rs.Bench))
@@ -377,5 +414,9 @@ func RunAll(seed int64, w io.Writer) error {
 		return err
 	}
 	fmt.Fprint(w, sweep)
+	if fails := rs.Failures(); len(fails) > 0 {
+		fmt.Fprint(w, FailureSummary(fails))
+		return &FleetError{Failures: fails}
+	}
 	return nil
 }

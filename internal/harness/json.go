@@ -16,6 +16,20 @@ type JSONReport struct {
 	Benchmarks []JSONBenchmark  `json:"benchmarks"`
 	Summary    JSONSummary      `json:"summary"`
 	LimitStudy []JSONLimitEntry `json:"limit_study"`
+	Failures   []JSONFailure    `json:"failures,omitempty"`
+}
+
+// JSONFailure is one contained simulation failure (see SimError). Its loop
+// is absent from the benchmark's loops array and excluded from aggregates.
+type JSONFailure struct {
+	Bench    string `json:"bench"`
+	Loop     string `json:"loop"`
+	Variant  string `json:"variant"`
+	Kind     string `json:"kind"`
+	Seed     int64  `json:"seed"`
+	Cycle    int64  `json:"cycle,omitempty"`
+	Message  string `json:"message"`
+	Artifact string `json:"artifact,omitempty"`
 }
 
 // JSONBenchmark is one benchmark's measurements.
@@ -131,7 +145,24 @@ func WriteJSON(seed int64, w io.Writer) error {
 	}
 	rep.Summary.SRVFlexVecMeanRate = stats.Mean(ratios)
 
+	fails := rs.Failures()
+	for _, se := range fails {
+		rep.Failures = append(rep.Failures, JSONFailure{
+			Bench: se.Bench, Loop: se.Loop, Variant: se.Variant,
+			Kind: se.Kind.String(), Seed: se.Seed, Cycle: se.Cycle,
+			Message: se.Msg, Artifact: se.Artifact,
+		})
+	}
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	// The report (with its failures array) is written either way; the typed
+	// error tells the CLI to exit non-zero without discarding the output.
+	if len(fails) > 0 {
+		return &FleetError{Failures: fails}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -28,9 +29,24 @@ func SetParallelism(n int) {
 // Parallelism returns the current worker bound.
 func Parallelism() int { return int(workers.Load()) }
 
+// contain is parMap's recover boundary: a panic escaping one simulation is
+// converted into a typed SimError instead of tearing down the worker
+// goroutine (which would crash the whole process). Attribution-aware guards
+// closer to the simulation add bench/loop/variant identity; this is the
+// backstop that guarantees containment regardless.
+func contain(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = attribution{}.fromPanic(r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
 // parMap runs fn(0..n-1) across at most Parallelism() goroutines and
 // returns the first error in index order (not completion order), so error
-// reporting is deterministic. Each call sizes its own goroutine set; nested
+// reporting is deterministic. Panics in fn are contained and surface as
+// *SimError return values. Each call sizes its own goroutine set; nested
 // calls therefore cannot deadlock, and the scheduler bounds real
 // parallelism at GOMAXPROCS.
 func parMap(n int, fn func(i int) error) error {
@@ -43,7 +59,7 @@ func parMap(n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := contain(fn, i); err != nil {
 				return err
 			}
 		}
@@ -61,7 +77,7 @@ func parMap(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = contain(fn, i)
 			}
 		}()
 	}

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"srvsim/internal/pipeline"
+	"srvsim/internal/workloads"
+)
+
+// CrashArtifact is the on-disk record of one contained failure: everything
+// needed to regenerate the failing simulation from scratch (workload shape
+// and seed for harness loops, (seed, trial) for fuzzer trials) plus the
+// observed failure itself. Written as JSON under the crash directory and
+// replayed with `srvsim -repro <file>`.
+type CrashArtifact struct {
+	Tool    string `json:"tool"` // "harness" or "srvfuzz"
+	Bench   string `json:"bench,omitempty"`
+	Loop    string `json:"loop,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	Seed    int64  `json:"seed"`
+
+	// Harness loop failures: the workload is rebuilt from its shape.
+	Shape    *workloads.Shape `json:"shape,omitempty"`
+	Weight   float64          `json:"weight,omitempty"`
+	PredTail bool             `json:"pred_tail,omitempty"`
+	Config   *pipeline.Config `json:"config,omitempty"`
+
+	// srvfuzz trial failures: the trial is regenerated from (seed, trial).
+	Trial      int  `json:"trial,omitempty"`
+	Affine     bool `json:"affine,omitempty"`
+	Interrupts bool `json:"interrupts,omitempty"`
+
+	Failure   ArtifactFailure `json:"failure"`
+	Diagnosis string          `json:"diagnosis,omitempty"`
+}
+
+// ArtifactFailure captures the observed failure inside a CrashArtifact.
+type ArtifactFailure struct {
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
+	Cycle    int64  `json:"cycle,omitempty"`
+	Snapshot string `json:"snapshot,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+}
+
+func artifactFailure(se *SimError) ArtifactFailure {
+	return ArtifactFailure{
+		Kind: se.Kind.String(), Message: se.Msg, Cycle: se.Cycle,
+		Snapshot: se.Snapshot, Stack: se.Stack,
+	}
+}
+
+// sanitize maps an artifact name onto the filename-safe alphabet.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// writeArtifact serialises one artifact into dir, creating it if needed.
+func writeArtifact(dir, name string, art CrashArtifact) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("harness: creating crash dir: %w", err)
+	}
+	path := filepath.Join(dir, sanitize(name)+".json")
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: encoding crash artifact: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("harness: writing crash artifact: %w", err)
+	}
+	return path, nil
+}
+
+// diagnose re-runs a failed loop once with invariant checking and the
+// pipeview timeline enabled, records whether the failure reproduces, and
+// writes the crash artifact. Both steps are gated on a configured crash
+// directory (SetCrashDir); library users and most tests leave it off.
+func diagnose(se *SimError, bench string, ls workloads.LoopSpec, seed int64) {
+	dir := CrashDir()
+	if dir == "" {
+		return
+	}
+	a := attribution{bench: bench, loop: ls.Shape.Name, variant: "diag", seed: seed}
+	diagnosis := "not reproduced under diagnostic re-run (transient or injected fault)"
+	if derr := a.guard(func() error {
+		_, err := runLoop(cfg(), bench, ls, seed, true)
+		return err
+	}); derr != nil {
+		diagnosis = "reproduced under invariants+timeline: " + derr.Error()
+		if dse := AsSimError(derr); dse.Snapshot != "" && se.Snapshot == "" {
+			se.Snapshot = dse.Snapshot
+		}
+	}
+	pcfg := cfg()
+	art := CrashArtifact{
+		Tool: "harness", Bench: bench, Loop: ls.Shape.Name, Variant: se.Variant,
+		Seed: seed, Shape: &ls.Shape, Weight: ls.Weight, PredTail: ls.PredTail,
+		Config: &pcfg, Failure: artifactFailure(se), Diagnosis: diagnosis,
+	}
+	name := fmt.Sprintf("%s_%s_%s_%s", bench, ls.Shape.Name, se.Variant, se.Kind)
+	if path, err := writeArtifact(dir, name, art); err == nil {
+		se.Artifact = path
+	} else {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// WriteFuzzArtifact records one failed fuzzer trial (srvfuzz -keep-going).
+func WriteFuzzArtifact(dir string, seed int64, trial int, affine, interrupts bool, se *SimError) (string, error) {
+	art := CrashArtifact{
+		Tool: "srvfuzz", Bench: se.Bench, Loop: se.Loop, Variant: se.Variant,
+		Seed: seed, Trial: trial, Affine: affine, Interrupts: interrupts,
+		Failure: artifactFailure(se),
+	}
+	path, err := writeArtifact(dir, fmt.Sprintf("srvfuzz_trial%d_%s", trial, se.Kind), art)
+	if err == nil {
+		se.Artifact = path
+	}
+	return path, err
+}
+
+// ReplayArtifact loads a crash artifact and re-runs the recorded simulation
+// with full diagnostics (invariants + timeline). It reports whether the
+// original failure reproduced; the returned error is non-nil only when the
+// replay machinery itself fails (unreadable artifact, unknown tool).
+func ReplayArtifact(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var art CrashArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return fmt.Errorf("harness: decoding crash artifact %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "replaying %s: tool=%s bench=%s loop=%s variant=%s seed=%d\n",
+		filepath.Base(path), art.Tool, art.Bench, art.Loop, art.Variant, art.Seed)
+	fmt.Fprintf(w, "recorded failure: [%s] %s\n", art.Failure.Kind, art.Failure.Message)
+
+	var rerr error
+	switch art.Tool {
+	case "srvfuzz":
+		a := attribution{bench: "srvfuzz", loop: fmt.Sprintf("trial-%d", art.Trial), variant: "repro", seed: art.Seed}
+		rerr = a.guard(func() error {
+			_, err := RunFuzzTrial(art.Seed, art.Trial, art.Affine, art.Interrupts)
+			return err
+		})
+	case "harness", "":
+		if art.Shape == nil {
+			return fmt.Errorf("harness: artifact %s has no workload shape", path)
+		}
+		ls := workloads.LoopSpec{Shape: *art.Shape, Weight: art.Weight, PredTail: art.PredTail}
+		pcfg := cfg()
+		if art.Config != nil {
+			pcfg = *art.Config
+		}
+		a := attribution{bench: art.Bench, loop: ls.Shape.Name, variant: "repro", seed: art.Seed}
+		rerr = a.guard(func() error {
+			_, err := runLoop(pcfg, art.Bench, ls, art.Seed, true)
+			return err
+		})
+	default:
+		return fmt.Errorf("harness: artifact %s names unknown tool %q", path, art.Tool)
+	}
+
+	if rerr != nil {
+		fmt.Fprintf(w, "replay: REPRODUCED — %v\n", rerr)
+		if se := AsSimError(rerr); se.Snapshot != "" {
+			fmt.Fprintf(w, "\n%s\n", se.Snapshot)
+		}
+	} else {
+		fmt.Fprintf(w, "replay: PASS — failure did not reproduce under invariants+timeline\n")
+		fmt.Fprintf(w, "(the original fault was transient, environmental, or chaos-injected)\n")
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"srvsim/internal/compiler"
 	"srvsim/internal/flexvec"
@@ -74,10 +75,31 @@ func warm(p *pipeline.Pipeline, l *compiler.Loop) {
 	}
 }
 
+// prepare arms a freshly-built pipeline for measurement: cache warm-up, the
+// optional per-simulation wall-clock bound (SetSimTimeout), and — on
+// diagnostic re-runs — per-cycle invariant checking plus the pipeview
+// timeline, so a reproduced failure comes back with forensics attached.
+func prepare(p *pipeline.Pipeline, l *compiler.Loop, diag bool) {
+	warm(p, l)
+	if d := SimTimeout(); d > 0 {
+		deadline := time.Now().Add(d)
+		p.SetCancel(func() error {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wall-clock budget %v exhausted", d)
+			}
+			return nil
+		})
+	}
+	if diag {
+		p.EnableParanoid()
+		p.EnableTimeline()
+	}
+}
+
 // RunLoop measures one workload loop. Both variants run on identical input
 // data; their final memory is verified against the reference evaluator.
 func RunLoop(bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
-	return RunLoopWith(cfg(), bench, ls, seed)
+	return runLoop(cfg(), bench, ls, seed, false)
 }
 
 // ratio returns a/b, or 0 when b is 0, so that a degenerate run (e.g. a
@@ -94,45 +116,58 @@ func ratio(a, b float64) float64 {
 // The scalar and SRV variants are independent simulations on private memory
 // images; they run concurrently under the harness worker pool.
 func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
+	return runLoop(pcfg, bench, ls, seed, false)
+}
+
+// runLoop measures one loop's scalar and SRV variants. Each variant runs
+// under an attributed recover boundary, so a panic, deadlock, budget blowout
+// or divergence in one simulation surfaces as a *SimError naming the exact
+// (benchmark, loop, variant, seed) that produced it. diag re-runs a failed
+// simulation with invariant checking and the pipeview timeline enabled.
+func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64, diag bool) (LoopResult, error) {
 	res := LoopResult{Bench: bench, Loop: ls.Shape.Name}
 
 	// Reference result, computed once up front; both variants only read it.
 	refLoop, refIm := ls.Instantiate(seed)
 	compiler.Eval(refLoop, refIm)
 
-	variants := []func() error{
-		func() error { // scalar
+	type variant struct {
+		name string
+		run  func(a attribution) error
+	}
+	variants := []variant{
+		{"scalar", func(a attribution) error {
 			sl, sim := ls.Instantiate(seed)
 			sc, err := compiler.Compile(sl, sim, compiler.ModeScalar)
 			if err != nil {
-				return fmt.Errorf("%s/%s scalar: %w", bench, ls.Shape.Name, err)
+				return a.simErr(KindCompileError, "%v", err)
 			}
 			sp := pipeline.New(pcfg, sc.Prog, sim)
-			warm(sp, sl)
+			prepare(sp, sl, diag)
 			if err := sp.Run(); err != nil {
-				return fmt.Errorf("%s/%s scalar run: %w", bench, ls.Shape.Name, err)
+				return err
 			}
 			if addr, diff := sim.FirstDiff(refIm); diff {
-				return fmt.Errorf("%s/%s: scalar result diverges at %#x", bench, ls.Shape.Name, addr)
+				return a.simErr(KindDivergence, "scalar result diverges from the reference at %#x", addr)
 			}
 			res.ScalarCycles = sp.Stats.Cycles
 			res.SeqVertDisamb = sp.LSU.Stats.VertDisamb
 			res.SeqCam = power.Sample{CAMLookups: sp.LSU.Stats.CAMLookups, Cycles: sp.Stats.Cycles}
 			return nil
-		},
-		func() error { // SRV
+		}},
+		{"srv", func(a attribution) error {
 			vl, vim := ls.Instantiate(seed)
 			vc, err := compiler.Compile(vl, vim, compiler.ModeSRV)
 			if err != nil {
-				return fmt.Errorf("%s/%s srv: %w", bench, ls.Shape.Name, err)
+				return a.simErr(KindCompileError, "%v", err)
 			}
 			vp := pipeline.New(pcfg, vc.Prog, vim)
-			warm(vp, vl)
+			prepare(vp, vl, diag)
 			if err := vp.Run(); err != nil {
-				return fmt.Errorf("%s/%s srv run: %w", bench, ls.Shape.Name, err)
+				return err
 			}
 			if addr, diff := vim.FirstDiff(refIm); diff {
-				return fmt.Errorf("%s/%s: SRV result diverges at %#x", bench, ls.Shape.Name, addr)
+				return a.simErr(KindDivergence, "SRV result diverges from the reference at %#x", addr)
 			}
 			res.SRVCycles = vp.Stats.Cycles
 			res.BarrierFrac = ratio(float64(vp.Stats.BarrierCycles), float64(vp.Stats.Cycles))
@@ -165,11 +200,25 @@ func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed
 			res.GatherLoads = countGatherLoads(vl)
 			res.TotalLoads = countLoads(vl)
 			return nil
-		},
+		}},
 	}
 	// The two variants write disjoint LoopResult fields, so running them
-	// concurrently needs no locking.
-	if err := parMap(len(variants), func(i int) error { return variants[i]() }); err != nil {
+	// concurrently needs no locking. Chaos injection (when armed) happens
+	// inside the guard so injected faults exercise the same containment path
+	// as real ones; diagnostic re-runs are exempt, so an injected fault is
+	// correctly diagnosed as not-reproducible.
+	err := parMap(len(variants), func(i int) error {
+		a := attribution{bench: bench, loop: ls.Shape.Name, variant: variants[i].name, seed: seed}
+		return a.guard(func() error {
+			if !diag {
+				if err := chaosInject(a); err != nil {
+					return err
+				}
+			}
+			return variants[i].run(a)
+		})
+	})
+	if err != nil {
 		return res, err
 	}
 	res.Speedup = ratio(float64(res.ScalarCycles), float64(res.SRVCycles))
@@ -196,25 +245,37 @@ func countLoads(l *compiler.Loop) int64 {
 	return n
 }
 
-// BenchResult aggregates a benchmark's loops.
+// BenchResult aggregates a benchmark's loops. Failed loops are excluded
+// from Loops and the aggregates, and reported in Failures instead: one bad
+// simulation degrades the benchmark's coverage, not the whole run.
 type BenchResult struct {
 	Bench   workloads.Benchmark
 	Loops   []LoopResult
 	Speedup float64 // weighted per-loop speedup (Fig 6)
 	Whole   float64 // whole-program speedup via coverage (Fig 7)
 	Barrier float64 // weighted barrier fraction (Fig 8)
+
+	Failures []*SimError // contained per-loop failures, in loop order
 }
 
 // RunBenchmark measures all SRV loops of a benchmark. The loops fan out
 // across the worker pool; aggregation happens in loop order afterwards, so
-// the result is identical to a serial run.
+// the result is identical to a serial run. A failing loop is contained: it
+// lands in BenchResult.Failures (after an automatic diagnostic re-run when
+// a crash directory is configured) and the remaining loops still aggregate.
+// SetFailFast(true) restores abort-on-first-error.
 func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
 	out := BenchResult{Bench: b}
 	loops := make([]LoopResult, len(b.Loops))
+	fails := make([]*SimError, len(b.Loops))
 	err := parMap(len(b.Loops), func(i int) error {
 		lr, err := RunLoop(b.Name, b.Loops[i], seed+int64(i))
 		if err != nil {
-			return err
+			if FailFast() {
+				return err
+			}
+			fails[i] = AsSimError(err)
+			return nil
 		}
 		loops[i] = lr
 		return nil
@@ -222,9 +283,21 @@ func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
 	if err != nil {
 		return out, err
 	}
+	// Forensics after the fan-out, serially and in loop order: one failure's
+	// diagnostic re-run never races another's, and reporting stays
+	// deterministic regardless of worker scheduling.
+	for i, se := range fails {
+		if se != nil {
+			diagnose(se, b.Name, b.Loops[i], seed+int64(i))
+			out.Failures = append(out.Failures, se)
+		}
+	}
 	wsum := 0.0
 	harm := 0.0
 	for i, lr := range loops {
+		if fails[i] != nil {
+			continue
+		}
 		out.Loops = append(out.Loops, lr)
 		ls := b.Loops[i]
 		wsum += ls.Weight

@@ -746,7 +746,8 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 			e.ByteValid[b] = true
 		}
 	default:
-		panic(fmt.Sprintf("lsu: store kind %v unsupported", kind))
+		panic(fmt.Sprintf("lsu: store kind %v unsupported (pc=%d seq=%d lane=%d instance=%d addr=%#x)",
+			kind, e.ID, seq, e.Lane, e.Instance, addr))
 	}
 	l.reindex(e)
 

@@ -41,6 +41,12 @@ type Config struct {
 
 	MaxCycles int64 // safety bound; 0 means default
 
+	// WatchdogCycles is the forward-progress window: if no instruction
+	// commits for this many consecutive cycles Run returns a *DeadlockError
+	// with a machine snapshot instead of burning the remaining MaxCycles
+	// budget. 0 selects DefaultWatchdogCycles; negative disables the check.
+	WatchdogCycles int64
+
 	// Ablations (DESIGN.md / paper §VIII future work).
 	//
 	// RelaxedBarrier lets younger NON-memory instructions issue while an

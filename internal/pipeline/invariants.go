@@ -7,10 +7,38 @@ import (
 	"srvsim/internal/isa"
 )
 
-// Paranoid mode: when enabled (tests), structural invariants are checked
-// after every cycle and violations panic with a diagnostic. The checks cover
-// the properties the rest of the model silently relies on.
+// Paranoid mode: when enabled (tests, diagnostic re-runs), structural
+// invariants are checked after every cycle and violations panic with a typed
+// InvariantError. The checks cover the properties the rest of the model
+// silently relies on. The harness's recover boundary converts the panic into
+// a classified SimError, so a violation fails one simulation, not the fleet.
 func (p *Pipeline) EnableParanoid() { p.paranoid = true }
+
+// InvariantError is the panic value raised by paranoid-mode checks. Check
+// names the violated invariant class (stable identifiers, used by the
+// harness's failure taxonomy and its tests).
+type InvariantError struct {
+	Check string // invariant class, e.g. "rob-order", "iq-capacity"
+	Cycle int64
+	Msg   string
+}
+
+func (e InvariantError) Error() string {
+	return fmt.Sprintf("invariant %s violated at cycle %d: %s", e.Check, e.Cycle, e.Msg)
+}
+
+// InvariantChecks lists every invariant class paranoid mode enforces, in
+// check order. Tests iterate it to assert each class survives the harness's
+// recover boundary with its identity intact.
+var InvariantChecks = []string{
+	"rob-order", "rob-state", "rob-capacity", "iq-capacity", "lsq-capacity",
+	"srv-end-serial", "ctrl-replay-clear", "ctrl-restart-pc",
+	"ctrl-spec-replay", "ctrl-fallback-lanes", "rename-map",
+}
+
+func (p *Pipeline) violated(check, format string, args ...any) {
+	panic(InvariantError{Check: check, Cycle: p.cycle, Msg: fmt.Sprintf(format, args...)})
+}
 
 func (p *Pipeline) checkInvariants() {
 	// 1. ROB sequence numbers strictly increase and states are sane.
@@ -18,8 +46,7 @@ func (p *Pipeline) checkInvariants() {
 	dispatched := 0
 	for i, e := range p.rob {
 		if e.seq <= prev {
-			panic(fmt.Sprintf("invariant: ROB seq not increasing at %d (%d after %d), cycle %d",
-				i, e.seq, prev, p.cycle))
+			p.violated("rob-order", "ROB seq not increasing at %d (%d after %d)", i, e.seq, prev)
 		}
 		prev = e.seq
 		switch e.state {
@@ -27,18 +54,18 @@ func (p *Pipeline) checkInvariants() {
 			dispatched++
 		case sIssued, sDone:
 		default:
-			panic(fmt.Sprintf("invariant: bad state %d at seq %d", e.state, e.seq))
+			p.violated("rob-state", "bad state %d at seq %d", e.state, e.seq)
 		}
 	}
 	// 2. Structural capacities.
 	if len(p.rob) > p.Cfg.ROBSize {
-		panic(fmt.Sprintf("invariant: ROB %d > %d", len(p.rob), p.Cfg.ROBSize))
+		p.violated("rob-capacity", "ROB %d > %d", len(p.rob), p.Cfg.ROBSize)
 	}
 	if dispatched > p.Cfg.IQSize {
-		panic(fmt.Sprintf("invariant: IQ %d > %d", dispatched, p.Cfg.IQSize))
+		p.violated("iq-capacity", "IQ %d > %d", dispatched, p.Cfg.IQSize)
 	}
 	if p.LSU.Len() > p.Cfg.LSQSize {
-		panic(fmt.Sprintf("invariant: LSU %d > %d", p.LSU.Len(), p.Cfg.LSQSize))
+		p.violated("lsq-capacity", "LSU %d > %d", p.LSU.Len(), p.Cfg.LSQSize)
 	}
 	// 3. srv_end instances never execute concurrently (serialisation); any
 	// number may be dispatched-but-waiting.
@@ -49,35 +76,36 @@ func (p *Pipeline) checkInvariants() {
 		}
 	}
 	if executing > 1 {
-		panic(fmt.Sprintf("invariant: %d srv_end executing concurrently, cycle %d", executing, p.cycle))
+		p.violated("srv-end-serial", "%d srv_end executing concurrently", executing)
 	}
 	// 4. Controller consistency: an active speculative region has a restart
 	// PC; outside regions both replay registers are clear.
 	switch p.Ctrl.Mode() {
 	case core.ModeOff:
 		if p.Ctrl.Replay().Any() || p.Ctrl.NeedsReplay().Any() {
-			panic("invariant: replay registers set outside a region")
+			p.violated("ctrl-replay-clear", "replay registers set outside a region")
 		}
 		if p.Ctrl.StartPC() != 0 {
-			panic("invariant: restart PC set outside a region")
+			p.violated("ctrl-restart-pc", "restart PC set outside a region")
 		}
 	case core.ModeSpeculative:
 		if !p.Ctrl.Replay().Any() {
-			panic("invariant: speculative region with an empty SRV-replay register")
+			p.violated("ctrl-spec-replay", "speculative region with an empty SRV-replay register")
 		}
 	case core.ModeFallback:
 		if p.Ctrl.Replay().Count() != 1 {
-			panic("invariant: fallback pass must run exactly one lane")
+			p.violated("ctrl-fallback-lanes", "fallback pass must run exactly one lane (%d active)",
+				p.Ctrl.Replay().Count())
 		}
 	}
 	// 5. The rename map only points at live or committed entries that wrote
 	// the mapped register.
 	for ref, e := range p.rename {
 		if e == nil {
-			panic("invariant: nil rename mapping")
+			p.violated("rename-map", "nil rename mapping for %v", ref)
 		}
 		if !e.hasWrite || e.writeRef != ref {
-			panic(fmt.Sprintf("invariant: rename[%v] points at a non-writer (pc %d)", ref, e.pc))
+			p.violated("rename-map", "rename[%v] points at a non-writer (pc %d)", ref, e.pc)
 		}
 	}
 }

@@ -147,6 +147,15 @@ type Pipeline struct {
 
 	// Paranoid mode: check structural invariants after every cycle.
 	paranoid bool
+
+	// Cooperative cancellation: checked every cancelCheckMask+1 cycles by
+	// Run so the harness can enforce per-simulation wall-clock timeouts.
+	cancel func() error
+
+	// Chaos/test hook: from this cycle on commit retires nothing, wedging
+	// the machine so the forward-progress watchdog can be exercised on
+	// otherwise-healthy programs. 0 = disabled.
+	wedgeAt int64
 }
 
 // New builds a pipeline over prog with fresh architectural state.
@@ -174,18 +183,62 @@ func (p *Pipeline) ScheduleInterrupt(at, dur int64) {
 	p.intrAt, p.intrDur = at, dur
 }
 
-// Run simulates until Halt commits. It returns an error when the cycle
-// budget is exhausted.
+// SetCancel installs a cooperative cancellation hook, polled every few
+// thousand cycles by Run: a non-nil return aborts the simulation with an
+// ErrCancelled-wrapped error. Used by the harness for wall-clock timeouts.
+func (p *Pipeline) SetCancel(fn func() error) { p.cancel = fn }
+
+// InjectWedge is a chaos/test hook: from the given cycle on, commit retires
+// nothing, so the machine stops making forward progress while still cycling
+// — the synthetic livelock the watchdog exists to catch.
+func (p *Pipeline) InjectWedge(cycle int64) { p.wedgeAt = cycle }
+
+// DefaultWatchdogCycles is the forward-progress window when
+// Config.WatchdogCycles is 0: generous enough that no legitimate commit gap
+// (cache-miss chains, fault service, interrupt freezes) approaches it, yet
+// 0.05% of the default 2-billion-cycle budget, so a wedged pipeline is
+// diagnosed with a machine snapshot instead of burning out the budget.
+const DefaultWatchdogCycles = 1_000_000
+
+// cancelCheckMask throttles the cancellation poll to every 4096th cycle.
+const cancelCheckMask = 1<<12 - 1
+
+// Run simulates until Halt commits. Abnormal exits are typed: an exhausted
+// budget wraps ErrCycleBudget, a commit-free watchdog window returns a
+// *DeadlockError (errors.Is ErrDeadlock) carrying a machine snapshot, and a
+// tripped cancellation hook wraps ErrCancelled.
 func (p *Pipeline) Run() error {
 	max := p.Cfg.MaxCycles
 	if max == 0 {
 		max = 2_000_000_000
 	}
+	wd := p.Cfg.WatchdogCycles
+	if wd == 0 {
+		wd = DefaultWatchdogCycles
+	}
+	committed := p.Stats.Committed
+	lastProgress := p.cycle
 	for !p.halted {
 		if p.cycle >= max {
-			return fmt.Errorf("pipeline: cycle budget %d exhausted at pc %d (rob=%d)", max, p.fetchPC, len(p.rob))
+			p.Stats.Cycles = p.cycle
+			return fmt.Errorf("%w: %d cycles at pc %d (rob=%d)", ErrCycleBudget, max, p.fetchPC, len(p.rob))
+		}
+		if p.cancel != nil && p.cycle&cancelCheckMask == 0 {
+			if err := p.cancel(); err != nil {
+				p.Stats.Cycles = p.cycle
+				return fmt.Errorf("%w at cycle %d: %v", ErrCancelled, p.cycle, err)
+			}
 		}
 		p.step()
+		// Forward progress = an instruction committed, or the front end is
+		// in a legitimate interrupt/fault freeze (bounded by resumeAt).
+		if p.Stats.Committed != committed || p.resumeAt > p.cycle {
+			committed = p.Stats.Committed
+			lastProgress = p.cycle
+		} else if wd > 0 && p.cycle-lastProgress >= wd {
+			p.Stats.Cycles = p.cycle
+			return &DeadlockError{Cycle: p.cycle, Window: wd, PC: p.fetchPC, Snapshot: p.Snapshot()}
+		}
 	}
 	p.Stats.Cycles = p.cycle
 	return nil
@@ -740,6 +793,9 @@ func (p *Pipeline) complete() {
 }
 
 func (p *Pipeline) commit() {
+	if p.wedgeAt > 0 && p.cycle >= p.wedgeAt {
+		return // injected wedge: retire nothing (chaos/watchdog testing)
+	}
 	for n := 0; n < p.Cfg.Width && len(p.rob) > 0; n++ {
 		e := p.rob[0]
 		if e.state != sDone || e.faulted {
