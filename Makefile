@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench timing chaos-smoke
+.PHONY: build test check bench timing bench-gate chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ bench:
 # experiment harness on this machine).
 timing: build
 	$(GO) run ./cmd/srvbench -timing BENCH_harness.json
+
+# bench-gate runs the harness fresh and gates its simulated-cycle totals
+# against the committed baseline: a >10% geomean regression fails the build.
+# GATE_FLAGS narrows the run (e.g. GATE_FLAGS="-benchmarks is,bzip2"); the
+# gate skips baseline benchmarks the fresh run did not cover.
+GATE_FLAGS ?=
+bench-gate: build
+	$(GO) run ./cmd/srvbench -timing .bench-fresh.json $(GATE_FLAGS)
+	$(GO) run ./cmd/benchgate BENCH_baseline.json .bench-fresh.json; \
+	code=$$?; rm -f .bench-fresh.json; exit $$code
 
 # chaos-smoke is the resilience drill: fault-inject 20% of simulations on a
 # single figure and require the run to complete with contained failures

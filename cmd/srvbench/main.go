@@ -6,6 +6,8 @@
 //	srvbench -exp fig6       # one experiment
 //	srvbench -exp limit -seed 11
 //	srvbench -chaos 0.2      # fault-inject 20% of simulations (resilience drill)
+//	srvbench -timing out.json -benchmarks is,bzip2
+//	srvbench -cpuprofile cpu.pprof -exp fig6
 //
 // Failure handling: a failing simulation (panic, deadlock, cycle-budget
 // blowout, divergence) is contained — its loop is dropped from the
@@ -16,29 +18,37 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"time"
+	"runtime/pprof"
+	"strings"
 
 	"srvsim/internal/harness"
-	"srvsim/internal/workloads"
 )
 
+// experiments is the -exp vocabulary, in help order.
+var experiments = []string{
+	"all", "tab1", "limit", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "costmodel", "regions", "sweep",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|tab1|limit|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|costmodel|regions|sweep")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	seed := flag.Int64("seed", 7, "workload data seed")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
 	timing := flag.String("timing", "", "write per-benchmark wall-clock timings as JSON to this file")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset for -timing (default all)")
 	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
 	failfast := flag.Bool("failfast", false, "abort on the first simulation failure instead of containing it")
 	crashdir := flag.String("crashdir", "crashes", "directory for crash artifacts and diagnostic re-runs (empty = disabled)")
 	simTimeout := flag.Duration("sim-timeout", 0, "wall-clock budget per simulation, e.g. 2m (0 = unbounded)")
 	chaos := flag.Float64("chaos", 0, "fault-injection probability per simulation in [0,1] (resilience drill)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "decision seed for -chaos fault injection")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	harness.SetParallelism(*par)
 	harness.SetFailFast(*failfast)
@@ -46,14 +56,58 @@ func main() {
 	harness.SetSimTimeout(*simTimeout)
 	harness.SetChaos(*chaos, *chaosSeed)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			exit(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			exit(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	harness.ResetFleet()
+	var err error
 	switch {
 	case *timing != "":
-		exit(writeTimings(*timing, *seed))
+		var subset []string
+		if *benches != "" {
+			subset = strings.Split(*benches, ",")
+		}
+		err = harness.WriteTimings(*timing, *seed, subset)
 	case *jsonOut:
-		exit(harness.WriteJSON(*seed, os.Stdout))
+		err = harness.WriteJSON(*seed, os.Stdout)
 	default:
-		exit(run(*exp, *seed))
+		err = run(*exp, *seed)
 	}
+	if fs := harness.SnapshotFleet(); fs.Simulations > 0 {
+		fmt.Fprint(os.Stderr, fs)
+	}
+	if *memprofile != "" {
+		if perr := writeHeapProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // idempotent; flush before a non-zero exit
+	}
+	exit(err)
+}
+
+// writeHeapProfile snapshots the heap (after a GC, so live objects dominate)
+// into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exit maps the harness's error taxonomy onto process exit codes: 0 clean,
@@ -69,85 +123,6 @@ func exit(err error) {
 		os.Exit(3)
 	}
 	os.Exit(1)
-}
-
-// benchTiming is one row of the -timing report: how long the simulator took
-// in wall-clock terms to run every loop of one benchmark, plus the simulated
-// cycle totals so cycles/sec can be derived.
-type benchTiming struct {
-	Bench        string  `json:"bench"`
-	Loops        int     `json:"loops"`
-	Failures     int     `json:"failures,omitempty"`
-	WallMS       float64 `json:"wall_ms"`
-	ScalarCycles int64   `json:"scalar_cycles"`
-	SRVCycles    int64   `json:"srv_cycles"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	Speedup      float64 `json:"speedup"`
-}
-
-type timingReport struct {
-	Seed        int64         `json:"seed"`
-	Workers     int           `json:"workers"`
-	NumCPU      int           `json:"num_cpu"`
-	GoVersion   string        `json:"go_version"`
-	TotalWallMS float64       `json:"total_wall_ms"`
-	Benchmarks  []benchTiming `json:"benchmarks"`
-}
-
-// writeTimings wall-clocks RunBenchmark for every workload and writes the
-// result (BENCH_harness.json when invoked per the Makefile) to path.
-func writeTimings(path string, seed int64) error {
-	rep := timingReport{
-		Seed:      seed,
-		Workers:   harness.Parallelism(),
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
-	}
-	var fails []*harness.SimError
-	start := time.Now()
-	for _, b := range workloads.All() {
-		t0 := time.Now()
-		br, err := harness.RunBenchmark(b, seed)
-		if err != nil {
-			return err
-		}
-		fails = append(fails, br.Failures...)
-		wall := time.Since(t0)
-		bt := benchTiming{
-			Bench:    b.Name,
-			Loops:    len(br.Loops),
-			Failures: len(br.Failures),
-			WallMS:   float64(wall.Microseconds()) / 1e3,
-			Speedup:  br.Speedup,
-		}
-		for _, lr := range br.Loops {
-			bt.ScalarCycles += lr.ScalarCycles
-			bt.SRVCycles += lr.SRVCycles
-		}
-		if secs := wall.Seconds(); secs > 0 {
-			bt.CyclesPerSec = float64(bt.ScalarCycles+bt.SRVCycles) / secs
-		}
-		rep.Benchmarks = append(rep.Benchmarks, bt)
-	}
-	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1e3
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if len(fails) > 0 {
-		fmt.Fprint(os.Stderr, harness.FailureSummary(fails))
-		return &harness.FleetError{Failures: fails}
-	}
-	return nil
 }
 
 func run(exp string, seed int64) error {
@@ -207,6 +182,6 @@ func run(exp string, seed int64) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
 	}
 }

@@ -15,12 +15,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"srvsim/internal/compiler"
 	"srvsim/internal/harness"
 	"srvsim/internal/isa"
 	"srvsim/internal/mem"
+	"srvsim/internal/obsv"
 	"srvsim/internal/pipeline"
 	"srvsim/internal/workloads"
 )
@@ -39,6 +42,10 @@ func main() {
 	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
 	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
 	repro := flag.String("repro", "", "replay a crash artifact (JSON written by the harness or srvfuzz)")
+	flag.StringVar(&traceOut, "trace-out", "", "write a Chrome-trace-event (Perfetto) JSON of the run to this file")
+	flag.Int64Var(&sampleEvery, "sample-every", 0, "record an IPC/occupancy sample every N cycles (0 = off)")
+	flag.StringVar(&sampleOut, "sample-out", "", "write the cycle samples here (.json = JSON, else CSV; default stdout)")
+	flag.StringVar(&metricsOut, "metrics-out", "", "write the full metrics registry as JSON to this file (- = stdout)")
 	flag.Parse()
 	dumpStats = *statsFlag
 	pipeview = *pv
@@ -108,15 +115,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "srvsim: unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
+	multi := *loopIdx < 0 && len(b.Loops) > 1
 	for i, ls := range b.Loops {
 		if *loopIdx >= 0 && i != *loopIdx {
 			continue
+		}
+		if multi {
+			obsTag = fmt.Sprintf("_%s_%d", b.Name, i)
 		}
 		if err := runOne(b.Name, ls, m, *seed+int64(i), *dis); err != nil {
 			fmt.Fprintln(os.Stderr, "srvsim:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// obsTag distinguishes observability output files when one invocation runs
+// several loops ("" when a single loop runs).
+var obsTag string
+
+// tagPath inserts obsTag before the file extension of path.
+func tagPath(path string) string {
+	if obsTag == "" {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + obsTag + ext
+}
+
+// writeObsFile writes one observability artifact via emit, honouring "-" as
+// stdout.
+func writeObsFile(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(tagPath(path))
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFile assembles and runs a standalone .s program.
@@ -150,6 +191,10 @@ var (
 	dumpStats   bool
 	pipeview    int
 	showRegions bool
+	traceOut    string
+	sampleEvery int64
+	sampleOut   string
+	metricsOut  string
 )
 
 func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64, dis bool) error {
@@ -164,6 +209,12 @@ func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64,
 	p := pipeline.New(pipeline.DefaultConfig(), c.Prog, im)
 	if pipeview > 0 {
 		p.EnableTimeline()
+	}
+	if traceOut != "" {
+		p.AttachTracer(obsv.NewTracer())
+	}
+	if sampleEvery > 0 {
+		p.EnableSampling(sampleEvery)
 	}
 	if err := p.Run(); err != nil {
 		return err
@@ -181,10 +232,42 @@ func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64,
 		fmt.Println(p.DumpStats())
 	}
 	if pipeview > 0 {
-		fmt.Print(pipeline.RenderTimeline(p.Timeline(), 0, pipeview))
+		fmt.Print(p.RenderTimeline(0, pipeview))
 	}
 	if showRegions {
 		printRegionDurations(p.RegionDurations())
+	}
+	return writeObservability(p)
+}
+
+// writeObservability exports the run's trace, cycle samples and metrics
+// registry as requested by the -trace-out/-sample-out/-metrics-out flags.
+func writeObservability(p *pipeline.Pipeline) error {
+	if t := p.Tracer(); t != nil {
+		if err := writeObsFile(traceOut, t.WriteJSON); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if t.Dropped() > 0 {
+			fmt.Fprintf(os.Stderr, "srvsim: trace buffer full, %d events dropped\n", t.Dropped())
+		}
+	}
+	if s := p.Samples(); s != nil {
+		emit := s.WriteCSV
+		if filepath.Ext(sampleOut) == ".json" {
+			emit = s.WriteJSON
+		}
+		out := sampleOut
+		if out == "" {
+			out = "-"
+		}
+		if err := writeObsFile(out, emit); err != nil {
+			return fmt.Errorf("sample-out: %w", err)
+		}
+	}
+	if metricsOut != "" {
+		if err := writeObsFile(metricsOut, p.Metrics().WriteJSON); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
 	}
 	return nil
 }

@@ -76,10 +76,13 @@ func chaosFaultFor(bench, loop, variant string) int {
 func chaosInject(a attribution) error {
 	switch chaosFaultFor(a.bench, a.loop, a.variant) {
 	case chaosPanicFault:
+		fleetChaos()
 		panic(fmt.Errorf("chaos: injected panic in %s/%s/%s", a.bench, a.loop, a.variant))
 	case chaosLivelockFault:
+		fleetChaos()
 		return chaosLivelock()
 	case chaosSlowFault:
+		fleetChaos()
 		return chaosSlow()
 	}
 	return nil

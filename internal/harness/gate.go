@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The perf-regression gate compares two timing reports on SIMULATED cycles,
+// not wall-clock: for a fixed seed the cycle totals are deterministic, so
+// any ratio other than 1.0 is a real behavioural change in the simulator,
+// and a geomean above the threshold fails the gate. Wall-clock is reported
+// alongside for context but never gated on (CI machines are noisy).
+
+// DefaultGateThreshold fails the gate when the fresh run's geomean cycle
+// ratio exceeds the baseline by more than 10%.
+const DefaultGateThreshold = 1.10
+
+// GateRow is one benchmark's baseline-vs-fresh comparison.
+type GateRow struct {
+	Bench       string
+	BaseCycles  int64 // scalar + SRV simulated cycles in the baseline
+	FreshCycles int64
+	Ratio       float64 // fresh / base (1.0 = unchanged, >1 = regression)
+}
+
+// GateResult is the outcome of gating a fresh timing report against a
+// committed baseline.
+type GateResult struct {
+	Rows      []GateRow
+	Geomean   float64  // geomean of the per-benchmark ratios
+	Threshold float64  // fail above this
+	Pass      bool
+	Skipped   []string // benchmarks present in only one report
+}
+
+// Gate compares the benchmarks common to both reports. Benchmarks present
+// in only one report are skipped (listed in Skipped) so adding or removing
+// a workload does not break the gate. threshold <= 0 selects
+// DefaultGateThreshold.
+func Gate(base, fresh *TimingReport, threshold float64) GateResult {
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	g := GateResult{Threshold: threshold}
+	baseBy := map[string]BenchTiming{}
+	for _, bt := range base.Benchmarks {
+		baseBy[bt.Bench] = bt
+	}
+	seen := map[string]bool{}
+	logSum, n := 0.0, 0
+	for _, ft := range fresh.Benchmarks {
+		seen[ft.Bench] = true
+		bt, ok := baseBy[ft.Bench]
+		if !ok {
+			g.Skipped = append(g.Skipped, ft.Bench+" (fresh only)")
+			continue
+		}
+		row := GateRow{
+			Bench:       ft.Bench,
+			BaseCycles:  bt.ScalarCycles + bt.SRVCycles,
+			FreshCycles: ft.ScalarCycles + ft.SRVCycles,
+		}
+		if row.BaseCycles <= 0 || row.FreshCycles <= 0 {
+			g.Skipped = append(g.Skipped, ft.Bench+" (zero cycles)")
+			continue
+		}
+		row.Ratio = float64(row.FreshCycles) / float64(row.BaseCycles)
+		logSum += math.Log(row.Ratio)
+		n++
+		g.Rows = append(g.Rows, row)
+	}
+	for _, bt := range base.Benchmarks {
+		if !seen[bt.Bench] {
+			g.Skipped = append(g.Skipped, bt.Bench+" (baseline only)")
+		}
+	}
+	if n > 0 {
+		g.Geomean = math.Exp(logSum / float64(n))
+	}
+	g.Pass = n > 0 && g.Geomean <= threshold
+	return g
+}
+
+// String renders the comparison table and verdict.
+func (g GateResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %8s\n", "bench", "base cycles", "fresh cycles", "ratio")
+	for _, r := range g.Rows {
+		mark := ""
+		if r.Ratio > g.Threshold {
+			mark = "  <-- regression"
+		}
+		fmt.Fprintf(&b, "%-12s %14d %14d %8.4f%s\n", r.Bench, r.BaseCycles, r.FreshCycles, r.Ratio, mark)
+	}
+	for _, s := range g.Skipped {
+		fmt.Fprintf(&b, "skipped: %s\n", s)
+	}
+	verdict := "PASS"
+	if !g.Pass {
+		verdict = "FAIL"
+	}
+	if len(g.Rows) == 0 {
+		fmt.Fprintf(&b, "gate: FAIL — no benchmarks in common\n")
+	} else {
+		fmt.Fprintf(&b, "gate: %s — geomean cycle ratio %.4f over %d benchmarks (threshold %.2f)\n",
+			verdict, g.Geomean, len(g.Rows), g.Threshold)
+	}
+	return b.String()
+}

@@ -209,7 +209,8 @@ func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int
 	// correctly diagnosed as not-reproducible.
 	err := parMap(len(variants), func(i int) error {
 		a := attribution{bench: bench, loop: ls.Shape.Name, variant: variants[i].name, seed: seed}
-		return a.guard(func() error {
+		t0 := time.Now()
+		verr := a.guard(func() error {
 			if !diag {
 				if err := chaosInject(a); err != nil {
 					return err
@@ -217,6 +218,12 @@ func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int
 			}
 			return variants[i].run(a)
 		})
+		if !diag {
+			// Leaf-level fleet accounting: diagnostic re-runs are forensics,
+			// not fleet throughput.
+			fleetRecord(variants[i].name, t0, verr)
+		}
+		return verr
 	})
 	if err != nil {
 		return res, err

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"srvsim/internal/workloads"
+)
+
+// BenchTiming is one row of the timing report: how long the simulator took
+// in wall-clock terms to run every loop of one benchmark, plus the simulated
+// cycle totals so cycles/sec can be derived. The cycle totals are
+// deterministic for a fixed seed, which is what the perf-regression gate
+// compares.
+type BenchTiming struct {
+	Bench        string  `json:"bench"`
+	Loops        int     `json:"loops"`
+	Failures     int     `json:"failures,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	ScalarCycles int64   `json:"scalar_cycles"`
+	SRVCycles    int64   `json:"srv_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// TimingReport is the full -timing artifact (BENCH_harness.json when invoked
+// per the Makefile): per-benchmark rows plus fleet-level throughput metrics.
+type TimingReport struct {
+	Seed        int64         `json:"seed"`
+	Workers     int           `json:"workers"`
+	NumCPU      int           `json:"num_cpu"`
+	GoVersion   string        `json:"go_version"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+	Fleet       FleetSnapshot `json:"fleet"`
+	Benchmarks  []BenchTiming `json:"benchmarks"`
+}
+
+// WriteTimings wall-clocks RunBenchmark for every workload (or the named
+// subset; nil = all) and writes the report to path. Contained per-loop
+// failures are summarised on stderr and surface as a *FleetError after the
+// report is written.
+func WriteTimings(path string, seed int64, benches []string) error {
+	want := map[string]bool{}
+	for _, b := range benches {
+		want[b] = true
+	}
+	known := 0
+	for _, b := range workloads.All() {
+		if want[b.Name] {
+			known++
+		}
+	}
+	if known != len(want) {
+		return fmt.Errorf("timing: %d of %d requested benchmarks unknown (have: %s)",
+			len(want)-known, len(want), benchNames())
+	}
+	rep := TimingReport{
+		Seed:      seed,
+		Workers:   Parallelism(),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	var fails []*SimError
+	ResetFleet()
+	start := time.Now()
+	for _, b := range workloads.All() {
+		if len(want) > 0 && !want[b.Name] {
+			continue
+		}
+		t0 := time.Now()
+		br, err := RunBenchmark(b, seed)
+		if err != nil {
+			return err
+		}
+		fails = append(fails, br.Failures...)
+		wall := time.Since(t0)
+		bt := BenchTiming{
+			Bench:    b.Name,
+			Loops:    len(br.Loops),
+			Failures: len(br.Failures),
+			WallMS:   float64(wall.Microseconds()) / 1e3,
+			Speedup:  br.Speedup,
+		}
+		for _, lr := range br.Loops {
+			bt.ScalarCycles += lr.ScalarCycles
+			bt.SRVCycles += lr.SRVCycles
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			bt.CyclesPerSec = float64(bt.ScalarCycles+bt.SRVCycles) / secs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bt)
+	}
+	rep.TotalWallMS = float64(time.Since(start).Microseconds()) / 1e3
+	rep.Fleet = SnapshotFleet()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if len(fails) > 0 {
+		fmt.Fprint(os.Stderr, FailureSummary(fails))
+		return &FleetError{Failures: fails}
+	}
+	return nil
+}
+
+// LoadTimings reads a timing report written by WriteTimings.
+func LoadTimings(path string) (*TimingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep TimingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchNames lists the known benchmark names, comma-separated.
+func benchNames() string {
+	out := ""
+	for i, b := range workloads.All() {
+		if i > 0 {
+			out += ","
+		}
+		out += b.Name
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package lsu
+
+import "srvsim/internal/obsv"
+
+// RegisterMetrics registers the LSU's counters into the given registry
+// section. The counters are registered as pointers into Stats, so the
+// execution hot path keeps its plain field increments; the registry reads
+// the live values at export time.
+func (l *LSU) RegisterMetrics(s obsv.Section) {
+	s.Counter("lsu.loadIssues", "load executions", &l.Stats.LoadIssues)
+	s.Counter("lsu.storeIssues", "store executions", &l.Stats.StoreIssues)
+	s.Counter("lsu.regionLoadIssues", "in-region load executions", &l.Stats.RegionLoadIssues)
+	s.Counter("lsu.regionStoreIssues", "in-region store executions", &l.Stats.RegionStoreIssues)
+	s.Counter("lsu.disamb.vertical", "vertical address disambiguations", &l.Stats.VertDisamb)
+	s.Counter("lsu.disamb.horizontal", "horizontal address disambiguations", &l.Stats.HorizDisamb)
+	s.Counter("lsu.camLookups", "CAM lookups (power model input)", &l.Stats.CAMLookups)
+	s.Counter("lsu.fwdBytes", "bytes forwarded from the SDQ", &l.Stats.FwdBytes)
+	s.Counter("lsu.memBytes", "bytes read from the memory hierarchy", &l.Stats.MemBytes)
+	s.Counter("lsu.partialFwds", "loads combining SDQ and memory bytes", &l.Stats.PartialFwds)
+	s.Counter("lsu.wawSuppressedBytes", "write-backs suppressed by WAW resolution", &l.Stats.WAWWritebacks)
+	s.Counter("lsu.overflows", "region footprints exceeding the LSU", &l.Stats.Overflows)
+	s.CounterFn("lsu.maxOccupancy", "peak live entries (fallback headroom)", func() int64 { return int64(l.Stats.MaxOccupancy) })
+	s.CounterFn("lsu.liveEntries", "entries still resident at end of run", func() int64 { return int64(l.Len()) })
+}

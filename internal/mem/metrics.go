@@ -1,0 +1,15 @@
+package mem
+
+import "srvsim/internal/obsv"
+
+// RegisterMetrics registers the hierarchy's per-level hit/miss counters into
+// the given registry section. The prefetch counter renders only when the
+// next-line prefetcher is enabled, matching the historical dump.
+func (h *Hierarchy) RegisterMetrics(s obsv.Section) {
+	s.Counter("l1.hits", "L1 hits", &h.L1.Stats.Hits)
+	s.Counter("l1.misses", "L1 misses", &h.L1.Stats.Misses)
+	s.Counter("l2.hits", "L2 hits", &h.L2.Stats.Hits)
+	s.Counter("l2.misses", "L2 misses (memory accesses)", &h.L2.Stats.Misses)
+	s.If(func() bool { return h.NextLinePrefetch }).
+		Counter("l2.prefetches", "next-line prefetches issued", &h.Prefetches)
+}

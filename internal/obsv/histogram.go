@@ -1,0 +1,84 @@
+package obsv
+
+// Histogram buckets int64 observations into fixed ranges chosen at
+// construction. Observe is a binary search over a small bounds slice plus
+// two increments — cheap enough for once-per-region events, though not meant
+// for the per-cycle hot path.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (inclusive); one overflow bucket beyond
+	counts []int64
+	total  int64
+	sum    int64
+}
+
+// NewHistogram builds a histogram whose i-th bucket holds observations
+// v <= bounds[i] (and above the previous bound); values beyond the last
+// bound land in a final overflow bucket.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsv: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// PowersOfTwo returns bounds 1, 2, 4, ... up to 2^(n-1).
+func PowersOfTwo(n int) []int64 {
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = 1 << i
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket is one exported histogram range. Hi is -1 for the overflow bucket.
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in range order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	lo := int64(0)
+	for i, c := range h.counts {
+		hi := int64(-1)
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		if c > 0 {
+			out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+		}
+		lo = hi + 1
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sampler accumulates a cycle-indexed time-series with a fixed column set:
+// the simulator appends one row every Every cycles, and the result exports
+// as CSV or JSON for plotting (e.g. replay storms over time).
+type Sampler struct {
+	Every   int64
+	columns []string
+	cycles  []int64
+	rows    [][]float64
+}
+
+// NewSampler returns a sampler that expects one row per interval with
+// len(columns) values.
+func NewSampler(every int64, columns ...string) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{Every: every, columns: columns}
+}
+
+// Columns returns the column names.
+func (s *Sampler) Columns() []string { return s.columns }
+
+// Len returns the number of recorded rows.
+func (s *Sampler) Len() int { return len(s.rows) }
+
+// Sample appends one row. The value count must match the column count.
+func (s *Sampler) Sample(cycle int64, vals ...float64) {
+	if len(vals) != len(s.columns) {
+		panic(fmt.Sprintf("obsv: sample has %d values for %d columns", len(vals), len(s.columns)))
+	}
+	row := make([]float64, len(vals))
+	copy(row, vals)
+	s.cycles = append(s.cycles, cycle)
+	s.rows = append(s.rows, row)
+}
+
+// Row returns the cycle and values of row i.
+func (s *Sampler) Row(i int) (int64, []float64) { return s.cycles[i], s.rows[i] }
+
+// WriteCSV writes "cycle,<columns...>" followed by one row per sample.
+// Values are rendered with the shortest exact float form.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, c := range s.columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for i, row := range s.rows {
+		b.WriteString(strconv.FormatInt(s.cycles[i], 10))
+		for _, v := range row {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonSeries is the JSON export shape: column-oriented for compact plotting.
+type jsonSeries struct {
+	Every   int64                `json:"every"`
+	Cycles  []int64              `json:"cycles"`
+	Series  map[string][]float64 `json:"series"`
+	Columns []string             `json:"columns"`
+}
+
+// WriteJSON writes the time-series in column-oriented JSON form.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	out := jsonSeries{Every: s.Every, Cycles: s.cycles, Columns: s.columns,
+		Series: make(map[string][]float64, len(s.columns))}
+	if out.Cycles == nil {
+		out.Cycles = []int64{}
+	}
+	for j, c := range s.columns {
+		col := make([]float64, len(s.rows))
+		for i, row := range s.rows {
+			col[i] = row[j]
+		}
+		out.Series[c] = col
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

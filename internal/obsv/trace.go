@@ -1,0 +1,98 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Tracer collects Chrome-trace-event records (the JSON format understood by
+// Perfetto and chrome://tracing). Timestamps are simulated cycles, written
+// into the format's microsecond field: one cycle displays as one "µs".
+//
+// The event buffer is capped so a pathological run cannot exhaust memory;
+// Dropped reports how many events were discarded once the cap was hit.
+type Tracer struct {
+	events  []traceEvent
+	cap     int
+	dropped int64
+}
+
+// DefaultTraceCap bounds the event buffer (~100 MB of JSON at worst).
+const DefaultTraceCap = 1 << 20
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer with the default event cap.
+func NewTracer() *Tracer { return &Tracer{cap: DefaultTraceCap} }
+
+// SetCap overrides the event-buffer bound (tests).
+func (t *Tracer) SetCap(n int) { t.cap = n }
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped returns the number of events discarded at the cap.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+func (t *Tracer) add(e traceEvent) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// ThreadName labels a track (tid) in the viewer.
+func (t *Tracer) ThreadName(tid int, name string) {
+	t.add(traceEvent{Name: "thread_name", Ph: "M", TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Span records a complete duration event [start, end) on the given track.
+func (t *Tracer) Span(tid int, name, cat string, start, end int64, args map[string]any) {
+	dur := end - start
+	if dur < 1 {
+		dur = 1 // zero-width spans are invisible in the viewer
+	}
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "X", TS: start, Dur: dur, TID: tid, Args: args})
+}
+
+// Instant records a point event on the given track.
+func (t *Tracer) Instant(tid int, name, cat string, ts int64, args map[string]any) {
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "i", TS: ts, TID: tid, S: "t", Args: args})
+}
+
+// Counter records a sample on a counter track: each key of values becomes a
+// series under the track named name.
+func (t *Tracer) Counter(name string, ts int64, values map[string]any) {
+	t.add(traceEvent{Name: name, Ph: "C", TS: ts, Args: values})
+}
+
+// traceFile is the object form of the Chrome trace format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Meta            any          `json:"metadata,omitempty"`
+}
+
+// WriteJSON writes the buffered events as a Perfetto-loadable trace file.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: t.events, DisplayTimeUnit: "ms"}
+	if t.events == nil {
+		f.TraceEvents = []traceEvent{}
+	}
+	if t.dropped > 0 {
+		f.Meta = map[string]any{"dropped_events": t.dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

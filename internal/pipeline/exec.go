@@ -163,6 +163,7 @@ func (p *Pipeline) execute(e *robEntry, loadSlots, storeSlots *int) bool {
 		p.curInstance = e.regionIdx
 		p.curStartSeq = e.seq
 		p.regionStartCycle = p.cycle
+		p.traceRegionStart()
 
 	case isa.OpSRVEnd:
 		e.doneAt = p.cycle + lat
@@ -181,7 +182,18 @@ func (p *Pipeline) execute(e *robEntry, loadSlots, storeSlots *int) bool {
 			if len(p.regionDurations) < TimelineCap {
 				p.regionDurations = append(p.regionDurations, p.cycle-p.regionStartCycle)
 			}
-		case core.EndReplay, core.EndNextLane:
+			p.regionHist.Observe(p.cycle - p.regionStartCycle)
+			p.traceRegionPass("commit", 0)
+			p.traceRegionEnd(e.regionIdx)
+		case core.EndReplay:
+			p.traceRegionPass("replay", p.Ctrl.Replay().Count())
+			p.squashAfter(e.seq)
+			p.dispRegionCounter = e.regionIdx
+			p.dispInRegion = true
+			p.redirect(p.Ctrl.StartPC())
+			return true
+		case core.EndNextLane:
+			p.traceRegionPass("fallback-lane", 1)
 			p.squashAfter(e.seq)
 			p.dispRegionCounter = e.regionIdx
 			p.dispInRegion = true

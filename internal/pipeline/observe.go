@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"srvsim/internal/obsv"
+)
+
+// This file wires the obsv layer into the core: a Chrome-trace-event tracer
+// (SRV region/pass spans, squash/interrupt/fault instants, occupancy
+// counter tracks) and a cycle-interval sampler (IPC and occupancy
+// time-series). Both are nil/zero by default: the hot path pays one
+// predictable branch per cycle for each when disabled.
+
+// traceCounterInterval is the cycle stride of the tracer's occupancy
+// counter tracks (dense enough to see replay storms, sparse enough that a
+// 100M-cycle run stays within the tracer's event cap).
+const traceCounterInterval = 64
+
+// Track ids of the trace: regions and replay passes get their own rows so
+// Perfetto renders them as stacked spans; squashes and machine events land
+// on a third row.
+const (
+	traceTidRegions = iota
+	traceTidPasses
+	traceTidEvents
+)
+
+// AttachTracer starts recording SRV region spans, replay-pass spans, squash
+// and interrupt instants, and per-stage occupancy counter tracks into t.
+// Attach before Run; export with t.WriteJSON after.
+func (p *Pipeline) AttachTracer(t *obsv.Tracer) {
+	p.tracer = t
+	t.ThreadName(traceTidRegions, "srv regions")
+	t.ThreadName(traceTidPasses, "srv passes")
+	t.ThreadName(traceTidEvents, "pipeline events")
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (p *Pipeline) Tracer() *obsv.Tracer { return p.tracer }
+
+// SampleColumns is the column set of the cycle-interval sampler: interval
+// IPC, cumulative committed instructions, ROB/IQ/LSQ/fetch-queue occupancy,
+// and the SRV-replay predicate population (0 outside regions).
+var SampleColumns = []string{"ipc", "committed", "rob", "iq", "lsq", "fetchq", "srv_replay_lanes"}
+
+// EnableSampling records one SampleColumns row every `every` cycles into a
+// fresh sampler, retrievable with Samples. Enable before Run.
+func (p *Pipeline) EnableSampling(every int64) {
+	if every < 1 {
+		every = 1
+	}
+	p.sampleEvery = every
+	p.sampler = obsv.NewSampler(every, SampleColumns...)
+	p.lastSampleCommitted = 0
+}
+
+// Samples returns the recorded time-series (nil when sampling is off).
+func (p *Pipeline) Samples() *obsv.Sampler { return p.sampler }
+
+// observeCycle runs the per-cycle observability hooks; step calls it only
+// when sampling or tracing is enabled.
+func (p *Pipeline) observeCycle() {
+	if p.sampleEvery > 0 && p.cycle%p.sampleEvery == 0 {
+		ipc := float64(p.Stats.Committed-p.lastSampleCommitted) / float64(p.sampleEvery)
+		p.lastSampleCommitted = p.Stats.Committed
+		p.sampler.Sample(p.cycle, ipc, float64(p.Stats.Committed),
+			float64(len(p.rob)), float64(p.iqOccupancy()), float64(p.LSU.Len()),
+			float64(len(p.fetchq)), float64(p.replayPopulation()))
+	}
+	if p.tracer != nil && p.cycle%traceCounterInterval == 0 {
+		p.tracer.Counter("occupancy", p.cycle, map[string]any{
+			"rob": len(p.rob), "iq": p.iqOccupancy(), "lsq": p.LSU.Len(), "fetchq": len(p.fetchq),
+		})
+		p.tracer.Counter("srv predicate", p.cycle, map[string]any{
+			"replay_lanes": p.replayPopulation(),
+		})
+	}
+}
+
+// replayPopulation returns the number of set lanes in the SRV-replay
+// register, 0 outside a region.
+func (p *Pipeline) replayPopulation() int {
+	if !p.Ctrl.InRegion() {
+		return 0
+	}
+	return p.Ctrl.Replay().Count()
+}
+
+// traceRegionStart marks the execution of srv_start: the current pass (and
+// the region span) begin here.
+func (p *Pipeline) traceRegionStart() {
+	if p.tracer == nil {
+		return
+	}
+	p.tracePassStart = p.cycle
+	p.tracePassNum = 0
+}
+
+// traceRegionPass closes the current replay-pass span. lanes is the number
+// of lanes the *next* pass will re-execute (0 on the final pass).
+func (p *Pipeline) traceRegionPass(kind string, lanes int) {
+	if p.tracer == nil {
+		return
+	}
+	args := map[string]any{"kind": kind}
+	if lanes > 0 {
+		args["next_pass_lanes"] = lanes
+	}
+	p.tracer.Span(traceTidPasses, passName(p.tracePassNum), "srv",
+		p.tracePassStart, p.cycle, args)
+	if kind == "replay" {
+		p.tracer.Instant(traceTidPasses, "replay-round", "srv", p.cycle,
+			map[string]any{"lanes": lanes})
+	}
+	p.tracePassNum++
+	p.tracePassStart = p.cycle
+}
+
+// passName avoids fmt on the first few (overwhelmingly common) pass indices.
+func passName(n int) string {
+	switch n {
+	case 0:
+		return "pass 0"
+	case 1:
+		return "pass 1"
+	case 2:
+		return "pass 2"
+	case 3:
+		return "pass 3"
+	default:
+		return "pass 4+"
+	}
+}
+
+// traceRegionEnd closes the region span at region commit.
+func (p *Pipeline) traceRegionEnd(instance int) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Span(traceTidRegions, "region", "srv", p.regionStartCycle, p.cycle,
+		map[string]any{"instance": instance, "passes": p.tracePassNum + 1})
+}
+
+// traceInstant records a point event on the machine-event track.
+func (p *Pipeline) traceInstant(name string, args map[string]any) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Instant(traceTidEvents, name, "pipeline", p.cycle, args)
+}

@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+	"srvsim/internal/obsv"
+)
+
+// replayProg builds an SRV region whose broadcast/scatter conflict forces a
+// selective-replay round (same kernel as TestBroadcastRAWReplay).
+func replayProg(t *testing.T) (*isa.Program, *mem.Image) {
+	t.Helper()
+	im := mem.NewImage()
+	a := im.Alloc(64*4, 64)
+	x := im.Alloc(16*4, 64)
+	d := im.Alloc(16*4, 64)
+	im.WriteInt(a+5*4, 4, 1234)
+	for i := 0; i < 16; i++ {
+		xi := int64(40 + i)
+		if i == 3 {
+			xi = 5
+		}
+		im.WriteInt(x+uint64(i*4), 4, xi)
+	}
+	prog := isa.NewBuilder().
+		MovI(0, int64(a)).
+		MovI(1, int64(x)).
+		MovI(2, int64(d)).
+		MovI(3, 99).
+		SRVStart(isa.DirUp).
+		VBcast(0, 0, 5*4, 4, isa.NoPred).
+		VLoad(1, 1, 0, 4, isa.NoPred).
+		VSplat(2, 3).
+		VScatter(0, 1, 2, 0, 4, isa.NoPred).
+		VStore(2, 0, 4, 0, isa.NoPred).
+		SRVEnd().
+		Halt().
+		MustBuild()
+	return prog, im
+}
+
+// TestTraceSRVEvents runs a replaying region under the tracer and checks the
+// exported Chrome-trace JSON holds the SRV span/instant vocabulary.
+func TestTraceSRVEvents(t *testing.T) {
+	prog, im := replayProg(t)
+	p := New(testConfig(), prog, im)
+	tr := obsv.NewTracer()
+	p.AttachTracer(tr)
+	run(t, p)
+	if p.Ctrl.Stats.Replays == 0 {
+		t.Fatal("kernel must trigger a replay for this test to mean anything")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON does not decode: %v", err)
+	}
+	seen := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		seen[e.Ph+"/"+e.Name]++
+		if e.Ph == "X" && e.Dur < 1 {
+			t.Errorf("span %q has dur %d, want >= 1", e.Name, e.Dur)
+		}
+	}
+	for _, want := range []string{
+		"X/region",       // region span
+		"X/pass 0",       // speculative pass span
+		"X/pass 1",       // replay pass span
+		"i/replay-round", // replay instant
+		"i/squash",       // replay squash
+		"M/thread_name",  // track names for Perfetto
+	} {
+		if seen[want] == 0 {
+			t.Errorf("trace missing event %q; saw %v", want, seen)
+		}
+	}
+}
+
+// TestSamplerSeries checks the cycle-interval sampler records an aligned,
+// monotone time-series with the documented columns.
+func TestSamplerSeries(t *testing.T) {
+	prog, im := replayProg(t)
+	p := New(testConfig(), prog, im)
+	p.EnableSampling(10)
+	run(t, p)
+
+	s := p.Samples()
+	if s == nil || s.Len() == 0 {
+		t.Fatal("sampler recorded no rows")
+	}
+	if got := strings.Join(s.Columns(), ","); got != strings.Join(SampleColumns, ",") {
+		t.Errorf("columns = %s", got)
+	}
+	var lastCommitted float64
+	for i := 0; i < s.Len(); i++ {
+		cyc, vals := s.Row(i)
+		if cyc%10 != 0 {
+			t.Errorf("row %d at cycle %d, want multiple of 10", i, cyc)
+		}
+		if vals[1] < lastCommitted {
+			t.Errorf("committed column decreased: %v -> %v", lastCommitted, vals[1])
+		}
+		lastCommitted = vals[1]
+	}
+	if int64(lastCommitted) > p.Stats.Committed {
+		t.Errorf("sampled committed %v exceeds final %d", lastCommitted, p.Stats.Committed)
+	}
+}
+
+// TestTimelineDropped overflows the timeline cap and checks the drop is
+// counted and surfaced in the rendering instead of silently truncated.
+func TestTimelineDropped(t *testing.T) {
+	im := mem.NewImage()
+	p := New(testConfig(), isa.NewBuilder().
+		MovI(0, 0).
+		MovI(1, 0).
+		MovI(2, 2000).
+		Label("loop").
+		Add(1, 1, 0).
+		AddI(0, 0, 1).
+		BLT(0, 2, "loop").
+		Halt().
+		MustBuild(), im)
+	p.EnableTimeline()
+	run(t, p)
+	if p.Stats.Committed <= TimelineCap {
+		t.Fatalf("loop committed %d, need > %d to overflow", p.Stats.Committed, TimelineCap)
+	}
+	if got := len(p.Timeline()); got != TimelineCap {
+		t.Errorf("timeline holds %d entries, want cap %d", got, TimelineCap)
+	}
+	want := p.Stats.Committed - TimelineCap
+	if got := p.TimelineDropped(); got != want {
+		t.Errorf("TimelineDropped() = %d, want %d", got, want)
+	}
+	out := p.RenderTimeline(0, 5)
+	if !strings.Contains(out, "timeline truncated") {
+		t.Errorf("rendering does not note truncation:\n%s", out)
+	}
+
+	// A run that fits the cap must not note truncation.
+	p2 := New(testConfig(), isa.NewBuilder().MovI(0, 1).Halt().MustBuild(), mem.NewImage())
+	p2.EnableTimeline()
+	run(t, p2)
+	if p2.TimelineDropped() != 0 {
+		t.Errorf("short run dropped %d entries", p2.TimelineDropped())
+	}
+	if strings.Contains(p2.RenderTimeline(0, 5), "truncated") {
+		t.Error("short run rendering claims truncation")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"srvsim/internal/isa"
 	"srvsim/internal/lsu"
 	"srvsim/internal/mem"
+	"srvsim/internal/obsv"
 	"srvsim/internal/predictor"
 )
 
@@ -133,9 +134,27 @@ type Pipeline struct {
 	FaultAddrs         map[uint64]bool
 	FaultServiceCycles int64
 
-	// Stage-timeline recording (pipeview).
-	recordTimeline bool
-	timeline       []TimelineEntry
+	// Stage-timeline recording (pipeview). Once the cap is reached further
+	// committed instructions are counted in timelineDropped instead of
+	// silently discarded.
+	recordTimeline  bool
+	timeline        []TimelineEntry
+	timelineDropped int64
+
+	// Observability (internal/obsv): the lazily-built metrics registry, the
+	// region-duration histogram behind it, and the optional tracer/sampler.
+	// tracer and sampler are nil unless attached; the hot path pays one
+	// branch per cycle for each.
+	metrics    *obsv.Registry
+	regionHist *obsv.Histogram
+
+	tracer         *obsv.Tracer
+	tracePassStart int64
+	tracePassNum   int
+
+	sampler             *obsv.Sampler
+	sampleEvery         int64
+	lastSampleCommitted int64
 
 	// Scratch buffer for memLatency's distinct-line dedup.
 	lineScratch []uint64
@@ -171,6 +190,7 @@ func New(cfg Config, prog *isa.Program, image *mem.Image) *Pipeline {
 		SS:          predictor.NewStoreSet(1024, 128),
 		rename:      make(map[isa.RegRef]*robEntry),
 		curInstance: -1,
+		regionHist:  obsv.NewHistogram(obsv.PowersOfTwo(17)...),
 	}
 	p.Hier.NextLinePrefetch = cfg.Prefetch
 	p.LSU = lsu.New(cfg.LSQSize, image, ctrl)
@@ -246,6 +266,9 @@ func (p *Pipeline) Run() error {
 
 func (p *Pipeline) step() {
 	p.cycle++
+	if p.sampleEvery > 0 || p.tracer != nil {
+		p.observeCycle()
+	}
 	if p.intrAt > 0 && p.cycle >= p.intrAt && p.interruptSafe() {
 		p.takeInterrupt()
 		p.intrAt = 0
@@ -290,6 +313,9 @@ func (p *Pipeline) raiseFault(e *robEntry, addr uint64) {
 func (p *Pipeline) deliverFault() {
 	e := p.rob[0]
 	p.Stats.Exceptions++
+	if p.tracer != nil {
+		p.traceInstant("fault", map[string]any{"pc": e.pc, "addr": e.faultAddr})
+	}
 	delete(p.FaultAddrs, e.faultAddr)
 	committedSeq := e.seq - 1
 	if p.Ctrl.InRegion() && e.pc >= p.Ctrl.StartPC() {
@@ -508,6 +534,10 @@ func (p *Pipeline) reserveLSU(e *robEntry, instance int) bool {
 // region's LSU entries discarded, and fetch restarts at the region body with
 // a single active lane.
 func (p *Pipeline) enterFallback() {
+	if p.tracer != nil {
+		p.traceInstant("fallback", map[string]any{"instance": p.curInstance})
+		p.tracePassStart = p.cycle // abandoned speculative pass: restart the span
+	}
 	p.Ctrl.EnterFallback()
 	p.LSU.DiscardRegion(p.curInstance)
 	p.squashAfter(p.curStartSeq)
@@ -803,12 +833,16 @@ func (p *Pipeline) commit() {
 		}
 		p.rob = p.rob[1:]
 		p.Stats.Committed++
-		if p.recordTimeline && len(p.timeline) < TimelineCap {
-			p.timeline = append(p.timeline, TimelineEntry{
-				Seq: e.seq, PC: e.pc, Op: e.inst.Op.String(),
-				Fetch: e.fetchAt, Dispatch: e.dispatchAt, Issue: e.issueAt,
-				Done: e.doneAt, Commit: p.cycle,
-			})
+		if p.recordTimeline {
+			if len(p.timeline) < TimelineCap {
+				p.timeline = append(p.timeline, TimelineEntry{
+					Seq: e.seq, PC: e.pc, Op: e.inst.Op.String(),
+					Fetch: e.fetchAt, Dispatch: e.dispatchAt, Issue: e.issueAt,
+					Done: e.doneAt, Commit: p.cycle,
+				})
+			} else {
+				p.timelineDropped++
+			}
 		}
 		if e.inst.IsMem() {
 			p.Stats.CommittedMem++
@@ -897,6 +931,9 @@ func (p *Pipeline) squashAfter(after int64) {
 	p.Stats.SquashedInsts += int64(len(doomed))
 	if len(doomed) > 0 {
 		p.Stats.Squashes++
+		if p.tracer != nil {
+			p.traceInstant("squash", map[string]any{"insts": len(doomed)})
+		}
 	}
 	p.rob = p.rob[:cut]
 	p.LSU.SquashYounger(after)
@@ -951,6 +988,9 @@ func (p *Pipeline) interruptSafe() bool {
 
 func (p *Pipeline) takeInterrupt() {
 	p.Stats.Interrupts++
+	if p.tracer != nil {
+		p.traceInstant("interrupt", nil)
+	}
 	// The architectural point is the oldest uncommitted instruction: the ROB
 	// head, else the oldest front-end slot, else the fetch PC.
 	archPC := p.fetchPC

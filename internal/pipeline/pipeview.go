@@ -29,6 +29,23 @@ func (p *Pipeline) EnableTimeline() { p.recordTimeline = true }
 // Timeline returns the recorded entries (committed instructions only).
 func (p *Pipeline) Timeline() []TimelineEntry { return p.timeline }
 
+// TimelineDropped returns the number of committed instructions that were NOT
+// recorded because the timeline had already reached TimelineCap. Non-zero
+// means the rendered timeline is a truncated prefix of the run.
+func (p *Pipeline) TimelineDropped() int64 { return p.timelineDropped }
+
+// RenderTimeline renders the pipeline's own recorded window and, when the
+// cap was exceeded, appends a truncation note so a partial timeline is never
+// mistaken for the whole run.
+func (p *Pipeline) RenderTimeline(from, to int) string {
+	s := RenderTimeline(p.timeline, from, to)
+	if p.timelineDropped > 0 {
+		s += fmt.Sprintf("(timeline truncated: %d committed instructions dropped after the first %d entries)\n",
+			p.timelineDropped, TimelineCap)
+	}
+	return s
+}
+
 // RegionDurations returns the recorded per-region cycle counts (from
 // srv_start execution to region commit, including replay rounds).
 func (p *Pipeline) RegionDurations() []int64 { return p.regionDurations }

@@ -1,93 +1,10 @@
 package pipeline
 
-import (
-	"fmt"
-	"strings"
-)
-
 // DumpStats renders a gem5-style statistics report for a finished run:
 // every counter of the core, the SRV controller, the LSU, the predictors
-// and the cache hierarchy, one per line as "name value [# comment]".
+// and the cache hierarchy, one per line as "name value [# comment]". The
+// report is a text rendering of the Metrics registry — counter names, help
+// strings and values come from the components' own registrations.
 func (p *Pipeline) DumpStats() string {
-	var b strings.Builder
-	w := func(name string, v interface{}, comment string) {
-		fmt.Fprintf(&b, "%-42s %16v  # %s\n", name, v, comment)
-	}
-	sec := func(title string) {
-		fmt.Fprintf(&b, "\n---------- %s ----------\n", title)
-	}
-
-	sec("core")
-	w("sim.cycles", p.Stats.Cycles, "simulated cycles")
-	w("sim.insts", p.Stats.Committed, "committed instructions")
-	w("sim.microOps", p.Stats.MicroOps, "committed micro-ops (gather/scatter split)")
-	w("sim.ipc", fmt.Sprintf("%.4f", p.Stats.IPC()), "committed instructions per cycle")
-	w("sim.memInsts", p.Stats.CommittedMem, "committed memory instructions")
-	w("sim.vecInsts", p.Stats.CommittedVec, "committed vector instructions")
-	w("core.squashes", p.Stats.Squashes, "pipeline squashes (all causes)")
-	w("core.squashedInsts", p.Stats.SquashedInsts, "instructions discarded by squashes")
-	w("core.verticalSquashes", p.Stats.VerticalSquashes, "memory-order misspeculations")
-	w("core.dispatchStall.rob", p.Stats.DispatchStallROB, "dispatch stalls: ROB full")
-	w("core.dispatchStall.iq", p.Stats.DispatchStallIQ, "dispatch stalls: IQ full")
-	w("core.dispatchStall.lsq", p.Stats.DispatchStallLSQ, "dispatch stalls: LSU full")
-	w("core.interrupts", p.Stats.Interrupts, "interrupts delivered")
-	w("core.exceptions", p.Stats.Exceptions, "precise memory exceptions delivered")
-	w("core.deferredFaults", p.Stats.DeferredFaults, "in-region faults deferred to replay")
-
-	sec("srv")
-	st := p.Ctrl.Stats
-	w("srv.regions", st.Regions, "completed SRV regions")
-	w("srv.vectorIters", st.VectorIters, "region passes including replays")
-	w("srv.replays", st.Replays, "selective replay rounds")
-	w("srv.replayLanes", st.ReplayLanes, "lanes re-executed across replays")
-	w("srv.barrierCycles", p.Stats.BarrierCycles, "srv_end serialisation stall cycles")
-	w("srv.viol.raw", st.RAWViol, "horizontal RAW violations (replayed)")
-	w("srv.viol.war", st.WARViol, "horizontal WAR violations (forwarding suppressed)")
-	w("srv.viol.waw", st.WAWViol, "horizontal WAW violations (selective write-back)")
-	w("srv.fallbacks", st.Fallbacks, "regions demoted to sequential execution")
-	w("srv.excReplays", st.ExcReplays, "exception-lane re-markings")
-	if durs := p.RegionDurations(); len(durs) > 0 {
-		sum := int64(0)
-		for _, d := range durs {
-			sum += d
-		}
-		w("srv.regionDurMean", fmt.Sprintf("%.2f", float64(sum)/float64(len(durs))),
-			"mean region duration in cycles (start execution to commit)")
-	}
-
-	sec("lsu")
-	ls := p.LSU.Stats
-	w("lsu.loadIssues", ls.LoadIssues, "load executions")
-	w("lsu.storeIssues", ls.StoreIssues, "store executions")
-	w("lsu.regionLoadIssues", ls.RegionLoadIssues, "in-region load executions")
-	w("lsu.regionStoreIssues", ls.RegionStoreIssues, "in-region store executions")
-	w("lsu.disamb.vertical", ls.VertDisamb, "vertical address disambiguations")
-	w("lsu.disamb.horizontal", ls.HorizDisamb, "horizontal address disambiguations")
-	w("lsu.camLookups", ls.CAMLookups, "CAM lookups (power model input)")
-	w("lsu.fwdBytes", ls.FwdBytes, "bytes forwarded from the SDQ")
-	w("lsu.memBytes", ls.MemBytes, "bytes read from the memory hierarchy")
-	w("lsu.partialFwds", ls.PartialFwds, "loads combining SDQ and memory bytes")
-	w("lsu.wawSuppressedBytes", ls.WAWWritebacks, "write-backs suppressed by WAW resolution")
-	w("lsu.overflows", ls.Overflows, "region footprints exceeding the LSU")
-	w("lsu.maxOccupancy", ls.MaxOccupancy, "peak live entries (fallback headroom)")
-	w("lsu.liveEntries", len(p.LSU.Entries()), "entries still resident at end of run")
-
-	sec("predictors")
-	w("bp.lookups", p.BP.Stats.Lookups, "branch predictions")
-	w("bp.mispredicts", p.BP.Stats.Mispredicts, "branch mispredictions")
-	if p.BP.Stats.Lookups > 0 {
-		w("bp.accuracy", fmt.Sprintf("%.4f",
-			1-float64(p.BP.Stats.Mispredicts)/float64(p.BP.Stats.Lookups)), "prediction accuracy")
-	}
-	w("ss.assignments", p.SS.Stats.Assignments, "store-set merges after violations")
-
-	sec("caches")
-	w("l1.hits", p.Hier.L1.Stats.Hits, "L1 hits")
-	w("l1.misses", p.Hier.L1.Stats.Misses, "L1 misses")
-	w("l2.hits", p.Hier.L2.Stats.Hits, "L2 hits")
-	w("l2.misses", p.Hier.L2.Stats.Misses, "L2 misses (memory accesses)")
-	if p.Hier.NextLinePrefetch {
-		w("l2.prefetches", p.Hier.Prefetches, "next-line prefetches issued")
-	}
-	return b.String()
+	return p.Metrics().RenderText()
 }

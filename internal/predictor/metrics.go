@@ -1,0 +1,19 @@
+package predictor
+
+import "srvsim/internal/obsv"
+
+// RegisterMetrics registers the branch predictor's counters into the given
+// registry section. Accuracy renders only once at least one lookup happened.
+func (b *Branch) RegisterMetrics(s obsv.Section) {
+	s.Counter("bp.lookups", "branch predictions", &b.Stats.Lookups)
+	s.Counter("bp.mispredicts", "branch mispredictions", &b.Stats.Mispredicts)
+	s.If(func() bool { return b.Stats.Lookups > 0 }).
+		Gauge("bp.accuracy", "prediction accuracy", "%.4f", func() float64 {
+			return 1 - float64(b.Stats.Mispredicts)/float64(b.Stats.Lookups)
+		})
+}
+
+// RegisterMetrics registers the store-set predictor's counters.
+func (s *StoreSet) RegisterMetrics(sec obsv.Section) {
+	sec.Counter("ss.assignments", "store-set merges after violations", &s.Stats.Assignments)
+}

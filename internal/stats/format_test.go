@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramCumulativeEdges pins the bucketing boundary semantics of
+// CumulativeAtMost: the threshold is inclusive, queries below the minimum
+// observation return 0, at or above the maximum return 1, and an empty
+// histogram returns 0 rather than NaN.
+func TestHistogramCumulativeEdges(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{-2, 0, 0, 7} {
+		h.Add(v)
+	}
+	cases := []struct {
+		v    int
+		want float64
+	}{
+		{-3, 0},    // below every observation
+		{-2, 0.25}, // exactly the minimum: inclusive
+		{-1, 0.25},
+		{0, 0.75}, // duplicate observations both counted
+		{6, 0.75},
+		{7, 1}, // exactly the maximum: inclusive
+		{100, 1},
+	}
+	for _, c := range cases {
+		if got := h.CumulativeAtMost(c.v); got != c.want {
+			t.Errorf("cdf(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if got := NewHistogram().CumulativeAtMost(0); got != 0 {
+		t.Errorf("empty histogram cdf = %v, want 0", got)
+	}
+}
+
+// TestBarsWidthClamp pins the bar scaling: the maximum value renders exactly
+// 40 hashes (never 41), non-positive values render zero hashes, and an
+// all-zero series must not divide by zero.
+func TestBarsWidthClamp(t *testing.T) {
+	countHashes := func(line string) int { return strings.Count(line, "#") }
+
+	out := Bars([]string{"max", "half", "neg"}, []float64{10, 5, -3}, "")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if n := countHashes(lines[0]); n != 40 {
+		t.Errorf("max bar = %d hashes, want exactly 40", n)
+	}
+	if n := countHashes(lines[1]); n != 20 {
+		t.Errorf("half bar = %d hashes, want 20", n)
+	}
+	if n := countHashes(lines[2]); n != 0 {
+		t.Errorf("negative bar = %d hashes, want 0 (clamped)", n)
+	}
+
+	zero := Bars([]string{"a"}, []float64{0}, "x")
+	if strings.Contains(zero, "#") || strings.Contains(zero, "NaN") {
+		t.Errorf("all-zero series misrendered:\n%s", zero)
+	}
+}
+
+// TestTableColumnWidths pins the width computation: each column is as wide
+// as its widest cell or header, the separator matches, and every row aligns
+// column starts at the same byte offsets.
+func TestTableColumnWidths(t *testing.T) {
+	tb := NewTable("b", "speedup")
+	tb.Row("averylongbenchname", 1.0)
+	tb.Row("is", 12.345)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Column 0 is cell-driven (cell wider than header "b"); column 1 is
+	// header-driven ("speedup" wider than "12.345").
+	sepCols := strings.Split(lines[1], "  ")
+	if len(sepCols) != 2 {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if got := len(sepCols[0]); got != len("averylongbenchname") {
+		t.Errorf("col 0 width = %d, want %d", got, len("averylongbenchname"))
+	}
+	if got := len(sepCols[1]); got != len("speedup") {
+		t.Errorf("col 1 width = %d, want %d", got, len("speedup"))
+	}
+	// The second column must start at the same offset on every line.
+	off := strings.Index(lines[0], "speedup")
+	if off <= 0 {
+		t.Fatalf("header misrendered: %q", lines[0])
+	}
+	if got := strings.Index(lines[3], "12.345"); got != off {
+		t.Errorf("column 1 starts at %d on row, %d on header:\n%s", got, off, tb)
+	}
+}
