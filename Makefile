@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench timing bench-gate chaos-smoke
+.PHONY: build test check bench timing bench-gate chaos-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # LSU hot path.
 check:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu
+	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/lsu ./internal/pipeline
@@ -42,3 +42,10 @@ chaos-smoke: build
 	code=$$?; rm -rf chaos-crashes .chaos-smoke.bin; \
 	if [ $$code -ne 3 ]; then echo "chaos-smoke: exit $$code, want 3"; exit 1; fi; \
 	echo "chaos-smoke: ok (completed with contained failures)"
+
+# serve-smoke boots the srvd daemon on a loopback port, submits one
+# simulation, and requires the identical resubmission to be a byte-identical
+# cache hit (srvd -smoke runs the whole loop in-process and exits non-zero
+# on any deviation).
+serve-smoke: build
+	$(GO) run ./cmd/srvd -smoke

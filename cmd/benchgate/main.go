@@ -34,6 +34,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A baseline written by an older build (or before reports carried a
+	// schema_version at all) is still comparable — the gate is on simulated
+	// cycles — but flag it so a stale baseline is visible in CI logs.
+	if base.SchemaVersion < harness.SchemaVersion {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: warning: baseline %s has schema_version %d (current %d); consider refreshing it\n",
+			flag.Arg(0), base.SchemaVersion, harness.SchemaVersion)
+	}
 	g := harness.Gate(base, fresh, *threshold)
 	fmt.Print(g)
 	if !g.Pass {

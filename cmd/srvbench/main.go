@@ -8,6 +8,7 @@
 //	srvbench -chaos 0.2      # fault-inject 20% of simulations (resilience drill)
 //	srvbench -timing out.json -benchmarks is,bzip2
 //	srvbench -cpuprofile cpu.pprof -exp fig6
+//	srvbench -remote http://localhost:8077   # farm every simulation to a srvd daemon
 //
 // Failure handling: a failing simulation (panic, deadlock, cycle-budget
 // blowout, divergence) is contained — its loop is dropped from the
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/serve"
 )
 
 // experiments is the -exp vocabulary, in help order.
@@ -41,7 +43,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
 	timing := flag.String("timing", "", "write per-benchmark wall-clock timings as JSON to this file")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset for -timing (default all)")
-	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
+	par := flag.Int("parallel", harness.DefaultParallelism(), "max concurrent simulations (1 = serial)")
+	remote := flag.String("remote", "", "execute simulations on a srvd daemon at this base URL (e.g. http://localhost:8077)")
 	failfast := flag.Bool("failfast", false, "abort on the first simulation failure instead of containing it")
 	crashdir := flag.String("crashdir", "crashes", "directory for crash artifacts and diagnostic re-runs (empty = disabled)")
 	simTimeout := flag.Duration("sim-timeout", 0, "wall-clock budget per simulation, e.g. 2m (0 = unbounded)")
@@ -55,6 +58,11 @@ func main() {
 	harness.SetCrashDir(*crashdir)
 	harness.SetSimTimeout(*simTimeout)
 	harness.SetChaos(*chaos, *chaosSeed)
+	if *remote != "" {
+		// Every harness.Run in this process — and therefore every figure —
+		// now executes on the daemon; the local pool only fans out requests.
+		harness.SetExecutor(serve.NewClient(*remote).Executor())
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

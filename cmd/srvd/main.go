@@ -1,0 +1,153 @@
+// srvd is the long-running simulation daemon: it serves the versioned
+// /v1 HTTP/JSON API of internal/serve, executing harness.Requests on a
+// bounded job queue and answering repeated submissions byte-identically from
+// a content-addressed result cache.
+//
+// Usage:
+//
+//	srvd -addr :8077
+//	srvd -addr :8077 -parallel 8 -queue 128 -cache 512 -job-timeout 5m
+//	srvd -smoke              # in-process self-test used by `make serve-smoke`
+//
+// Submit work with curl (see "Service mode" in the README) or point a CLI at
+// it: `srvbench -remote http://localhost:8077`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"srvsim/internal/harness"
+	"srvsim/internal/serve"
+	"srvsim/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	par := flag.Int("parallel", harness.DefaultParallelism(), "max concurrent simulations per job (1 = serial)")
+	jobWorkers := flag.Int("job-workers", 2, "jobs executed concurrently (each fans out over -parallel workers)")
+	queueSize := flag.Int("queue", 64, "max queued jobs before submissions get 429")
+	cacheSize := flag.Int("cache", 256, "max cached results (LRU; negative disables the cache)")
+	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per job, e.g. 5m (0 = unbounded)")
+	smoke := flag.Bool("smoke", false, "run the in-process smoke test (submit, wait, assert cache hit) and exit")
+	flag.Parse()
+
+	harness.SetParallelism(*par)
+	srv := serve.New(serve.Config{
+		Workers:    *jobWorkers,
+		QueueSize:  *queueSize,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+	})
+	srv.Start()
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve-smoke: ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("srvd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("srvd: listening on %s (%s, schema v%d, %d job workers, queue %d, cache %d)",
+		ln.Addr(), harness.CodeVersion, harness.SchemaVersion, *jobWorkers, *queueSize, *cacheSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatalf("srvd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("srvd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("srvd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("srvd: queue shutdown: %v", err)
+	}
+}
+
+// runSmoke exercises the full service loop against a loopback listener: the
+// daemon must come up healthy, execute one small simulation, and answer the
+// identical resubmission byte-identically from cache. CI runs this as
+// `make serve-smoke`.
+func runSmoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := serve.NewClient("http://" + ln.Addr().String())
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz reports %q", h.Status)
+	}
+
+	b := workloads.All()[0]
+	req := harness.Request{Mode: harness.ModeLoop, Bench: b.Name, Seed: 7}
+	first, err := c.Do(ctx, req)
+	if err != nil {
+		return fmt.Errorf("first submission: %w", err)
+	}
+	if first.Loop == nil {
+		return fmt.Errorf("first submission returned no loop payload")
+	}
+	firstBytes, err := json.Marshal(first)
+	if err != nil {
+		return err
+	}
+
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("resubmission: %w", err)
+	}
+	if !st.Cached {
+		return fmt.Errorf("resubmission was not a cache hit (job %s, state %s)", st.ID, st.State)
+	}
+	var second harness.Result
+	if err := json.Unmarshal(st.Result, &second); err != nil {
+		return err
+	}
+	secondBytes, err := json.Marshal(second)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		return fmt.Errorf("cached result differs from original")
+	}
+	if m := srv.Registry().Lookup("serve.cache.hits"); m == nil || m.Int() != 1 {
+		return fmt.Errorf("expected exactly one recorded cache hit")
+	}
+	return nil
+}

@@ -40,7 +40,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "dump the full gem5-style statistics report")
 	pv := flag.Int("pipeview", 0, "render a stage timeline for the first N committed instructions")
 	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
-	par := flag.Int("parallel", harness.Parallelism(), "max concurrent simulations (1 = serial)")
+	par := flag.Int("parallel", harness.DefaultParallelism(), "max concurrent simulations (1 = serial)")
 	repro := flag.String("repro", "", "replay a crash artifact (JSON written by the harness or srvfuzz)")
 	flag.StringVar(&traceOut, "trace-out", "", "write a Chrome-trace-event (Perfetto) JSON of the run to this file")
 	flag.Int64Var(&sampleEvery, "sample-every", 0, "record an IPC/occupancy sample every N cycles (0 = off)")

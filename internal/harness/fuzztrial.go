@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -37,7 +38,25 @@ func fuzzTrialSeed(seed int64, trial int) int64 {
 // Every stage runs under an attributed recover boundary, so compile errors,
 // divergences, deadlocks and panics come back as typed *SimErrors naming
 // the stage ("srvfuzz"/"trial-N"/stage) instead of killing the process.
+// Like every Run* helper it is a thin wrapper over Run.
 func RunFuzzTrial(seed int64, trial int, affine, interrupts bool) (FuzzTrialResult, error) {
+	return RunFuzzTrialContext(context.Background(), seed, trial, affine, interrupts)
+}
+
+// RunFuzzTrialContext is RunFuzzTrial under a caller-supplied context.
+func RunFuzzTrialContext(ctx context.Context, seed int64, trial int, affine, interrupts bool) (FuzzTrialResult, error) {
+	res, err := Run(ctx, Request{Mode: ModeFuzz, Seed: seed, Trial: trial, Affine: affine, Interrupts: interrupts})
+	if err != nil {
+		return FuzzTrialResult{}, err
+	}
+	if res.Fuzz == nil {
+		return FuzzTrialResult{}, errNoPayload(res.Mode, "fuzz")
+	}
+	return *res.Fuzz, nil
+}
+
+// runFuzzTrial is the local trial execution behind Run's ModeFuzz.
+func runFuzzTrial(ctx context.Context, seed int64, trial int, affine, interrupts bool) (FuzzTrialResult, error) {
 	var res FuzzTrialResult
 	loop := fmt.Sprintf("trial-%d", trial)
 	guard := func(stage string, fn func() error) error {
@@ -74,7 +93,7 @@ func RunFuzzTrial(seed int64, trial int, affine, interrupts bool) (FuzzTrialResu
 		if err != nil {
 			return attribution{}.simErr(KindCompileError, "scalar compile: %v", err)
 		}
-		if err := pipeline.New(cfg, cs.Prog, imS).Run(); err != nil {
+		if err := pipeline.New(cfg, cs.Prog, imS).RunContext(ctx); err != nil {
 			return err
 		}
 		return diverged("scalar", "scalar pipeline", imS, ref)
@@ -91,7 +110,7 @@ func RunFuzzTrial(seed int64, trial int, affine, interrupts bool) (FuzzTrialResu
 			if err != nil {
 				return attribution{}.simErr(KindCompileError, "sve compile: %v", err)
 			}
-			if err := pipeline.New(cfg, cs.Prog, imV).Run(); err != nil {
+			if err := pipeline.New(cfg, cs.Prog, imV).RunContext(ctx); err != nil {
 				return err
 			}
 			return diverged("sve", "SVE pipeline", imV, ref)
@@ -129,7 +148,7 @@ func RunFuzzTrial(seed int64, trial int, affine, interrupts bool) (FuzzTrialResu
 			if interrupts {
 				pv.ScheduleInterrupt(int64(10+rng.Intn(400)), int64(20+rng.Intn(60)))
 			}
-			if err := pv.Run(); err != nil {
+			if err := pv.RunContext(ctx); err != nil {
 				return err
 			}
 			if err := diverged("srv-pipeline", "SRV pipeline", imP, ref); err != nil {

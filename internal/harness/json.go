@@ -12,11 +12,13 @@ import (
 // JSONReport is the machine-readable form of the whole evaluation, for
 // downstream plotting and regression tracking.
 type JSONReport struct {
-	Seed       int64            `json:"seed"`
-	Benchmarks []JSONBenchmark  `json:"benchmarks"`
-	Summary    JSONSummary      `json:"summary"`
-	LimitStudy []JSONLimitEntry `json:"limit_study"`
-	Failures   []JSONFailure    `json:"failures,omitempty"`
+	SchemaVersion int              `json:"schema_version"`
+	CodeVersion   string           `json:"code_version"`
+	Seed          int64            `json:"seed"`
+	Benchmarks    []JSONBenchmark  `json:"benchmarks"`
+	Summary       JSONSummary      `json:"summary"`
+	LimitStudy    []JSONLimitEntry `json:"limit_study"`
+	Failures      []JSONFailure    `json:"failures,omitempty"`
 }
 
 // JSONFailure is one contained simulation failure (see SimError). Its loop
@@ -88,7 +90,7 @@ func WriteJSON(seed int64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep := JSONReport{Seed: seed}
+	rep := JSONReport{SchemaVersion: SchemaVersion, CodeVersion: CodeVersion, Seed: seed}
 	m := power.Default()
 	var speedups, wholes []float64
 	h := stats.NewHistogram()

@@ -15,7 +15,12 @@ import (
 
 var workers atomic.Int64
 
-func init() { workers.Store(int64(runtime.NumCPU())) }
+func init() { workers.Store(int64(DefaultParallelism())) }
+
+// DefaultParallelism is the worker-pool size every entrypoint (srvsim,
+// srvbench, srvd) starts from: one worker per CPU. CLIs use it as the
+// -parallel flag default instead of each calling runtime.NumCPU themselves.
+func DefaultParallelism() int { return runtime.NumCPU() }
 
 // SetParallelism bounds the number of simulations run concurrently. n < 1
 // selects serial execution. The default is NumCPU.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -95,7 +96,7 @@ func diagnose(se *SimError, bench string, ls workloads.LoopSpec, seed int64) {
 	a := attribution{bench: bench, loop: ls.Shape.Name, variant: "diag", seed: seed}
 	diagnosis := "not reproduced under diagnostic re-run (transient or injected fault)"
 	if derr := a.guard(func() error {
-		_, err := runLoop(cfg(), bench, ls, seed, true)
+		_, err := runLoop(context.Background(), cfg(), bench, ls, seed, true)
 		return err
 	}); derr != nil {
 		diagnosis = "reproduced under invariants+timeline: " + derr.Error()
@@ -167,7 +168,7 @@ func ReplayArtifact(path string, w io.Writer) error {
 		}
 		a := attribution{bench: art.Bench, loop: ls.Shape.Name, variant: "repro", seed: art.Seed}
 		rerr = a.guard(func() error {
-			_, err := runLoop(pcfg, art.Bench, ls, art.Seed, true)
+			_, err := runLoop(context.Background(), pcfg, art.Bench, ls, art.Seed, true)
 			return err
 		})
 	default:

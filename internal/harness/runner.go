@@ -5,7 +5,8 @@
 package harness
 
 import (
-	"fmt"
+	"context"
+	"sync/atomic"
 	"time"
 
 	"srvsim/internal/compiler"
@@ -75,31 +76,50 @@ func warm(p *pipeline.Pipeline, l *compiler.Loop) {
 	}
 }
 
-// prepare arms a freshly-built pipeline for measurement: cache warm-up, the
-// optional per-simulation wall-clock bound (SetSimTimeout), and — on
-// diagnostic re-runs — per-cycle invariant checking plus the pipeview
+// prepare arms a freshly-built pipeline for measurement: cache warm-up and —
+// on diagnostic re-runs — per-cycle invariant checking plus the pipeview
 // timeline, so a reproduced failure comes back with forensics attached.
+// (The per-simulation wall-clock bound is now a context deadline; see
+// simContext.)
 func prepare(p *pipeline.Pipeline, l *compiler.Loop, diag bool) {
 	warm(p, l)
-	if d := SimTimeout(); d > 0 {
-		deadline := time.Now().Add(d)
-		p.SetCancel(func() error {
-			if time.Now().After(deadline) {
-				return fmt.Errorf("wall-clock budget %v exhausted", d)
-			}
-			return nil
-		})
-	}
 	if diag {
 		p.EnableParanoid()
 		p.EnableTimeline()
 	}
 }
 
+// simContext derives the context one simulation variant runs under: the
+// caller's context, bounded by the per-simulation wall-clock budget
+// (SetSimTimeout) when one is configured. The deadline starts when the
+// variant starts, matching the old SetCancel-hook semantics.
+func simContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := SimTimeout(); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
 // RunLoop measures one workload loop. Both variants run on identical input
 // data; their final memory is verified against the reference evaluator.
-func RunLoop(bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
-	return runLoop(cfg(), bench, ls, seed, false)
+// Options customise the run (e.g. WithConfig for ablations).
+func RunLoop(bench string, ls workloads.LoopSpec, seed int64, opts ...Option) (LoopResult, error) {
+	return RunLoopContext(context.Background(), bench, ls, seed, opts...)
+}
+
+// RunLoopContext is RunLoop under a caller-supplied context: cancellation
+// aborts both variants cooperatively. Like every public Run* helper it is a
+// thin wrapper over Run, the harness's single execution path.
+func RunLoopContext(ctx context.Context, bench string, ls workloads.LoopSpec, seed int64, opts ...Option) (LoopResult, error) {
+	req := Request{Mode: ModeLoop, Bench: bench, Loop: &ls, Seed: seed}
+	for _, o := range opts {
+		o(&req)
+	}
+	res, err := Run(ctx, req)
+	if err != nil {
+		return LoopResult{Bench: bench, Loop: ls.Shape.Name}, err
+	}
+	return *res.Loop, nil
 }
 
 // ratio returns a/b, or 0 when b is 0, so that a degenerate run (e.g. a
@@ -113,10 +133,11 @@ func ratio(a, b float64) float64 {
 }
 
 // RunLoopWith is RunLoop under a custom pipeline configuration (ablations).
-// The scalar and SRV variants are independent simulations on private memory
-// images; they run concurrently under the harness worker pool.
+//
+// Deprecated: use RunLoop(bench, ls, seed, WithConfig(pcfg)). Kept as a thin
+// wrapper so existing callers migrate without breaking.
 func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
-	return runLoop(pcfg, bench, ls, seed, false)
+	return RunLoop(bench, ls, seed, WithConfig(pcfg))
 }
 
 // runLoop measures one loop's scalar and SRV variants. Each variant runs
@@ -124,7 +145,7 @@ func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed
 // or divergence in one simulation surfaces as a *SimError naming the exact
 // (benchmark, loop, variant, seed) that produced it. diag re-runs a failed
 // simulation with invariant checking and the pipeview timeline enabled.
-func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64, diag bool) (LoopResult, error) {
+func runLoop(ctx context.Context, pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64, diag bool) (LoopResult, error) {
 	res := LoopResult{Bench: bench, Loop: ls.Shape.Name}
 
 	// Reference result, computed once up front; both variants only read it.
@@ -144,7 +165,9 @@ func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int
 			}
 			sp := pipeline.New(pcfg, sc.Prog, sim)
 			prepare(sp, sl, diag)
-			if err := sp.Run(); err != nil {
+			sctx, cancel := simContext(ctx)
+			defer cancel()
+			if err := sp.RunContext(sctx); err != nil {
 				return err
 			}
 			if addr, diff := sim.FirstDiff(refIm); diff {
@@ -163,7 +186,9 @@ func runLoop(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int
 			}
 			vp := pipeline.New(pcfg, vc.Prog, vim)
 			prepare(vp, vl, diag)
-			if err := vp.Run(); err != nil {
+			vctx, cancel := simContext(ctx)
+			defer cancel()
+			if err := vp.RunContext(vctx); err != nil {
 				return err
 			}
 			if addr, diff := vim.FirstDiff(refIm); diff {
@@ -272,13 +297,39 @@ type BenchResult struct {
 // a crash directory is configured) and the remaining loops still aggregate.
 // SetFailFast(true) restores abort-on-first-error.
 func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
+	return RunBenchmarkContext(context.Background(), b, seed)
+}
+
+// RunBenchmarkContext is RunBenchmark under a caller-supplied context; it
+// routes through Run (and therefore through any installed Executor), with
+// the benchmark spec inlined so custom benchmarks work unregistered.
+func RunBenchmarkContext(ctx context.Context, b workloads.Benchmark, seed int64, opts ...Option) (BenchResult, error) {
+	req := Request{Mode: ModeBenchmark, Bench: b.Name, BenchSpec: &b, Seed: seed}
+	for _, o := range opts {
+		o(&req)
+	}
+	res, err := Run(ctx, req)
+	if err != nil {
+		return BenchResult{Bench: b}, err
+	}
+	return res.benchResult(b)
+}
+
+// runBenchmark is the local benchmark fan-out behind Run's ModeBenchmark.
+func runBenchmark(ctx context.Context, b workloads.Benchmark, pcfg pipeline.Config, seed int64) (BenchResult, error) {
 	out := BenchResult{Bench: b}
 	loops := make([]LoopResult, len(b.Loops))
 	fails := make([]*SimError, len(b.Loops))
+	total := len(b.Loops)
+	var done atomic.Int64
 	err := parMap(len(b.Loops), func(i int) error {
-		lr, err := RunLoop(b.Name, b.Loops[i], seed+int64(i))
+		lr, err := runLoop(ctx, pcfg, b.Name, b.Loops[i], seed+int64(i), false)
+		notifyProgress(ctx, "loop", int(done.Add(1)), total)
 		if err != nil {
-			if FailFast() {
+			// A cancelled parent context is fatal, never a containable
+			// per-loop failure: a timed-out job must not masquerade as a
+			// (cacheable) partial result.
+			if FailFast() || ctx.Err() != nil {
 				return err
 			}
 			fails[i] = AsSimError(err)
@@ -328,9 +379,30 @@ func RunBenchmark(b workloads.Benchmark, seed int64) (BenchResult, error) {
 // RunFlexVec runs the Fig 13 comparison for a benchmark (weighted over its
 // loops, which fan out across the worker pool).
 func RunFlexVec(b workloads.Benchmark, seed int64) (flexvec.Result, float64, error) {
+	return RunFlexVecContext(context.Background(), b, seed)
+}
+
+// RunFlexVecContext is RunFlexVec routed through Run (single execution path,
+// remote-executor aware).
+func RunFlexVecContext(ctx context.Context, b workloads.Benchmark, seed int64) (flexvec.Result, float64, error) {
+	res, err := Run(ctx, Request{Mode: ModeFlexVec, Bench: b.Name, BenchSpec: &b, Seed: seed})
+	if err != nil {
+		return flexvec.Result{}, 0, err
+	}
+	if res.FlexVec == nil {
+		return flexvec.Result{}, 0, errNoPayload(res.Mode, "flexvec")
+	}
+	return res.FlexVec.Aggregate, res.FlexVec.WeightedRatio, nil
+}
+
+// runFlexVec is the local FlexVec comparison behind Run's ModeFlexVec.
+func runFlexVec(ctx context.Context, b workloads.Benchmark, seed int64) (flexvec.Result, float64, error) {
 	var agg flexvec.Result
 	results := make([]flexvec.Result, len(b.Loops))
 	err := parMap(len(b.Loops), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		l, im := b.Loops[i].Instantiate(seed + int64(i))
 		r, err := flexvec.Compare(l, im)
 		if err != nil {
@@ -359,9 +431,35 @@ func RunFlexVec(b workloads.Benchmark, seed int64) (flexvec.Result, float64, err
 	return agg, ratio, nil
 }
 
+// errNoPayload reports a Result whose mode-specific payload is missing (a
+// malformed remote response; impossible for local runs).
+func errNoPayload(mode Mode, want string) error {
+	return &SimError{Kind: KindRunError, Msg: "result for mode " + string(mode) + " carries no " + want + " payload"}
+}
+
 // RunLimit executes the §II limit study for a benchmark, profiling the
 // inner loops concurrently and summarising them in order.
 func RunLimit(b workloads.Benchmark, seed int64) trace.Study {
+	s, _ := RunLimitContext(context.Background(), b, seed)
+	return s
+}
+
+// RunLimitContext is RunLimit routed through Run. The error return is nil
+// for local runs (profiling cannot fail) and surfaces transport failures
+// when an Executor is installed.
+func RunLimitContext(ctx context.Context, b workloads.Benchmark, seed int64) (trace.Study, error) {
+	res, err := Run(ctx, Request{Mode: ModeLimit, Bench: b.Name, BenchSpec: &b, Seed: seed})
+	if err != nil {
+		return trace.Study{}, err
+	}
+	if res.Limit == nil {
+		return trace.Study{}, errNoPayload(res.Mode, "limit")
+	}
+	return *res.Limit, nil
+}
+
+// runLimit is the local limit study behind Run's ModeLimit.
+func runLimit(b workloads.Benchmark, seed int64) trace.Study {
 	wls := make([]trace.WeightedLoop, len(b.Limit))
 	_ = parMap(len(b.Limit), func(i int) error {
 		ll := b.Limit[i]

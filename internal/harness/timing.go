@@ -29,13 +29,15 @@ type BenchTiming struct {
 // TimingReport is the full -timing artifact (BENCH_harness.json when invoked
 // per the Makefile): per-benchmark rows plus fleet-level throughput metrics.
 type TimingReport struct {
-	Seed        int64         `json:"seed"`
-	Workers     int           `json:"workers"`
-	NumCPU      int           `json:"num_cpu"`
-	GoVersion   string        `json:"go_version"`
-	TotalWallMS float64       `json:"total_wall_ms"`
-	Fleet       FleetSnapshot `json:"fleet"`
-	Benchmarks  []BenchTiming `json:"benchmarks"`
+	SchemaVersion int           `json:"schema_version"`
+	CodeVersion   string        `json:"code_version"`
+	Seed          int64         `json:"seed"`
+	Workers       int           `json:"workers"`
+	NumCPU        int           `json:"num_cpu"`
+	GoVersion     string        `json:"go_version"`
+	TotalWallMS   float64       `json:"total_wall_ms"`
+	Fleet         FleetSnapshot `json:"fleet"`
+	Benchmarks    []BenchTiming `json:"benchmarks"`
 }
 
 // WriteTimings wall-clocks RunBenchmark for every workload (or the named
@@ -58,10 +60,12 @@ func WriteTimings(path string, seed int64, benches []string) error {
 			len(want)-known, len(want), benchNames())
 	}
 	rep := TimingReport{
-		Seed:      seed,
-		Workers:   Parallelism(),
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		SchemaVersion: SchemaVersion,
+		CodeVersion:   CodeVersion,
+		Seed:          seed,
+		Workers:       Parallelism(),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
 	}
 	var fails []*SimError
 	ResetFleet()

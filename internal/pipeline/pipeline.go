@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"srvsim/internal/core"
@@ -204,8 +205,10 @@ func (p *Pipeline) ScheduleInterrupt(at, dur int64) {
 }
 
 // SetCancel installs a cooperative cancellation hook, polled every few
-// thousand cycles by Run: a non-nil return aborts the simulation with an
-// ErrCancelled-wrapped error. Used by the harness for wall-clock timeouts.
+// thousand cycles alongside the RunContext context check. It predates
+// context threading and survives as a shim: new code should cancel via the
+// context passed to RunContext instead. A non-nil return aborts the
+// simulation with an ErrCancelled-wrapped error.
 func (p *Pipeline) SetCancel(fn func() error) { p.cancel = fn }
 
 // InjectWedge is a chaos/test hook: from the given cycle on, commit retires
@@ -227,7 +230,14 @@ const cancelCheckMask = 1<<12 - 1
 // budget wraps ErrCycleBudget, a commit-free watchdog window returns a
 // *DeadlockError (errors.Is ErrDeadlock) carrying a machine snapshot, and a
 // tripped cancellation hook wraps ErrCancelled.
-func (p *Pipeline) Run() error {
+func (p *Pipeline) Run() error { return p.RunContext(context.Background()) }
+
+// RunContext is Run under a caller-supplied context: cancellation and
+// deadlines are polled at the same cancelCheckMask throttle as the legacy
+// SetCancel hook and abort the simulation with an ErrCancelled-wrapped
+// error, preserving the PR 2 failure taxonomy (classify maps it to
+// KindRunError with full attribution).
+func (p *Pipeline) RunContext(ctx context.Context) error {
 	max := p.Cfg.MaxCycles
 	if max == 0 {
 		max = 2_000_000_000
@@ -243,10 +253,16 @@ func (p *Pipeline) Run() error {
 			p.Stats.Cycles = p.cycle
 			return fmt.Errorf("%w: %d cycles at pc %d (rob=%d)", ErrCycleBudget, max, p.fetchPC, len(p.rob))
 		}
-		if p.cancel != nil && p.cycle&cancelCheckMask == 0 {
-			if err := p.cancel(); err != nil {
+		if p.cycle&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
 				p.Stats.Cycles = p.cycle
 				return fmt.Errorf("%w at cycle %d: %v", ErrCancelled, p.cycle, err)
+			}
+			if p.cancel != nil {
+				if err := p.cancel(); err != nil {
+					p.Stats.Cycles = p.cycle
+					return fmt.Errorf("%w at cycle %d: %v", ErrCancelled, p.cycle, err)
+				}
 			}
 		}
 		p.step()

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded LRU over marshalled harness.Result bytes, addressed by
+// harness.Request.CacheKey. It stores the exact encoding produced when the
+// job finished, so a hit returns the byte-identical Result the original
+// submission got — the service never re-marshals cached payloads. Only
+// successful Results are admitted (failures carry wall-clock-dependent
+// context such as timeouts and must re-execute).
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newCache returns an LRU holding at most max entries; max < 1 disables
+// caching entirely (every Get misses, every Put is dropped).
+func newCache(max int) *cache {
+	return &cache{max: max, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// Get returns the cached encoding for key and whether it was present.
+func (c *cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, evicting the least recently used entry when
+// the cache is full. Re-putting an existing key refreshes its recency.
+func (c *cache) Put(key string, data []byte) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

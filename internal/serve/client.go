@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"srvsim/internal/harness"
+)
+
+// Client talks to a srvd daemon. Its Executor method plugs into
+// harness.SetExecutor, turning every harness.Run in the process — and
+// therefore every RunLoop/RunBenchmark/... wrapper and every figure — into a
+// remote call, which is how `srvbench -remote` farms a whole experiment
+// fleet out to one daemon (deduplicated by its result cache).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://localhost:8077"). The default http.Client is used: simulations can
+// run for minutes, so no client-side timeout is imposed — bound them with a
+// request context or the daemon's -job-timeout instead.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// decode parses an API response, converting non-2xx bodies into errors.
+func decode(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("serve: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		// Failed jobs still carry a full JobStatus; surface the typed
+		// failure when present so remote errors keep their taxonomy.
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err == nil && st.State == StateFailed {
+			if st.Failure != nil {
+				return st.Failure.SimError()
+			}
+			return fmt.Errorf("serve: job %s failed: %s", st.ID, st.Error)
+		}
+		var ae apiError
+		if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
+			if resp.StatusCode == http.StatusBadRequest {
+				return fmt.Errorf("serve: %w: %s", harness.ErrInvalidRequest, ae.Error)
+			}
+			return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, ae.Error)
+		}
+		return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// post submits req, optionally waiting for completion server-side.
+func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobStatus, error) {
+	var st JobStatus
+	data, err := json.Marshal(req)
+	if err != nil {
+		return st, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	url := c.base + "/v1/sims"
+	if wait {
+		url += "?wait=1"
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return st, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return st, fmt.Errorf("serve: %w", err)
+	}
+	return st, decode(resp, &st)
+}
+
+// Submit enqueues a request and returns immediately with its job status.
+func (c *Client) Submit(ctx context.Context, req harness.Request) (JobStatus, error) {
+	return c.post(ctx, req, false)
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sims/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return st, fmt.Errorf("serve: %w", err)
+	}
+	return st, decode(resp, &st)
+}
+
+// Health checks the daemon's /v1/healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return h, fmt.Errorf("serve: %w", err)
+	}
+	return h, decode(resp, &h)
+}
+
+// Do runs one request to completion on the daemon and decodes its Result.
+func (c *Client) Do(ctx context.Context, req harness.Request) (harness.Result, error) {
+	var res harness.Result
+	st, err := c.post(ctx, req, true)
+	if err != nil {
+		return res, err
+	}
+	if st.State != StateDone {
+		if st.Failure != nil {
+			return res, st.Failure.SimError()
+		}
+		return res, fmt.Errorf("serve: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		return res, fmt.Errorf("serve: decoding result of %s: %w", st.ID, err)
+	}
+	return res, nil
+}
+
+// Executor adapts the client to harness.SetExecutor. The daemon itself must
+// never install one (harness.Run would recurse over the network).
+func (c *Client) Executor() harness.Executor {
+	return func(ctx context.Context, req harness.Request) (harness.Result, error) {
+		return c.Do(ctx, req)
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"srvsim/internal/obsv"
+)
+
+// metrics aggregates the service counters exported at /v1/metrics. The obsv
+// registry is a view layer over these atomics (collect-on-scrape, PR 3
+// discipline): handlers and workers bump the atomics on their path, and the
+// registry reads them only when scraped, so observation never serialises
+// request handling.
+type metrics struct {
+	requests     atomic.Int64 // HTTP requests accepted (any endpoint)
+	submitted    atomic.Int64 // simulation jobs admitted to the queue
+	rejectedFull atomic.Int64 // submissions refused with 429 (queue full)
+	invalid      atomic.Int64 // submissions refused with 400 (bad request)
+	cacheHits    atomic.Int64 // submissions served from the result cache
+	cacheMisses  atomic.Int64 // submissions that had to simulate
+	jobsDone     atomic.Int64 // jobs finished successfully
+	jobsFailed   atomic.Int64 // jobs finished with a typed failure
+	running      atomic.Int64 // jobs executing right now
+	queued       atomic.Int64 // jobs waiting in the queue right now
+}
+
+// registry builds the obsv view over the live counters plus the server's
+// cache occupancy. Registration is not concurrency-safe (obsv contract), so
+// the server builds this exactly once at construction.
+func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
+	reg := obsv.NewRegistry()
+	s := reg.Section("serve")
+	s.CounterFn("serve.http_requests", "HTTP requests accepted across all endpoints", m.requests.Load)
+	s.CounterFn("serve.jobs_submitted", "simulation jobs admitted to the queue", m.submitted.Load)
+	s.CounterFn("serve.jobs_rejected_queue_full", "submissions refused because the queue was full", m.rejectedFull.Load)
+	s.CounterFn("serve.jobs_rejected_invalid", "submissions refused as invalid requests", m.invalid.Load)
+	s.CounterFn("serve.jobs_done", "jobs finished successfully", m.jobsDone.Load)
+	s.CounterFn("serve.jobs_failed", "jobs finished with a contained failure", m.jobsFailed.Load)
+	s.CounterFn("serve.jobs_running", "jobs executing right now", m.running.Load)
+	s.CounterFn("serve.queue_depth", "jobs waiting in the queue right now", m.queued.Load)
+	c := reg.Section("serve.cache")
+	c.CounterFn("serve.cache.hits", "submissions served byte-identically from the result cache", m.cacheHits.Load)
+	c.CounterFn("serve.cache.misses", "submissions that had to simulate", m.cacheMisses.Load)
+	c.CounterFn("serve.cache.entries", "results currently held by the cache", cacheLen)
+	return reg
+}

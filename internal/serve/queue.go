@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"srvsim/internal/harness"
+)
+
+// JobState is the lifecycle of one submitted simulation.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool { return s == StateDone || s == StateFailed }
+
+// JobStatus is the wire form of one job, returned by GET /v1/sims/{id} and
+// as the terminal line of the NDJSON stream. Result holds the marshalled
+// harness.Result verbatim (the exact bytes a cache hit replays), so clients
+// comparing results across submissions can compare bytes.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	State    JobState     `json:"state"`
+	Mode     harness.Mode `json:"mode"`
+	Bench    string       `json:"bench,omitempty"`
+	CacheKey string       `json:"cache_key"`
+	Cached   bool         `json:"cached,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Progress is the latest progress event of a running benchmark job.
+	Progress *harness.ProgressEvent `json:"progress,omitempty"`
+
+	Result  json.RawMessage        `json:"result,omitempty"`
+	Failure *harness.FailureRecord `json:"failure,omitempty"`
+	Error   string                 `json:"error,omitempty"`
+}
+
+// job is one queued simulation. All mutable state is guarded by mu; done is
+// closed exactly once on entering a terminal state, and cond broadcasts on
+// every event append so streamers can tail the event log without polling.
+type job struct {
+	id  string
+	key string
+	req harness.Request // canonical form
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// events is an append-only log of progress events; streamers hold a
+	// cursor into it, so late subscribers replay the full history.
+	events  []harness.ProgressEvent
+	state   JobState
+	cached  bool
+	result  json.RawMessage
+	failure *harness.FailureRecord
+	errMsg  string
+	// failStatus is the HTTP status a synchronous waiter reports for a
+	// failed job (422 compile error, 504 timeout, 500 otherwise).
+	failStatus int
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	done       chan struct{}
+}
+
+func newJob(id, key string, req harness.Request, now time.Time) *job {
+	j := &job{id: id, key: key, req: req, state: StateQueued, submitted: now, done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// setRunning transitions queued → running.
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// appendEvent records one progress event (called concurrently from
+// simulation workers via harness.WithProgress).
+func (j *job) appendEvent(ev harness.ProgressEvent) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state: done with the marshalled
+// result, or failed with a typed failure record and message.
+func (j *job) finish(result json.RawMessage, failure *harness.FailureRecord, errMsg string, failStatus int, now time.Time) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if errMsg == "" {
+		j.state = StateDone
+		j.result = result
+	} else {
+		j.state = StateFailed
+		j.failure = failure
+		j.errMsg = errMsg
+		j.failStatus = failStatus
+	}
+	j.finished = now
+	close(j.done)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finishCached completes a job immediately from the cache, without it ever
+// entering the queue.
+func (j *job) finishCached(result json.RawMessage, now time.Time) {
+	j.mu.Lock()
+	j.cached = true
+	j.state = StateDone
+	j.result = result
+	j.started, j.finished = now, now
+	close(j.done)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Mode: j.req.Mode, Bench: j.req.Bench,
+		CacheKey: j.key, Cached: j.cached, SubmittedAt: j.submitted,
+		Result: j.result, Failure: j.failure, Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if n := len(j.events); n > 0 && !j.state.terminal() {
+		ev := j.events[n-1]
+		st.Progress = &ev
+	}
+	return st
+}
+
+// wait blocks until the job reaches a terminal state or ctx is cancelled.
+func (j *job) wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// next returns the event at cursor i, blocking until it exists or the job is
+// terminal (ok=false means no further events will arrive).
+func (j *job) next(i int) (harness.ProgressEvent, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i >= len(j.events) && !j.state.terminal() {
+		j.cond.Wait()
+	}
+	if i < len(j.events) {
+		return j.events[i], true
+	}
+	return harness.ProgressEvent{}, false
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"srvsim/internal/harness"
+	"srvsim/internal/workloads"
+)
+
+// testLoopReq is a small, fast loop request used throughout the tests.
+func testLoopReq() harness.Request {
+	return harness.Request{
+		Mode: harness.ModeLoop, Bench: "svc", Seed: 7,
+		Loop: &workloads.LoopSpec{Weight: 1, Shape: workloads.Shape{
+			Name: "svc", Trip: 64, Contig: 1, Chain: 1,
+			Pattern: workloads.PatIdentity, ReadSelf: true, StoreVia: true,
+		}},
+	}
+}
+
+// startServer brings up a full service on an httptest listener.
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, NewClient(ts.URL)
+}
+
+// metricValue scrapes /v1/metrics through the API and returns one counter.
+func metricValue(t *testing.T, c *Client, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(c.base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics []struct {
+		Name  string `json:"name"`
+		Value *int64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metrics {
+		if m.Name == name && m.Value != nil {
+			return *m.Value
+		}
+	}
+	t.Fatalf("metric %q not exported", name)
+	return 0
+}
+
+// TestSubmitPollStreamCache is the end-to-end happy path: submit, poll to
+// completion, tail the stream, and verify the identical resubmission is a
+// byte-identical cache hit with the obsv counters to prove it.
+func TestSubmitPollStreamCache(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	st, err := c.Submit(ctx, testLoopReq())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.State != StateQueued && st.State != StateRunning && st.State != StateDone {
+		t.Fatalf("fresh submission in state %q", st.State)
+	}
+	if st.Cached {
+		t.Fatal("fresh submission claims to be cached")
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(2 * time.Minute)
+	for !st.State.terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if st, err = c.Status(ctx, st.ID); err != nil {
+			t.Fatalf("status: %v", err)
+		}
+	}
+	if st.State != StateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	var first harness.Result
+	if err := json.Unmarshal(st.Result, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Loop == nil || first.Loop.Speedup <= 0 {
+		t.Fatalf("result carries no loop payload: %+v", first)
+	}
+
+	// The stream replays history and terminates with the final status.
+	resp, err := http.Get(c.base + "/v1/sims/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("stream produced no lines")
+	}
+	var final JobStatus
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatalf("terminal stream line: %v", err)
+	}
+	if final.ID != st.ID || final.State != StateDone {
+		t.Fatalf("terminal stream line is %+v", final)
+	}
+
+	// Identical resubmission: immediate, cached, byte-identical.
+	st2, err := c.Submit(ctx, testLoopReq())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("resubmission not served from cache: %+v", st2)
+	}
+	if st2.ID == st.ID {
+		t.Fatal("resubmission reused the original job id")
+	}
+	if !bytes.Equal(st2.Result, st.Result) {
+		t.Fatalf("cached result differs:\n  %s\n  %s", st2.Result, st.Result)
+	}
+	if hits := metricValue(t, c, "serve.cache.hits"); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if misses := metricValue(t, c, "serve.cache.misses"); misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+	if entries := metricValue(t, c, "serve.cache.entries"); entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", entries)
+	}
+}
+
+// TestSynchronousWait exercises POST /v1/sims?wait=1 (what Client.Do and the
+// remote Executor use) and confirms it agrees with the benchmark wrappers.
+func TestSynchronousWait(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	req := testLoopReq()
+	res, err := c.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := harness.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := json.Marshal(res)
+	want, _ := json.Marshal(local)
+	if !bytes.Equal(remote, want) {
+		t.Fatalf("remote and local results differ:\n  %s\n  %s", remote, want)
+	}
+}
+
+func TestInvalidRequestIs400(t *testing.T) {
+	_, c := startServer(t, Config{})
+	ctx := context.Background()
+	_, err := c.Submit(ctx, harness.Request{Mode: "nonsense"})
+	if err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid request") {
+		t.Fatalf("error does not identify the invalid request: %v", err)
+	}
+
+	// Benchmark name that does not resolve.
+	_, err = c.Submit(ctx, harness.Request{Mode: harness.ModeBenchmark, Bench: "no-such-bench"})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	_, c := startServer(t, Config{})
+	_, err := c.Status(context.Background(), "sim-999999")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("expected 404 error, got %v", err)
+	}
+}
+
+// TestQueueFullIs429 fills the queue of a server whose workers never start,
+// so the bound is deterministic.
+func TestQueueFullIs429(t *testing.T) {
+	s := New(Config{QueueSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, testLoopReq()); err != nil {
+		t.Fatalf("first submission should queue: %v", err)
+	}
+	req2 := testLoopReq()
+	req2.Seed = 8 // different key, so the cache cannot absorb it
+	_, err := c.Submit(ctx, req2)
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("expected queue-full rejection, got %v", err)
+	}
+	if rej := metricValue(t, c, "serve.jobs_rejected_queue_full"); rej != 1 {
+		t.Fatalf("rejects = %d, want 1", rej)
+	}
+}
+
+// TestJobTimeoutIs504: a job that blows its wall-clock budget fails with the
+// cancellation taxonomy, maps to 504 on the synchronous path, and must not
+// poison the cache.
+func TestJobTimeoutIs504(t *testing.T) {
+	s, c := startServer(t, Config{JobTimeout: time.Nanosecond})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	req := testLoopReq()
+	req.Loop.Shape.Trip = 1 << 14
+	st, err := c.post(ctx, req, true)
+	if err == nil {
+		t.Fatalf("timed-out job reported success: %+v", st)
+	}
+	se := harness.AsSimError(err)
+	if se.Kind != harness.KindRunError || !strings.Contains(se.Msg, "cancelled") {
+		t.Fatalf("timeout surfaced as %s: %v", se.Kind, err)
+	}
+	if s.cache.Len() != 0 {
+		t.Fatalf("failed job was cached (%d entries)", s.cache.Len())
+	}
+}

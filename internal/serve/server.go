@@ -1,0 +1,365 @@
+// Package serve is the long-running simulation service behind cmd/srvd: a
+// versioned HTTP/JSON API over the harness's single execution path
+// (harness.Run), backed by a bounded job queue and a content-addressed
+// result cache. Because the simulator is deterministic and Requests are
+// content-addressable (harness.Request.CacheKey), identical submissions are
+// served byte-identically from cache, the same batching shape gem5
+// deployments use for large design-space sweeps.
+//
+// API (all under /v1):
+//
+//	POST /v1/sims             submit a harness.Request; 202 + job status
+//	                          (?wait=1 blocks and returns the final status)
+//	GET  /v1/sims/{id}        poll one job
+//	GET  /v1/sims/{id}/stream NDJSON progress events, then the final status
+//	GET  /v1/healthz          liveness + build identity
+//	GET  /v1/metrics          obsv registry JSON (queue/cache/job counters)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
+	"srvsim/internal/pipeline"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs executed concurrently. Each job already
+	// fans its simulations out across the harness worker pool
+	// (harness.Parallelism), so a small number of job workers saturates the
+	// machine; the default is 2 (one draining while one fills the pool).
+	Workers int
+	// QueueSize bounds the number of jobs waiting to run; submissions beyond
+	// it are refused with 429. Default 64.
+	QueueSize int
+	// CacheSize bounds the result cache entries (LRU). Default 256; negative
+	// disables caching.
+	CacheSize int
+	// JobTimeout bounds each job's wall clock (0 = unbounded). Timed-out
+	// jobs fail with an ErrCancelled-derived record and HTTP 504.
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// Server owns the job queue, the worker goroutines and the result cache.
+// Construct with New, install Handler into an http.Server, call Start, and
+// Shutdown on the way out.
+type Server struct {
+	cfg   Config
+	cache *cache
+	met   metrics
+	reg   *obsv.Registry
+
+	mu   sync.RWMutex
+	jobs map[string]*job
+
+	queue  chan *job
+	nextID atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	started time.Time
+}
+
+// New builds a stopped server; call Start to launch the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheSize),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueSize),
+	}
+	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) })
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Registry exposes the service metrics (for embedding in other exporters).
+func (s *Server) Registry() *obsv.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	s.started = time.Now()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops accepting queued work and waits (up to ctx) for running
+// jobs to finish; running simulations are cancelled cooperatively.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until the server shuts down.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.met.queued.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job under the configured timeout and records its
+// terminal state, caching successful results byte-identically.
+func (s *Server) runJob(j *job) {
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+	j.setRunning(time.Now())
+
+	ctx := s.ctx
+	cancel := func() {}
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	}
+	defer cancel()
+	ctx = harness.WithProgress(ctx, j.appendEvent)
+
+	res, err := harness.Run(ctx, j.req)
+	if err != nil {
+		se := harness.AsSimError(err)
+		fr := se.Record()
+		j.finish(nil, &fr, se.Error(), failStatusFor(err, ctx), time.Now())
+		s.met.jobsFailed.Add(1)
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		j.finish(nil, nil, fmt.Sprintf("marshalling result: %v", err), http.StatusInternalServerError, time.Now())
+		s.met.jobsFailed.Add(1)
+		return
+	}
+	s.cache.Put(j.key, data)
+	j.finish(data, nil, "", 0, time.Now())
+	s.met.jobsDone.Add(1)
+}
+
+// failStatusFor maps a failed job to the HTTP status a synchronous waiter
+// sees: compile errors are the client's fault (422), cancellation means the
+// job timed out or the server is draining (504), everything else is a plain
+// simulation failure (500).
+func failStatusFor(err error, ctx context.Context) int {
+	if errors.Is(err, pipeline.ErrCancelled) || ctx.Err() != nil {
+		return http.StatusGatewayTimeout
+	}
+	if se := harness.AsSimError(err); se.Kind == harness.KindCompileError {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+// Handler returns the /v1 API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sims", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sims/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sims/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// apiError is the wire form of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one harness.Request: cache hits complete immediately
+// with the byte-identical cached Result, misses are queued (202) unless the
+// queue is full (429). ?wait=1 turns the call synchronous: it blocks until
+// the job finishes and maps failures onto HTTP statuses.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req harness.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.invalid.Add(1)
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	creq, err := req.Canonical()
+	if err != nil {
+		s.met.invalid.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := creq.CacheKey()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "hashing request: %v", err)
+		return
+	}
+
+	id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
+	j := newJob(id, key, creq, time.Now())
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if data, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		j.finishCached(data, time.Now())
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	select {
+	case s.queue <- j:
+		s.met.queued.Add(1)
+		s.met.submitted.Add(1)
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.met.rejectedFull.Add(1)
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting)", s.cfg.QueueSize)
+		return
+	}
+
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		if err := j.wait(r.Context()); err != nil {
+			writeError(w, http.StatusGatewayTimeout, "waiting for %s: %v", id, err)
+			return
+		}
+		st := j.status()
+		code := http.StatusOK
+		if st.State == StateFailed {
+			j.mu.Lock()
+			code = j.failStatus
+			j.mu.Unlock()
+		}
+		writeJSON(w, code, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// lookup resolves a job id, writing 404 when unknown.
+func (s *Server) lookup(w http.ResponseWriter, id string) *job {
+	s.mu.RLock()
+	j := s.jobs[id]
+	s.mu.RUnlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream tails the job as NDJSON: one line per progress event (the
+// full history replays for late subscribers), then the terminal JobStatus.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		ev, ok := j.next(i)
+		if !ok {
+			break
+		}
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(j.status())
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// Health is the /v1/healthz payload.
+type Health struct {
+	Status        string  `json:"status"`
+	SchemaVersion int     `json:"schema_version"`
+	CodeVersion   string  `json:"code_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int64   `json:"queue_depth"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		SchemaVersion: harness.SchemaVersion,
+		CodeVersion:   harness.CodeVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.met.queued.Load(),
+		CacheEntries:  s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}
