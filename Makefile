@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench timing bench-gate chaos-smoke serve-smoke
+.PHONY: build test check bench timing bench-gate chaos-smoke serve-smoke serve-chaos
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # check is the pre-merge gate: static vetting plus the race detector over
 # the packages with concurrency (harness worker pool) and the rewritten
 # LSU hot path.
-check:
+check: serve-chaos
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve
 
@@ -49,3 +49,11 @@ chaos-smoke: build
 # on any deviation).
 serve-smoke: build
 	$(GO) run ./cmd/srvd -smoke
+
+# serve-chaos is the service-layer resilience drill, run under the race
+# detector: remote submissions through a seeded fault-injecting transport
+# must come back bit-identical, a SIGKILLed daemon must recover its journal
+# on restart (completed results byte-identical from cache, interrupted jobs
+# re-run), and SIGTERM must drain gracefully with exit 0.
+serve-chaos: build
+	$(GO) test -race -timeout 15m -run 'TestChaos|TestKillRestartRecovery|TestGracefulDrain|TestJournal' ./internal/serve

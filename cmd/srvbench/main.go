@@ -9,6 +9,7 @@
 //	srvbench -timing out.json -benchmarks is,bzip2
 //	srvbench -cpuprofile cpu.pprof -exp fig6
 //	srvbench -remote http://localhost:8077   # farm every simulation to a srvd daemon
+//	srvbench -remote http://localhost:8077 -net-chaos 0.2   # ...through a faulty network
 //
 // Failure handling: a failing simulation (panic, deadlock, cycle-budget
 // blowout, divergence) is contained — its loop is dropped from the
@@ -50,6 +51,8 @@ func main() {
 	simTimeout := flag.Duration("sim-timeout", 0, "wall-clock budget per simulation, e.g. 2m (0 = unbounded)")
 	chaos := flag.Float64("chaos", 0, "fault-injection probability per simulation in [0,1] (resilience drill)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "decision seed for -chaos fault injection")
+	netChaos := flag.Float64("net-chaos", 0, "with -remote: drop/delay/black-hole this fraction of HTTP calls in [0,1] (network resilience drill)")
+	netChaosSeed := flag.Int64("net-chaos-seed", 1, "decision seed for -net-chaos fault injection")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -61,7 +64,18 @@ func main() {
 	if *remote != "" {
 		// Every harness.Run in this process — and therefore every figure —
 		// now executes on the daemon; the local pool only fans out requests.
-		harness.SetExecutor(serve.NewClient(*remote).Executor())
+		// The client retries transient failures by default, so -net-chaos can
+		// sabotage the wire and the run must still come back bit-identical.
+		var opts []serve.ClientOption
+		if *netChaos > 0 {
+			opts = append(opts, serve.WithTransport(&serve.ChaosTransport{
+				Seed: *netChaosSeed,
+				P:    *netChaos,
+			}))
+		}
+		harness.SetExecutor(serve.NewClient(*remote, opts...).Executor())
+	} else if *netChaos > 0 {
+		exit(fmt.Errorf("-net-chaos requires -remote (it faults the HTTP transport)"))
 	}
 
 	if *cpuprofile != "" {

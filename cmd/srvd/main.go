@@ -39,16 +39,26 @@ func main() {
 	queueSize := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	cacheSize := flag.Int("cache", 256, "max cached results (LRU; negative disables the cache)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per job, e.g. 5m (0 = unbounded)")
+	journalDir := flag.String("journal", "", "directory for the durable job journal (empty = no journal; jobs do not survive restarts)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "budget for finishing in-flight jobs on SIGTERM/SIGINT before they are cancelled")
+	queueDeadline := flag.Duration("queue-deadline", 0, "shed submissions with 429 when the predicted queue wait exceeds this (0 = never shed)")
+	maxInflight := flag.Int64("max-inflight-bytes", serve.DefaultMaxInflightBytes, "largest accepted request body in bytes (0 = unbounded)")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke test (submit, wait, assert cache hit) and exit")
 	flag.Parse()
 
 	harness.SetParallelism(*par)
-	srv := serve.New(serve.Config{
-		Workers:    *jobWorkers,
-		QueueSize:  *queueSize,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
+	srv, err := serve.New(serve.Config{
+		Workers:          *jobWorkers,
+		QueueSize:        *queueSize,
+		CacheSize:        *cacheSize,
+		JobTimeout:       *jobTimeout,
+		JournalDir:       *journalDir,
+		QueueDeadline:    *queueDeadline,
+		MaxInflightBytes: *maxInflight,
 	})
+	if err != nil {
+		log.Fatalf("srvd: %v", err)
+	}
 	srv.Start()
 
 	if *smoke {
@@ -78,15 +88,20 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Print("srvd: shutting down")
-	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful drain: stop admitting (submissions get 503 + Retry-After),
+	// finish or cancel in-flight jobs within the budget, journal their final
+	// states, then stop serving HTTP. Exit 0 either way — a drain that had to
+	// cancel still left a consistent journal for the next process to replay.
+	log.Printf("srvd: draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := hs.Shutdown(sctx); err != nil {
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("srvd: drain cancelled in-flight jobs: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
 		log.Printf("srvd: http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(sctx); err != nil {
-		log.Printf("srvd: queue shutdown: %v", err)
-	}
+	log.Print("srvd: drained")
 }
 
 // runSmoke exercises the full service loop against a loopback listener: the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -107,6 +108,43 @@ func TestTimingRoundTrip(t *testing.T) {
 	// Self-gate: a report must pass against itself.
 	if g := Gate(rep, rep, 0); !g.Pass {
 		t.Errorf("self-gate failed:\n%s", g)
+	}
+}
+
+// TestLoadTimingsTruncatedBaseline: a partial or empty baseline must fail
+// the gate with an explicit diagnosis, never pass it vacuously.
+func TestLoadTimingsTruncatedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	if err := WriteTimings(full, 7, []string{"is"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A report cut mid-write (interrupted `make timing`, partial copy).
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadTimings(torn)
+	if err == nil || !strings.Contains(err.Error(), "truncated or corrupt timing report") {
+		t.Fatalf("torn baseline error = %v, want truncation diagnosis", err)
+	}
+	if !strings.Contains(err.Error(), "make timing") {
+		t.Fatalf("truncation error omits the remedy: %v", err)
+	}
+
+	// Valid JSON but no benchmark rows: the gate would compare nothing.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema_version":1,"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadTimings(empty)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark rows") {
+		t.Fatalf("empty baseline error = %v, want no-rows diagnosis", err)
 	}
 }
 

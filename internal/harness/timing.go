@@ -2,7 +2,9 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -119,7 +121,10 @@ func WriteTimings(path string, seed int64, benches []string) error {
 	return nil
 }
 
-// LoadTimings reads a timing report written by WriteTimings.
+// LoadTimings reads a timing report written by WriteTimings. A report that
+// fails to parse or carries no benchmark rows is rejected explicitly — a
+// truncated baseline (interrupted `make timing`, partial copy) must
+// fail the perf gate loudly, not pass it vacuously.
 func LoadTimings(path string) (*TimingReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -127,9 +132,26 @@ func LoadTimings(path string) (*TimingReport, error) {
 	}
 	var rep TimingReport
 	if err := json.Unmarshal(data, &rep); err != nil {
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%s: truncated or corrupt timing report (offset %d of %d bytes): %w — regenerate it with `make timing`",
+				path, syntaxOffset(err), len(data), err)
+		}
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: timing report has no benchmark rows — truncated baseline? regenerate it with `make timing`", path)
+	}
 	return &rep, nil
+}
+
+// syntaxOffset extracts the byte offset of a JSON syntax error, 0 otherwise.
+func syntaxOffset(err error) int64 {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return syn.Offset
+	}
+	return 0
 }
 
 // benchNames lists the known benchmark names, comma-separated.

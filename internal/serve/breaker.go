@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports that the client's per-host circuit breaker is open:
+// the daemon failed too many consecutive transport attempts, so the client
+// fails fast instead of dialling. The retry layer treats it as retryable —
+// backoff delays naturally space attempts out past the cooldown, at which
+// point a half-open probe goes through.
+var ErrCircuitOpen = errors.New("serve: circuit breaker open")
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-host circuit breaker over *transport* failures only
+// (connection errors — any HTTP response, even a 5xx, proves the host is
+// reachable and closes the circuit). It opens after threshold consecutive
+// failures, fails fast for cooldown, then admits a single half-open probe:
+// success closes it, failure re-opens it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		return nil // disabled
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be attempted right now.
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.cooldown - time.Since(b.openedAt); wait > 0 {
+			return fmt.Errorf("%w (%d consecutive transport failures; probe in %s)",
+				ErrCircuitOpen, b.fails, wait.Round(time.Millisecond))
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		clientMet.breakerHalfOpens.Add(1)
+		return nil
+	default: // half-open: exactly one probe at a time
+		if b.probing {
+			return fmt.Errorf("%w (half-open probe in flight)", ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports the outcome of an attempted request (ok = the daemon
+// answered, regardless of HTTP status).
+func (b *breaker) record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		if b.state != breakerClosed {
+			clientMet.breakerCloses.Add(1)
+		}
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		clientMet.breakerOpens.Add(1)
+	}
+}

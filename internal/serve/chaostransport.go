@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosTransport is a deterministic fault-injecting http.RoundTripper for
+// network-layer resilience drills, the service-boundary analogue of the
+// harness's simulation chaos (srvbench -chaos): with probability P a request
+// is dropped (instant connection error), delayed (Delay, then forwarded) or
+// black-holed (held for Hang or the request context, then a connection
+// error), all *before* reaching the network. The decision is a pure FNV-1a
+// function of (Seed, call index, method, path) — the same seed replays the
+// same fault sequence — and every fault is one the retry/breaker layer must
+// mask, so a run through a chaotic transport must still produce bit-identical
+// results.
+type ChaosTransport struct {
+	// Base performs un-faulted requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Seed drives the per-call fault draw.
+	Seed int64
+	// P is the fault probability per call in [0, 1]; 0 disables.
+	P float64
+	// Delay is the injected latency of a delay fault (default 25ms).
+	Delay time.Duration
+	// Hang bounds a black-hole fault (default 2s); the request context can
+	// end it sooner.
+	Hang time.Duration
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+var (
+	errChaosDrop      = errors.New("serve: chaos: injected connection drop")
+	errChaosBlackhole = errors.New("serve: chaos: injected black hole")
+)
+
+const (
+	netNone = iota
+	netDrop
+	netDelay
+	netBlackhole
+)
+
+// faultFor deterministically decides call n's fate: the hash's top 53 bits
+// are the probability draw, the low bits pick the fault kind (the harness
+// chaos discipline).
+func (t *ChaosTransport) faultFor(n int64, req *http.Request) int {
+	if t.P <= 0 {
+		return netNone
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s %s #%d @%d", req.Method, req.URL.Path, n, t.Seed)
+	s := h.Sum64()
+	if float64(s>>11)/float64(1<<53) >= t.P {
+		return netNone
+	}
+	return netDrop + int(s%3)
+}
+
+// Calls returns how many requests have passed through the transport.
+func (t *ChaosTransport) Calls() int64 { return t.calls.Load() }
+
+// Injected returns how many faults have been injected.
+func (t *ChaosTransport) Injected() int64 { return t.injected.Load() }
+
+func (t *ChaosTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.calls.Add(1)
+	switch t.faultFor(n, req) {
+	case netDrop:
+		t.injected.Add(1)
+		return nil, errChaosDrop
+	case netDelay:
+		t.injected.Add(1)
+		d := t.Delay
+		if d <= 0 {
+			d = 25 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case netBlackhole:
+		t.injected.Add(1)
+		hang := t.Hang
+		if hang <= 0 {
+			hang = 2 * time.Second
+		}
+		select {
+		case <-time.After(hang):
+		case <-req.Context().Done():
+		}
+		return nil, errChaosBlackhole
+	}
+	return t.base().RoundTrip(req)
+}

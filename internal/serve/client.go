@@ -4,40 +4,131 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"srvsim/internal/harness"
 )
+
+// DefaultMaxResponseBytes caps how much of a daemon response the client will
+// read; see WithMaxResponseBytes.
+const DefaultMaxResponseBytes = 64 << 20
+
+// DefaultPollTimeout bounds the short-poll endpoints (Status, Health,
+// asynchronous Submit) per attempt, so a half-dead connection surfaces as a
+// retryable transport error instead of hanging forever. The long-poll
+// ?wait=1 path is exempt — simulations can run for minutes — and is bounded
+// only by the caller's context.
+const DefaultPollTimeout = 30 * time.Second
+
+// ErrResponseTooLarge reports a daemon response body over the client's cap.
+var ErrResponseTooLarge = errors.New("serve: response too large")
 
 // Client talks to a srvd daemon. Its Executor method plugs into
 // harness.SetExecutor, turning every harness.Run in the process — and
 // therefore every RunLoop/RunBenchmark/... wrapper and every figure — into a
 // remote call, which is how `srvbench -remote` farms a whole experiment
 // fleet out to one daemon (deduplicated by its result cache).
+//
+// The client is resilient by default: idempotent-safe failures (connection
+// errors, 429/503/504 — never typed simulation failures) are retried with
+// exponential backoff and full jitter, honouring the daemon's Retry-After;
+// a per-host circuit breaker fails fast after consecutive transport failures
+// and probes half-open after a cooldown. Together with the daemon's durable
+// journal this is what lets `srvbench -remote` ride out a daemon restart.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	retry       RetryPolicy
+	br          *breaker
+	pollTimeout time.Duration
+	maxResponse int64
 }
 
-// NewClient returns a client for the daemon at base (e.g.
-// "http://localhost:8077"). The default http.Client is used: simulations can
-// run for minutes, so no client-side timeout is imposed — bound them with a
-// request context or the daemon's -job-timeout instead.
-func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+// ClientOption customises NewClient.
+type ClientOption func(*Client)
+
+// WithRetry replaces the retry policy (RetryPolicy{MaxAttempts: 1} disables
+// retries entirely).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
-// decode parses an API response, converting non-2xx bodies into errors.
-func decode(resp *http.Response, v interface{}) error {
+// WithBreaker replaces the circuit breaker: open after threshold consecutive
+// transport failures, half-open probe after cooldown. threshold < 1 disables
+// the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *Client) { c.br = newBreaker(threshold, cooldown) }
+}
+
+// WithPollTimeout bounds each short-poll attempt (Status, Health, async
+// Submit); 0 removes the bound. The ?wait=1 long poll is never bounded by
+// this — use the call context.
+func WithPollTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.pollTimeout = d }
+}
+
+// WithMaxResponseBytes caps how much of a response body the client reads;
+// larger responses fail with ErrResponseTooLarge.
+func WithMaxResponseBytes(n int64) ClientOption {
+	return func(c *Client) { c.maxResponse = n }
+}
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithTransport substitutes the underlying transport (ChaosTransport in the
+// resilience drills).
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.http.Transport = rt }
+}
+
+// NewClient returns a resilient client for the daemon at base (e.g.
+// "http://localhost:8077"). The underlying http.Client carries no global
+// timeout — simulations can run for minutes — so the long-poll path is
+// bounded by the request context, while short polls get a per-attempt
+// timeout (WithPollTimeout).
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:        strings.TrimRight(base, "/"),
+		http:        &http.Client{},
+		retry:       DefaultRetryPolicy(),
+		br:          newBreaker(5, 2*time.Second),
+		pollTimeout: DefaultPollTimeout,
+		maxResponse: DefaultMaxResponseBytes,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// decode parses an API response, converting non-2xx bodies into errors:
+// typed simulation failures round-trip as *harness.SimError, invalid
+// requests unwrap to harness.ErrInvalidRequest, and everything else becomes
+// an *HTTPError carrying the status and Retry-After hint. Bodies are read
+// through an io.LimitReader so a misbehaving daemon cannot balloon client
+// memory.
+func decode(resp *http.Response, v interface{}, max int64) error {
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	if max <= 0 {
+		max = DefaultMaxResponseBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, max+1))
 	if err != nil {
-		return fmt.Errorf("serve: reading response: %w", err)
+		return &transportError{err: fmt.Errorf("reading response: %w", err)}
+	}
+	if int64(len(body)) > max {
+		return fmt.Errorf("%w: body exceeds %d bytes", ErrResponseTooLarge, max)
 	}
 	if resp.StatusCode/100 != 2 {
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
 		// Failed jobs still carry a full JobStatus; surface the typed
 		// failure when present so remote errors keep their taxonomy.
 		var st JobStatus
@@ -50,13 +141,68 @@ func decode(resp *http.Response, v interface{}) error {
 		var ae apiError
 		if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
 			if resp.StatusCode == http.StatusBadRequest {
-				return fmt.Errorf("serve: %w: %s", harness.ErrInvalidRequest, ae.Error)
+				return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: ae.Error, err: harness.ErrInvalidRequest}
 			}
-			return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, ae.Error)
+			return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: ae.Error}
 		}
-		return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: string(bytes.TrimSpace(body))}
 	}
 	return json.Unmarshal(body, v)
+}
+
+// attempt performs one exchange through the breaker: build constructs a
+// fresh *http.Request (bodies must be re-readable across attempts), perCall
+// optionally bounds this attempt's wall clock.
+func (c *Client) attempt(ctx context.Context, perCall time.Duration, build func(context.Context) (*http.Request, error), out interface{}) error {
+	if err := c.br.allow(); err != nil {
+		return err
+	}
+	actx := ctx
+	cancel := func() {}
+	if perCall > 0 {
+		actx, cancel = context.WithTimeout(ctx, perCall)
+	}
+	defer cancel()
+	hreq, err := build(actx)
+	if err != nil {
+		c.br.record(true) // not a transport failure
+		return err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		// A caller-abandoned request says nothing about the daemon; a
+		// per-attempt timeout or connection error does.
+		if ctx.Err() == nil {
+			c.br.record(false)
+		}
+		return &transportError{err: err}
+	}
+	c.br.record(true)
+	return decode(resp, out, c.maxResponse)
+}
+
+// doRetry drives the attempt/backoff loop for one logical call.
+func (c *Client) doRetry(ctx context.Context, perCall time.Duration, build func(context.Context) (*http.Request, error), out interface{}) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			clientMet.retries.Add(1)
+			select {
+			case <-time.After(c.retry.delay(attempt-1, retryAfterOf(err))):
+			case <-ctx.Done():
+				return fmt.Errorf("serve: retry abandoned: %w (last error: %v)", ctx.Err(), err)
+			}
+		}
+		err = c.attempt(ctx, perCall, build, out)
+		if err == nil || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
 }
 
 // post submits req, optionally waiting for completion server-side.
@@ -67,19 +213,27 @@ func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobS
 		return st, fmt.Errorf("serve: encoding request: %w", err)
 	}
 	url := c.base + "/v1/sims"
+	perCall := c.pollTimeout
 	if wait {
 		url += "?wait=1"
+		perCall = 0 // long poll: bounded by ctx only
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
-	if err != nil {
-		return st, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(hreq)
-	if err != nil {
-		return st, fmt.Errorf("serve: %w", err)
-	}
-	return st, decode(resp, &st)
+	err = c.doRetry(ctx, perCall, func(actx context.Context) (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	}, &st)
+	return st, err
+}
+
+// get performs one short-poll GET with retry.
+func (c *Client) get(ctx context.Context, url string, out interface{}) error {
+	return c.doRetry(ctx, c.pollTimeout, func(actx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	}, out)
 }
 
 // Submit enqueues a request and returns immediately with its job status.
@@ -90,29 +244,15 @@ func (c *Client) Submit(ctx context.Context, req harness.Request) (JobStatus, er
 // Status polls one job.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sims/"+id, nil)
-	if err != nil {
-		return st, err
-	}
-	resp, err := c.http.Do(hreq)
-	if err != nil {
-		return st, fmt.Errorf("serve: %w", err)
-	}
-	return st, decode(resp, &st)
+	err := c.get(ctx, c.base+"/v1/sims/"+id, &st)
+	return st, err
 }
 
 // Health checks the daemon's /v1/healthz.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
-	if err != nil {
-		return h, err
-	}
-	resp, err := c.http.Do(hreq)
-	if err != nil {
-		return h, fmt.Errorf("serve: %w", err)
-	}
-	return h, decode(resp, &h)
+	err := c.get(ctx, c.base+"/v1/healthz", &h)
+	return h, err
 }
 
 // Do runs one request to completion on the daemon and decodes its Result.

@@ -22,6 +22,33 @@ type metrics struct {
 	jobsFailed   atomic.Int64 // jobs finished with a typed failure
 	running      atomic.Int64 // jobs executing right now
 	queued       atomic.Int64 // jobs waiting in the queue right now
+
+	// Admission control and drain (this PR's robustness layer).
+	shedDeadline     atomic.Int64 // submissions shed with 429 (predicted queue wait over deadline)
+	shedOversize     atomic.Int64 // submissions shed with 413 (body over -max-inflight-bytes)
+	rejectedDraining atomic.Int64 // submissions refused with 503 while draining
+	drains           atomic.Int64 // graceful drains begun (0 or 1 per process)
+	drainMS          atomic.Int64 // duration of the last drain, milliseconds
+	serviceNanos     atomic.Int64 // EWMA of successful job service time, ns (Retry-After source)
+
+	// Durable job journal.
+	journalRecords          atomic.Int64 // records appended to the journal
+	journalErrors           atomic.Int64 // journal appends that failed (or torn tail lines dropped)
+	journalReplayedDone     atomic.Int64 // completed jobs restored into the cache on startup
+	journalReplayedRequeued atomic.Int64 // interrupted/queued jobs re-enqueued on startup
+}
+
+// clientMet holds the resilient client's counters. They are package-level —
+// a Client is not a server and has no registry of its own — and every Server
+// registers them, so an in-process client+daemon pair (srvd -smoke, srvbench
+// -remote against a local daemon, the e2e tests) surfaces retry and breaker
+// activity at /v1/metrics. For a purely remote client they read zero on the
+// daemon, which is also the truth the daemon can see.
+var clientMet struct {
+	retries          atomic.Int64 // attempts beyond the first, any endpoint
+	breakerOpens     atomic.Int64 // closed/half-open → open transitions
+	breakerHalfOpens atomic.Int64 // open → half-open transitions (probe admitted)
+	breakerCloses    atomic.Int64 // open/half-open → closed transitions (probe succeeded)
 }
 
 // registry builds the obsv view over the live counters plus the server's
@@ -34,13 +61,30 @@ func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
 	s.CounterFn("serve.jobs_submitted", "simulation jobs admitted to the queue", m.submitted.Load)
 	s.CounterFn("serve.jobs_rejected_queue_full", "submissions refused because the queue was full", m.rejectedFull.Load)
 	s.CounterFn("serve.jobs_rejected_invalid", "submissions refused as invalid requests", m.invalid.Load)
+	s.CounterFn("serve.jobs_shed_deadline", "submissions shed because the predicted queue wait exceeded the deadline", m.shedDeadline.Load)
+	s.CounterFn("serve.jobs_shed_oversize", "submissions shed because the request body exceeded the size guard", m.shedOversize.Load)
+	s.CounterFn("serve.jobs_rejected_draining", "submissions refused while the server was draining", m.rejectedDraining.Load)
 	s.CounterFn("serve.jobs_done", "jobs finished successfully", m.jobsDone.Load)
 	s.CounterFn("serve.jobs_failed", "jobs finished with a contained failure", m.jobsFailed.Load)
 	s.CounterFn("serve.jobs_running", "jobs executing right now", m.running.Load)
 	s.CounterFn("serve.queue_depth", "jobs waiting in the queue right now", m.queued.Load)
+	s.CounterFn("serve.drains", "graceful drains begun", m.drains.Load)
+	s.CounterFn("serve.drain_duration_ms", "duration of the last graceful drain in milliseconds", m.drainMS.Load)
+	s.Gauge("serve.job_service_ms_ewma", "moving average of successful job service time in milliseconds", "%.3f",
+		func() float64 { return float64(m.serviceNanos.Load()) / 1e6 })
 	c := reg.Section("serve.cache")
 	c.CounterFn("serve.cache.hits", "submissions served byte-identically from the result cache", m.cacheHits.Load)
 	c.CounterFn("serve.cache.misses", "submissions that had to simulate", m.cacheMisses.Load)
 	c.CounterFn("serve.cache.entries", "results currently held by the cache", cacheLen)
+	j := reg.Section("serve.journal")
+	j.CounterFn("serve.journal.records", "records appended to the durable job journal", m.journalRecords.Load)
+	j.CounterFn("serve.journal.errors", "journal appends that failed or torn tail lines discarded at replay", m.journalErrors.Load)
+	j.CounterFn("serve.journal.replayed_done", "completed jobs restored into the result cache at startup", m.journalReplayedDone.Load)
+	j.CounterFn("serve.journal.replayed_requeued", "interrupted or queued jobs re-enqueued at startup", m.journalReplayedRequeued.Load)
+	cl := reg.Section("serve.client")
+	cl.CounterFn("serve.client.retries", "client attempts beyond the first (in-process clients only)", clientMet.retries.Load)
+	cl.CounterFn("serve.client.breaker_opens", "circuit breaker transitions to open", clientMet.breakerOpens.Load)
+	cl.CounterFn("serve.client.breaker_half_opens", "circuit breaker transitions to half-open", clientMet.breakerHalfOpens.Load)
+	cl.CounterFn("serve.client.breaker_closes", "circuit breaker transitions back to closed", clientMet.breakerCloses.Load)
 	return reg
 }

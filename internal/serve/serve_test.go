@@ -29,7 +29,10 @@ func testLoopReq() harness.Request {
 // startServer brings up a full service on an httptest listener.
 func startServer(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -216,10 +219,14 @@ func TestUnknownJobIs404(t *testing.T) {
 // TestQueueFullIs429 fills the queue of a server whose workers never start,
 // so the bound is deterministic.
 func TestQueueFullIs429(t *testing.T) {
-	s := New(Config{QueueSize: 1})
+	s, err := New(Config{QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	c := NewClient(ts.URL)
+	// 429 is normally retried; a single attempt keeps the count deterministic.
+	c := NewClient(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 1}))
 	ctx := context.Background()
 
 	if _, err := c.Submit(ctx, testLoopReq()); err != nil {
@@ -227,7 +234,7 @@ func TestQueueFullIs429(t *testing.T) {
 	}
 	req2 := testLoopReq()
 	req2.Seed = 8 // different key, so the cache cannot absorb it
-	_, err := c.Submit(ctx, req2)
+	_, err = c.Submit(ctx, req2)
 	if err == nil || !strings.Contains(err.Error(), "queue full") {
 		t.Fatalf("expected queue-full rejection, got %v", err)
 	}

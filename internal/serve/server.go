@@ -12,8 +12,17 @@
 //	                          (?wait=1 blocks and returns the final status)
 //	GET  /v1/sims/{id}        poll one job
 //	GET  /v1/sims/{id}/stream NDJSON progress events, then the final status
-//	GET  /v1/healthz          liveness + build identity
-//	GET  /v1/metrics          obsv registry JSON (queue/cache/job counters)
+//	GET  /v1/healthz          liveness + build identity + serving|draining
+//	GET  /v1/metrics          obsv registry JSON (queue/cache/job/journal counters)
+//
+// Robustness: an optional durable job journal (Config.JournalDir) makes
+// queued and interrupted jobs survive a crash — replayed on startup,
+// completed results are restored byte-identically into the cache and
+// unfinished jobs re-enqueue; Drain winds the service down gracefully on
+// SIGTERM (refuse new work with 503+Retry-After, finish or cancel in-flight
+// jobs, journal final states); admission control sheds jobs whose predicted
+// queue wait exceeds Config.QueueDeadline (429 + Retry-After derived from
+// observed service time) and bodies over Config.MaxInflightBytes (413).
 package serve
 
 import (
@@ -21,7 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +42,9 @@ import (
 	"srvsim/internal/obsv"
 	"srvsim/internal/pipeline"
 )
+
+// DefaultMaxInflightBytes is the default request-body size guard.
+const DefaultMaxInflightBytes = 32 << 20
 
 // Config sizes the service.
 type Config struct {
@@ -47,6 +62,18 @@ type Config struct {
 	// JobTimeout bounds each job's wall clock (0 = unbounded). Timed-out
 	// jobs fail with an ErrCancelled-derived record and HTTP 504.
 	JobTimeout time.Duration
+	// JournalDir enables the durable job journal: an append-only NDJSON
+	// write-ahead log in this directory, replayed on startup so queued and
+	// interrupted jobs resume after a crash and completed ones repopulate
+	// the cache byte-identically. Empty disables journaling.
+	JournalDir string
+	// QueueDeadline sheds submissions whose predicted queue wait (observed
+	// EWMA service time × depth ÷ workers) exceeds it, with 429 and a
+	// Retry-After derived from the prediction. 0 disables shedding.
+	QueueDeadline time.Duration
+	// MaxInflightBytes caps a submission body; larger requests are shed with
+	// 413. 0 selects DefaultMaxInflightBytes; negative disables the guard.
+	MaxInflightBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -59,23 +86,36 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.MaxInflightBytes == 0 {
+		c.MaxInflightBytes = DefaultMaxInflightBytes
+	}
 	return c
 }
 
+// Server lifecycle states (Health.State).
+const (
+	stateServing  int32 = iota // admitting submissions
+	stateDraining              // refusing submissions, winding down
+)
+
 // Server owns the job queue, the worker goroutines and the result cache.
 // Construct with New, install Handler into an http.Server, call Start, and
-// Shutdown on the way out.
+// Shutdown (or Drain, for the graceful path) on the way out.
 type Server struct {
-	cfg   Config
-	cache *cache
-	met   metrics
-	reg   *obsv.Registry
+	cfg     Config
+	cache   *cache
+	met     metrics
+	reg     *obsv.Registry
+	journal *journal
 
 	mu   sync.RWMutex
 	jobs map[string]*job
 
 	queue  chan *job
 	nextID atomic.Int64
+
+	state    atomic.Int32
+	draining chan struct{} // closed when Drain begins: workers stop dequeuing
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -84,18 +124,64 @@ type Server struct {
 	started time.Time
 }
 
-// New builds a stopped server; call Start to launch the workers.
-func New(cfg Config) *Server {
+// New builds a stopped server; call Start to launch the workers. With
+// Config.JournalDir set it replays the journal first: completed jobs are
+// restored into the result cache, interrupted ones are staged for
+// re-execution (they run once Start is called), and the journal is compacted
+// to the live state before new records are appended.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newCache(cfg.CacheSize),
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.QueueSize),
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheSize),
+		jobs:     make(map[string]*job),
+		draining: make(chan struct{}),
 	}
+
+	var recovered []*job
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: journal dir: %w", err)
+		}
+		st, err := replayJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal replay: %w", err)
+		}
+		if err := compactJournal(cfg.JournalDir, st, time.Now()); err != nil {
+			return nil, fmt.Errorf("serve: journal compact: %w", err)
+		}
+		jl, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal open: %w", err)
+		}
+		jl.met = &s.met
+		s.journal = jl
+		if st.truncated {
+			s.met.journalErrors.Add(1)
+		}
+		for _, e := range st.completed {
+			s.cache.Put(e.key, e.result)
+			s.met.journalReplayedDone.Add(1)
+		}
+		for _, e := range st.pending {
+			id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
+			recovered = append(recovered, newJob(id, e.key, *e.req, time.Now()))
+			s.met.journalReplayedRequeued.Add(1)
+		}
+	}
+
+	// Recovered jobs must all fit: grow the queue past its configured bound
+	// rather than dropping journaled work on the floor.
+	s.queue = make(chan *job, cfg.QueueSize+len(recovered))
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.queue <- j
+		s.met.queued.Add(1)
+	}
+
 	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) })
 	s.ctx, s.cancel = context.WithCancel(context.Background())
-	return s
+	return s, nil
 }
 
 // Registry exposes the service metrics (for embedding in other exporters).
@@ -111,7 +197,8 @@ func (s *Server) Start() {
 }
 
 // Shutdown stops accepting queued work and waits (up to ctx) for running
-// jobs to finish; running simulations are cancelled cooperatively.
+// jobs to finish; running simulations are cancelled cooperatively. This is
+// the abrupt path — Drain is the graceful one.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
 	done := make(chan struct{})
@@ -121,18 +208,64 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		_ = s.journal.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// worker drains the queue until the server shuts down.
+// Drain winds the service down gracefully: stop admitting submissions
+// (503 + Retry-After), let in-flight jobs finish within ctx — cancelling
+// them cooperatively once it expires — journal their final states, and
+// return. Queued-but-unstarted jobs stay journaled as pending, so a
+// journal-backed restart resumes them; a drained server admits nothing
+// further. Safe to call once; later calls (and calls after Shutdown) no-op.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.state.CompareAndSwap(stateServing, stateDraining) {
+		return nil
+	}
+	start := time.Now()
+	s.met.drains.Add(1)
+	close(s.draining)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Budget exhausted: cancel in-flight simulations cooperatively and
+		// wait for the workers to journal their terminal states.
+		s.cancel()
+		<-done
+		err = ctx.Err()
+	}
+	s.met.drainMS.Store(time.Since(start).Milliseconds())
+	_ = s.journal.Close()
+	return err
+}
+
+// worker drains the queue until the server shuts down or drains. The
+// priority check makes drain deterministic: a worker never picks up new
+// queued work once draining has begun, even if both are ready.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.ctx.Done():
+			return
+		case <-s.draining:
+			return
+		default:
+		}
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.draining:
 			return
 		case j := <-s.queue:
 			s.met.queued.Add(-1)
@@ -141,12 +274,52 @@ func (s *Server) worker() {
 	}
 }
 
+// observeService folds one successful job's duration into the EWMA that
+// admission control and Retry-After hints are derived from.
+func (s *Server) observeService(d time.Duration) {
+	old := s.met.serviceNanos.Load()
+	if old == 0 {
+		s.met.serviceNanos.Store(int64(d))
+		return
+	}
+	s.met.serviceNanos.Store((old*4 + int64(d)) / 5)
+}
+
+// estimatedWait predicts how long a new submission would sit in the queue.
+func (s *Server) estimatedWait() time.Duration {
+	svc := time.Duration(s.met.serviceNanos.Load())
+	depth := s.met.queued.Load()
+	if svc <= 0 || depth <= 0 {
+		return 0
+	}
+	return svc * time.Duration(depth) / time.Duration(s.cfg.Workers)
+}
+
+// retryAfterHint is the Retry-After a refused client gets: the observed
+// service time, floored at one second.
+func (s *Server) retryAfterHint() time.Duration {
+	if svc := time.Duration(s.met.serviceNanos.Load()); svc > time.Second {
+		return svc
+	}
+	return time.Second
+}
+
+// journalAppend records one transition (no-op without a journal).
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal != nil {
+		s.journal.append(rec)
+	}
+}
+
 // runJob executes one job under the configured timeout and records its
-// terminal state, caching successful results byte-identically.
+// terminal state, caching successful results byte-identically and
+// journaling the transition.
 func (s *Server) runJob(j *job) {
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
-	j.setRunning(time.Now())
+	start := time.Now()
+	j.setRunning(start)
+	s.journalAppend(journalRecord{Op: opStart, Key: j.key, ID: j.id, At: start})
 
 	ctx := s.ctx
 	cancel := func() {}
@@ -162,17 +335,22 @@ func (s *Server) runJob(j *job) {
 		fr := se.Record()
 		j.finish(nil, &fr, se.Error(), failStatusFor(err, ctx), time.Now())
 		s.met.jobsFailed.Add(1)
+		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
 		return
 	}
 	data, err := json.Marshal(res)
 	if err != nil {
-		j.finish(nil, nil, fmt.Sprintf("marshalling result: %v", err), http.StatusInternalServerError, time.Now())
+		msg := fmt.Sprintf("marshalling result: %v", err)
+		j.finish(nil, nil, msg, http.StatusInternalServerError, time.Now())
 		s.met.jobsFailed.Add(1)
+		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: msg})
 		return
 	}
 	s.cache.Put(j.key, data)
 	j.finish(data, nil, "", 0, time.Now())
 	s.met.jobsDone.Add(1)
+	s.observeService(time.Since(start))
+	s.journalAppend(journalRecord{Op: opDone, Key: j.key, ID: j.id, At: time.Now(), Result: data})
 }
 
 // failStatusFor maps a failed job to the HTTP status a synchronous waiter
@@ -220,13 +398,41 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeRetryAfter attaches a Retry-After header (whole seconds, floored at
+// 1) ahead of an admission refusal, so load balancers and the resilient
+// client pace their retries off observed service time.
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // handleSubmit admits one harness.Request: cache hits complete immediately
 // with the byte-identical cached Result, misses are queued (202) unless the
-// queue is full (429). ?wait=1 turns the call synchronous: it blocks until
-// the job finishes and maps failures onto HTTP statuses.
+// server is draining (503), the body blows the size guard (413), the
+// predicted queue wait exceeds the deadline (429), or the queue is full
+// (429). ?wait=1 turns the call synchronous: it blocks until the job
+// finishes and maps failures onto HTTP statuses.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.state.Load() != stateServing {
+		s.met.rejectedDraining.Add(1)
+		writeRetryAfter(w, s.retryAfterHint())
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	if s.cfg.MaxInflightBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxInflightBytes)
+	}
 	var req harness.Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.met.shedOversize.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		s.met.invalid.Add(1)
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
@@ -257,6 +463,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Add(1)
 
+	// Admission control: shed jobs that would out-wait the deadline instead
+	// of letting them rot in the queue. The Retry-After is the prediction
+	// itself — when the backlog has cleared, so has the reason to shed.
+	if d := s.cfg.QueueDeadline; d > 0 {
+		if est := s.estimatedWait(); est > d {
+			s.mu.Lock()
+			delete(s.jobs, id)
+			s.mu.Unlock()
+			s.met.shedDeadline.Add(1)
+			writeRetryAfter(w, est)
+			writeError(w, http.StatusTooManyRequests,
+				"predicted queue wait %s exceeds deadline %s", est.Round(time.Millisecond), d)
+			return
+		}
+	}
+
+	// Journal the submission before it becomes visible to a worker, so the
+	// journal's per-key record order always starts with submit.
+	s.journalAppend(journalRecord{Op: opSubmit, Key: key, ID: id, At: time.Now(), Req: &creq})
+
 	select {
 	case s.queue <- j:
 		s.met.queued.Add(1)
@@ -266,6 +492,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, id)
 		s.mu.Unlock()
 		s.met.rejectedFull.Add(1)
+		// Terminalise the journaled submit so replay does not resurrect a
+		// job the client was told to retry.
+		s.journalAppend(journalRecord{Op: opFail, Key: key, ID: id, At: time.Now(), Error: "queue full"})
+		writeRetryAfter(w, s.retryAfterHint())
 		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting)", s.cfg.QueueSize)
 		return
 	}
@@ -338,7 +568,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 // Health is the /v1/healthz payload.
 type Health struct {
-	Status        string  `json:"status"`
+	Status string `json:"status"`
+	// State is "serving" while submissions are admitted and "draining" once
+	// Drain has begun — the readiness signal a load balancer should rotate
+	// on (liveness stays "ok" throughout the drain).
+	State         string  `json:"state"`
 	SchemaVersion int     `json:"schema_version"`
 	CodeVersion   string  `json:"code_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -348,8 +582,13 @@ type Health struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.state.Load() != stateServing {
+		state = "draining"
+	}
 	writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
+		State:         state,
 		SchemaVersion: harness.SchemaVersion,
 		CodeVersion:   harness.CodeVersion,
 		UptimeSeconds: time.Since(s.started).Seconds(),
