@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench timing bench-gate chaos-smoke serve-smoke serve-chaos
+.PHONY: build test check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ check: serve-chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/lsu ./internal/pipeline
+
+# bench-speed is the simulator-throughput check: the core hot-path
+# microbenchmarks with allocation reporting (the scheduler pop path, the
+# observability hooks, the bitvec disambiguation kernels, and whole-pipeline
+# cycles/sec), then a fresh timing report (BENCH_harness.json) carrying
+# informational cycles_per_sec deltas against the previous run. Wall-clock
+# numbers are machine-relative: eyeball them, gate on `make bench-gate`.
+bench-speed: build
+	$(GO) test -run '^$$' -bench 'QuietTarget|AdvanceQuiet|ObserveCycle|Pipeline' -benchmem ./internal/pipeline
+	$(GO) test -run '^$$' -bench 'Mask128' -benchmem ./internal/bitvec
+	$(GO) run ./cmd/srvbench -timing BENCH_harness.json
 
 # timing regenerates BENCH_harness.json (per-benchmark wall-clock of the
 # experiment harness on this machine).

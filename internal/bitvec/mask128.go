@@ -1,0 +1,181 @@
+package bitvec
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Mask128 is a bit vector over one LSU-entry footprint, one bit per byte.
+// The widest footprint is a contiguous vector access of 8-byte elements —
+// 16 lanes x 8 bytes = 128 bits — so two words cover every entry. Bit i
+// corresponds to byte i of the footprint (offset from Entry.Addr).
+//
+// These are the word-parallel kernels the LSU's disambiguation paths run
+// on: validity tracking, forwarding-window extraction and the selective
+// WAW write-back all reduce to AND/OR/AND-NOT over at most two uint64s
+// instead of per-byte loops.
+type Mask128 [2]uint64
+
+// FootprintBits is the maximum footprint width a Mask128 covers.
+const FootprintBits = 128
+
+// Range128 returns a mask with bits [off, off+n) set.
+func Range128(off, n int) Mask128 {
+	if n <= 0 {
+		return Mask128{}
+	}
+	var m Mask128
+	end := off + n
+	if off < 64 {
+		hi := end
+		if hi > 64 {
+			hi = 64
+		}
+		m[0] = rangeWord(off, hi-off)
+	}
+	if end > 64 {
+		lo := off - 64
+		if lo < 0 {
+			lo = 0
+		}
+		m[1] = rangeWord(lo, end-64-lo)
+	}
+	return m
+}
+
+// rangeWord returns a uint64 with bits [off, off+n) set; off+n <= 64.
+func rangeWord(off, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0) << uint(off)
+	}
+	return (uint64(1)<<uint(n) - 1) << uint(off)
+}
+
+// Any reports whether any bit is set.
+func (m Mask128) Any() bool { return m[0]|m[1] != 0 }
+
+// Count returns the number of set bits.
+func (m Mask128) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1])
+}
+
+// Test reports whether bit off is set.
+func (m Mask128) Test(off int) bool {
+	return m[off>>6]&(1<<uint(off&63)) != 0
+}
+
+// And returns the intersection of two masks.
+func (m Mask128) And(o Mask128) Mask128 { return Mask128{m[0] & o[0], m[1] & o[1]} }
+
+// AndNot returns the bits of m not in o.
+func (m Mask128) AndNot(o Mask128) Mask128 { return Mask128{m[0] &^ o[0], m[1] &^ o[1]} }
+
+// Or returns the union of two masks.
+func (m Mask128) Or(o Mask128) Mask128 { return Mask128{m[0] | o[0], m[1] | o[1]} }
+
+// SetRange sets bits [off, off+n) in place.
+func (m *Mask128) SetRange(off, n int) {
+	r := Range128(off, n)
+	m[0] |= r[0]
+	m[1] |= r[1]
+}
+
+// ClearRange clears bits [off, off+n) in place.
+func (m *Mask128) ClearRange(off, n int) {
+	r := Range128(off, n)
+	m[0] &^= r[0]
+	m[1] &^= r[1]
+}
+
+// Window extracts bits [off, off+n) as the low n bits of a uint64 (n <= 64).
+// This is the footprint-relative to load-window-relative shift the
+// store-to-load forwarding path performs per candidate.
+func (m Mask128) Window(off, n int) uint64 {
+	var w uint64
+	if off < 64 {
+		w = m[0] >> uint(off)
+		if off > 0 {
+			w |= m[1] << uint(64-off)
+		}
+	} else {
+		w = m[1] >> uint(off-64)
+	}
+	if n >= 64 {
+		return w
+	}
+	return w & (uint64(1)<<uint(n) - 1)
+}
+
+// NextRun returns the first run of consecutive set bits at or after from,
+// as (offset, length). A zero length means no bits remain. Write-back
+// paths batch contiguous bytes into single memory operations this way.
+func (m Mask128) NextRun(from int) (off, n int) {
+	if from >= FootprintBits {
+		return FootprintBits, 0
+	}
+	// Find the first set bit at or after from.
+	w := from >> 6
+	cur := m[w] >> uint(from&63) << uint(from&63)
+	for cur == 0 {
+		w++
+		if w > 1 {
+			return FootprintBits, 0
+		}
+		cur = m[w]
+	}
+	off = w<<6 + bits.TrailingZeros64(cur)
+	// Extend the run word-parallel: count trailing ones from off.
+	n = bits.TrailingZeros64(^m.Window(off, 64))
+	if n == 64 {
+		n += bits.TrailingZeros64(^m.Window(off+64, 64))
+	}
+	if off+n > FootprintBits {
+		n = FootprintBits - off
+	}
+	return off, n
+}
+
+// String renders the mask LSB-first as a 0/1 string (tests and debugging).
+func (m Mask128) String() string {
+	var b strings.Builder
+	for i := 0; i < FootprintBits; i++ {
+		if m.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// LaneMask is a bit vector over vector lanes, one bit per lane, LSB =
+// lane 0. The horizontal-disambiguation kernels compare whole lane sets
+// with single AND/OR/shift operations instead of per-lane loops; up to 64
+// lanes fit one word (the evaluated configuration uses 16).
+type LaneMask uint64
+
+// LaneRange returns a mask with lanes [lo, hi] set; empty when lo > hi.
+func LaneRange(lo, hi int) LaneMask {
+	if lo > hi {
+		return 0
+	}
+	return LaneMask(rangeWord(lo, hi-lo+1))
+}
+
+// LaneFrom returns a mask with all lanes >= lo set, bounded by n lanes.
+func LaneFrom(lo, n int) LaneMask { return LaneRange(lo, n-1) }
+
+// Any reports whether any lane is set.
+func (m LaneMask) Any() bool { return m != 0 }
+
+// Count returns the number of set lanes.
+func (m LaneMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Test reports whether lane l is set.
+func (m LaneMask) Test(l int) bool { return m&(1<<uint(l)) != 0 }
+
+// Lowest returns the lowest set lane, or 64 when empty.
+func (m LaneMask) Lowest() int { return bits.TrailingZeros64(uint64(m)) }

@@ -247,6 +247,29 @@ func entryByteLater(issuing Access, issuingPos int, entry Access, entryPos int, 
 	return eHi > iLo
 }
 
+// AllLanes is the lane mask with every architectural lane set.
+const AllLanes = bitvec.LaneMask(1)<<isa.NumLanes - 1
+
+// PredMask converts a predicate register value to its lane-mask form.
+func PredMask(p isa.Pred) bitvec.LaneMask {
+	var m bitvec.LaneMask
+	for l := 0; l < isa.NumLanes; l++ {
+		if p[l] {
+			m |= 1 << uint(l)
+		}
+	}
+	return m
+}
+
+// MaskPred converts a lane mask back to predicate-register form.
+func MaskPred(m bitvec.LaneMask) isa.Pred {
+	var p isa.Pred
+	for l := 0; l < isa.NumLanes; l++ {
+		p[l] = m.Test(l)
+	}
+	return p
+}
+
 // ViolatingLanes returns the set of entry lanes in strictly LATER lanes than
 // the issuing access at overlapping bytes — the lanes to record for replay
 // (issuing store vs load entries, horizontal RAW) or for selective
@@ -254,23 +277,7 @@ func entryByteLater(issuing Access, issuingPos int, entry Access, entryPos int, 
 // are vertical and are NOT reported here. For contiguous entries the lane is
 // derived per byte; broadcast entries attribute each byte to all lanes.
 func ViolatingLanes(issuing Access, entry Access) isa.Pred {
-	var lanes isa.Pred
-	span := issuing.Span()
-	for b := 0; b < span.N; b++ {
-		addr := span.Addr + uint64(b)
-		if !entry.Contains(addr) {
-			continue
-		}
-		iLo, _ := issuing.LaneBounds(addr)
-		eLo, eHi := entry.LaneBounds(addr)
-		if eLo <= iLo {
-			eLo = iLo + 1
-		}
-		for l := eLo; l <= eHi; l++ {
-			lanes[l] = true
-		}
-	}
-	return lanes
+	return MaskPred(ViolatingLaneMask(issuing, entry, AllLanes))
 }
 
 // ViolatingLanesMasked is ViolatingLanes restricted to issuing-access bytes
@@ -281,6 +288,97 @@ func ViolatingLanes(issuing Access, entry Access) isa.Pred {
 // paper §III-A relies on flags coming only from strictly later lanes of
 // freshly produced data).
 func ViolatingLanesMasked(issuing Access, entry Access, issuingLanes isa.Pred) isa.Pred {
+	return MaskPred(ViolatingLaneMask(issuing, entry, PredMask(issuingLanes)))
+}
+
+// ViolatingLaneMask is the word-parallel disambiguation kernel behind
+// ViolatingLanes/ViolatingLanesMasked: whole lane ranges compare as single
+// AND/OR operations on bitvec.LaneMask words instead of per-byte loops.
+//
+// The per-byte rule being vectorised: for every byte the two accesses
+// share, with issuing lane iL and entry lanes [eLo, eHi], the entry lanes
+// max(eLo, iL+1)..eHi are violating, provided issuingLanes admits iL.
+// Because each term is a suffix of [eLo, eHi], the union over a byte range
+// with constant entry-lane bounds is determined by the MINIMUM admitted
+// issuing lane — a Lowest() on the masked lane set.
+func ViolatingLaneMask(issuing, entry Access, issuingLanes bitvec.LaneMask) bitvec.LaneMask {
+	iEnd := issuing.Addr + uint64(issuing.Bytes())
+	eEnd := entry.Addr + uint64(entry.Bytes())
+	lo, hi := issuing.Addr, iEnd // shared byte range [lo, hi)
+	if entry.Addr > lo {
+		lo = entry.Addr
+	}
+	if eEnd < hi {
+		hi = eEnd
+	}
+	if lo >= hi {
+		return 0
+	}
+	var out bitvec.LaneMask
+	switch entry.Kind {
+	case KindElem:
+		is := issuingLaneSet(issuing, lo, hi-1) & issuingLanes
+		if is != 0 && entry.Lane > is.Lowest() {
+			out |= 1 << uint(entry.Lane)
+		}
+	case KindBcast, KindScalar:
+		is := issuingLaneSet(issuing, lo, hi-1) & issuingLanes
+		if is != 0 {
+			out |= bitvec.LaneRange(is.Lowest()+1, isa.NumLanes-1)
+		}
+	case KindContig:
+		// One unit per entry element slot the shared range touches; each
+		// slot has a single entry lane (reversed under DirDown).
+		elem := uint64(entry.Elem)
+		first := int((lo - entry.Addr) / elem)
+		last := int((hi - 1 - entry.Addr) / elem)
+		for idx := first; idx <= last; idx++ {
+			sLo := entry.Addr + uint64(idx)*elem
+			sHi := sLo + elem - 1
+			if sLo < lo {
+				sLo = lo
+			}
+			if sHi > hi-1 {
+				sHi = hi - 1
+			}
+			lane := idx
+			if entry.Dir == isa.DirDown {
+				lane = isa.NumLanes - 1 - idx
+			}
+			is := issuingLaneSet(issuing, sLo, sHi) & issuingLanes
+			if is != 0 && lane > is.Lowest() {
+				out |= 1 << uint(lane)
+			}
+		}
+	}
+	return out
+}
+
+// issuingLaneSet returns the lanes the issuing access attributes to its
+// bytes in [lo, hi] (inclusive; the range must lie inside the footprint).
+// Broadcast and scalar accesses attribute every byte to their low bound,
+// lane 0, matching LaneBounds.
+func issuingLaneSet(a Access, lo, hi uint64) bitvec.LaneMask {
+	switch a.Kind {
+	case KindContig:
+		elem := uint64(a.Elem)
+		iLo := int((lo - a.Addr) / elem)
+		iHi := int((hi - a.Addr) / elem)
+		if a.Dir == isa.DirDown {
+			iLo, iHi = isa.NumLanes-1-iHi, isa.NumLanes-1-iLo
+		}
+		return bitvec.LaneRange(iLo, iHi)
+	case KindElem:
+		return 1 << uint(a.Lane)
+	default: // KindBcast, KindScalar
+		return 1
+	}
+}
+
+// violatingLanesRef is the retained per-byte reference implementation of
+// ViolatingLanesMasked; the property suite holds the word-parallel kernel
+// bit-identical to it.
+func violatingLanesRef(issuing Access, entry Access, issuingLanes isa.Pred) isa.Pred {
 	var lanes isa.Pred
 	span := issuing.Span()
 	for b := 0; b < span.N; b++ {

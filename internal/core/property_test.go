@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"srvsim/internal/bitvec"
 	"srvsim/internal/isa"
 )
 
@@ -228,4 +229,77 @@ func TestQuickViolatingLanesStrictlyLater(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// randAccessFull extends randAccess with scalar kinds and DOWN-direction
+// contiguous accesses, so the word-parallel kernel is exercised over the
+// full taxonomy.
+func randAccessFull(kindSel, lane uint8, off uint16, elemSel, dirSel uint8) Access {
+	a := randAccess(kindSel, lane, off, elemSel)
+	if kindSel%4 == 3 {
+		a.Kind = KindScalar
+	}
+	if a.Kind == KindContig && dirSel%2 == 1 {
+		a.Dir = isa.DirDown
+	}
+	return a
+}
+
+// TestQuickViolatingLaneMaskMatchesReference: the word-parallel kernel is
+// bit-identical to the retained per-byte reference across every kind pair,
+// both directions and arbitrary issuing-lane masks.
+func TestQuickViolatingLaneMaskMatchesReference(t *testing.T) {
+	f := func(k1, l1 uint8, o1 uint16, e1, d1, k2, l2 uint8, o2 uint16, e2, d2 uint8, maskBits uint16) bool {
+		issuing := randAccessFull(k1, l1, o1, e1, d1)
+		entry := randAccessFull(k2, l2, o2, e2, d2)
+		var lanes isa.Pred
+		for i := 0; i < isa.NumLanes; i++ {
+			lanes[i] = maskBits&(1<<i) != 0
+		}
+		if ViolatingLanesMasked(issuing, entry, lanes) != violatingLanesRef(issuing, entry, lanes) {
+			return false
+		}
+		return ViolatingLanes(issuing, entry) == violatingLanesRef(issuing, entry, isa.AllTrue())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredMaskRoundTrip: lane-mask and predicate forms convert losslessly.
+func TestPredMaskRoundTrip(t *testing.T) {
+	f := func(maskBits uint16) bool {
+		m := bitvec.LaneMask(maskBits)
+		return PredMask(MaskPred(m)) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkViolatingLaneMask measures the disambiguation kernel on the
+// contig-store-vs-contig-load shape that dominates region issue; it must
+// stay allocation-free.
+func BenchmarkViolatingLaneMask(b *testing.B) {
+	b.ReportAllocs()
+	st := Access{Kind: KindContig, Addr: 0x4000, Elem: 4}
+	ld := Access{Kind: KindContig, Addr: 0x4008, Elem: 4}
+	var acc bitvec.LaneMask
+	for i := 0; i < b.N; i++ {
+		acc |= ViolatingLaneMask(st, ld, AllLanes)
+	}
+	_ = acc
+}
+
+// BenchmarkViolatingLaneMaskElem is the gather/scatter shape: an elem
+// store probed against an elem load entry.
+func BenchmarkViolatingLaneMaskElem(b *testing.B) {
+	b.ReportAllocs()
+	st := Access{Kind: KindElem, Lane: 3, Addr: 0x4010, Elem: 4}
+	ld := Access{Kind: KindElem, Lane: 9, Addr: 0x4010, Elem: 4}
+	var acc bitvec.LaneMask
+	for i := 0; i < b.N; i++ {
+		acc |= ViolatingLaneMask(st, ld, AllLanes)
+	}
+	_ = acc
 }

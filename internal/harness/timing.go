@@ -26,6 +26,18 @@ type BenchTiming struct {
 	SRVCycles    int64   `json:"srv_cycles"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	Speedup      float64 `json:"speedup"`
+
+	// AllocsPerKCycle is the heap allocations the *simulator process* made
+	// per thousand simulated cycles while this benchmark ran — a coarse
+	// process-wide tripwire for allocation creep on the hot path, not a
+	// per-goroutine measurement.
+	AllocsPerKCycle float64 `json:"allocs_per_kcycle"`
+
+	// CyclesPerSecDelta is the fractional change in cycles_per_sec versus
+	// the previous report at the same output path ((new-old)/old), when one
+	// existed and covered this benchmark. Informational only: wall-clock
+	// throughput varies with the machine, so nothing gates on it.
+	CyclesPerSecDelta float64 `json:"cycles_per_sec_delta,omitempty"`
 }
 
 // TimingReport is the full -timing artifact (BENCH_harness.json when invoked
@@ -36,6 +48,7 @@ type TimingReport struct {
 	Seed          int64         `json:"seed"`
 	Workers       int           `json:"workers"`
 	NumCPU        int           `json:"num_cpu"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
 	GoVersion     string        `json:"go_version"`
 	TotalWallMS   float64       `json:"total_wall_ms"`
 	Fleet         FleetSnapshot `json:"fleet"`
@@ -67,22 +80,36 @@ func WriteTimings(path string, seed int64, benches []string) error {
 		Seed:          seed,
 		Workers:       Parallelism(),
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		GoVersion:     runtime.Version(),
+	}
+	// The previous report at the same path (if readable) supplies the
+	// informational cycles_per_sec deltas. Errors are deliberately ignored:
+	// a missing or stale previous run just means no deltas.
+	prevCPS := map[string]float64{}
+	if prev, err := LoadTimings(path); err == nil {
+		for _, bt := range prev.Benchmarks {
+			prevCPS[bt.Bench] = bt.CyclesPerSec
+		}
 	}
 	var fails []*SimError
 	ResetFleet()
 	start := time.Now()
+	var ms runtime.MemStats
 	for _, b := range workloads.All() {
 		if len(want) > 0 && !want[b.Name] {
 			continue
 		}
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
 		t0 := time.Now()
 		br, err := RunBenchmark(b, seed)
 		if err != nil {
 			return err
 		}
-		fails = append(fails, br.Failures...)
 		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms)
+		fails = append(fails, br.Failures...)
 		bt := BenchTiming{
 			Bench:    b.Name,
 			Loops:    len(br.Loops),
@@ -96,6 +123,12 @@ func WriteTimings(path string, seed int64, benches []string) error {
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			bt.CyclesPerSec = float64(bt.ScalarCycles+bt.SRVCycles) / secs
+		}
+		if cyc := bt.ScalarCycles + bt.SRVCycles; cyc > 0 {
+			bt.AllocsPerKCycle = float64(ms.Mallocs-mallocs0) / (float64(cyc) / 1e3)
+		}
+		if old, ok := prevCPS[bt.Bench]; ok && old > 0 && bt.CyclesPerSec > 0 {
+			bt.CyclesPerSecDelta = (bt.CyclesPerSec - old) / old
 		}
 		rep.Benchmarks = append(rep.Benchmarks, bt)
 	}

@@ -129,7 +129,15 @@ func (in *Inst) IsCondBranch() bool {
 // write into new physical registers, they also need to read the old
 // destination physical registers as source operands").
 func (in *Inst) Reads() []RegRef {
-	var r []RegRef
+	return in.AppendReads(nil)
+}
+
+// AppendReads appends the instruction's source registers to dst and returns
+// the extended slice, in the same order as Reads. Dispatch runs this once
+// per instruction with a reusable scratch buffer, so the hot path never
+// allocates.
+func (in *Inst) AppendReads(dst []RegRef) []RegRef {
+	r := dst
 	switch in.Op {
 	case OpNop, OpHalt, OpMovI, OpJmp, OpPTrue, OpPFalse, OpSRVStart, OpSRVEnd:
 	case OpMov, OpAddI, OpShlI, OpShrI:
@@ -179,6 +187,10 @@ func (in *Inst) Reads() []RegRef {
 	}
 	return r
 }
+
+// WriteReg returns the destination register, if any, without allocating
+// (Writes wraps it in a slice; dispatch wants the scalar form).
+func (in *Inst) WriteReg() (RegRef, bool) { return in.writeRef() }
 
 // writeRef returns the destination register, if any.
 func (in *Inst) writeRef() (RegRef, bool) {

@@ -19,6 +19,7 @@ package lsu
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"srvsim/internal/bitvec"
@@ -45,13 +46,15 @@ type Entry struct {
 	Elem int
 	Dir  isa.Direction
 
-	Valid    bool     // address known (executed at least once)
-	Addr     uint64   // base address of the footprint
-	ActLanes isa.Pred // lanes whose access is architecturally performed
+	Valid    bool            // address known (executed at least once)
+	Addr     uint64          // base address of the footprint
+	ActLanes bitvec.LaneMask // lanes whose access is architecturally performed
 
-	// Store data (SDQ): one byte + validity flag per footprint byte.
+	// Store data (SDQ): a byte buffer plus a word-parallel validity bit
+	// vector, one bit per footprint byte (paper §IV-A's bytes-accessed
+	// vectors; at most 128 bits for an 8-byte-element contiguous store).
 	Data      []byte
-	ByteValid []bool
+	valid     bitvec.Mask128
 	Spec      bool // speculative flag: buffered until region commit
 	Committed bool // reached ROB head (outside regions: data written back)
 
@@ -96,8 +99,8 @@ func (e *Entry) laneBoundsAt(addr uint64) (int, int) {
 	return e.Access().LaneBounds(addr)
 }
 
-// sizeBuffers (re)sizes the SDQ byte buffers to fp zeroed bytes, reusing the
-// capacity a recycled entry carries.
+// sizeBuffers (re)sizes the SDQ byte buffer to fp zeroed bytes, reusing the
+// capacity a recycled entry carries, and clears the validity vector.
 func (e *Entry) sizeBuffers(fp int) {
 	if cap(e.Data) >= fp {
 		e.Data = e.Data[:fp]
@@ -107,14 +110,7 @@ func (e *Entry) sizeBuffers(fp int) {
 	} else {
 		e.Data = make([]byte, fp)
 	}
-	if cap(e.ByteValid) >= fp {
-		e.ByteValid = e.ByteValid[:fp]
-		for i := range e.ByteValid {
-			e.ByteValid[i] = false
-		}
-	} else {
-		e.ByteValid = make([]bool, fp)
-	}
+	e.valid = bitvec.Mask128{}
 }
 
 // Stats aggregates the LSU event counts consumed by the evaluation figures
@@ -184,6 +180,7 @@ type LSU struct {
 	byteBuf  [8]byte
 	written  *bitvec.Set
 	stores   []*Entry
+	units    []fwdUnit
 }
 
 // New returns an LSU with the given total entry capacity.
@@ -216,9 +213,9 @@ func (l *LSU) allocEntry() *Entry {
 		e = new(Entry)
 	} else {
 		l.free = e.next
-		data, bv := e.Data, e.ByteValid
+		data := e.Data
 		*e = Entry{}
-		e.Data, e.ByteValid = data[:0], bv[:0]
+		e.Data = data[:0]
 	}
 	l.allocSeq++
 	e.alloc = l.allocSeq
@@ -392,8 +389,6 @@ type ReserveResult struct {
 func (l *LSU) Reserve(instance, id, lane int, isStore bool, dispSeq int64) ReserveResult {
 	if instance != NoInstance {
 		if e := l.byKey[lsuKey{instance, id, lane}]; e != nil {
-			if instance == 5 && id == 20 {
-			}
 			e.DispSeq = dispSeq
 			return ReserveResult{Entry: e, OK: true}
 		}
@@ -465,18 +460,19 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 
 	l.noteIssue(e, false)
 	e.Kind, e.Elem, e.Dir, e.Seq = kind, elem, dir, seq
+	actMask := core.PredMask(act)
 	if e.Instance == NoInstance {
 		if !e.Valid {
 			e.Valid = true
 			l.noteValid(e)
 		}
-		e.Addr, e.ActLanes = addr, act
+		e.Addr, e.ActLanes = addr, actMask
 	} else {
 		// Merge: refresh only updated lanes; keep previous rounds' state on
 		// the rest (paper §III-C).
 		if !e.Valid {
 			e.Addr, e.Valid = addr, true
-			e.ActLanes = isa.Pred{}
+			e.ActLanes = 0
 			l.noteValid(e)
 		} else if kind == core.KindElem {
 			if update[e.Lane] {
@@ -485,11 +481,8 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 		} else {
 			e.Addr = addr // base registers are loop-invariant inside a region
 		}
-		for i := 0; i < isa.NumLanes; i++ {
-			if update[i] {
-				e.ActLanes[i] = act[i]
-			}
-		}
+		updateMask := core.PredMask(update)
+		e.ActLanes = e.ActLanes&^updateMask | actMask&updateMask
 	}
 	l.reindex(e)
 
@@ -556,25 +549,146 @@ func (l *LSU) ExecLoad(e *Entry, kind core.Kind, addr uint64, elem int, dir isa.
 	return res
 }
 
-// resolveLoad assembles one lane's value byte by byte: each byte comes from
-// the sequentially youngest older store entry holding it, else from memory
-// (partial store-to-load forwarding; paper §III-B1 / Witt). The second
-// result reports whether the WAR rule suppressed any forwarding.
+// fwdUnit is one constant-ordering forwarding source for the claim walk: a
+// candidate store entry (or one lane slot of a contiguous store, whose
+// sequential position varies per slot) with the window-relative bytes it
+// may supply. The masks are word-parallel: a unit claims all its bytes in
+// one AND-NOT.
+type fwdUnit struct {
+	st      *Entry
+	key     forwardKey
+	allowed uint64 // window-relative forwardable bytes (ByteValid & ordering)
+}
+
+// resolveLoad assembles one lane's value: each byte comes from the
+// sequentially youngest older store entry holding it, else from memory
+// (partial store-to-load forwarding; paper §III-B1 / Witt). Candidates are
+// decomposed into constant-ordering units whose byte masks claim the
+// window youngest-first — bit-identical to a per-byte youngest scan, with
+// the per-byte key comparisons replaced by word-parallel mask ops. The
+// second result reports whether the WAR rule suppressed any forwarding.
 func (l *LSU) resolveLoad(e *Entry, cands []*Entry, addr uint64, n, lane int, res *LoadResult) (int64, bool) {
 	buf := l.byteBuf[:n]
 	l.mem.ReadBytes(addr, buf)
-	fwd, mem := 0, 0
 	war := false
-	for b := 0; b < n; b++ {
-		ba := addr + uint64(b)
-		src, off, w := l.youngestForwardable(e, cands, ba, lane)
-		war = war || w
-		if src != nil {
-			buf[b] = src.Data[off]
-			fwd++
+	eRegion := e.Instance != NoInstance
+	winEnd := addr + uint64(n)
+	units := l.units[:0]
+	for _, st := range cands {
+		stEnd := st.Addr + uint64(st.footprint())
+		if addr >= stEnd || st.Addr >= winEnd {
+			continue
+		}
+		// Window-relative valid bytes: window byte w maps to footprint
+		// offset addr+w-st.Addr.
+		var vbits uint64
+		if addr >= st.Addr {
+			vbits = st.valid.Window(int(addr-st.Addr), n)
 		} else {
-			mem++
-			res.MemAddrs = append(res.MemAddrs, ba)
+			d := int(st.Addr - addr)
+			vbits = st.valid.Window(0, n-d) << uint(d)
+		}
+		if vbits == 0 {
+			continue // nothing to forward and no WAR to report
+		}
+		stRegion := st.Instance != NoInstance
+		switch {
+		case eRegion && stRegion:
+			if st.Instance != e.Instance {
+				continue // entries of a different region instance never forward
+			}
+			if st.Kind == core.KindContig {
+				// One unit per store lane slot the window touches; the
+				// slot's sequential position (its lane) is constant.
+				elem := uint64(st.Elem)
+				ovLo, ovHi := addr, winEnd // overlap [ovLo, ovHi)
+				if st.Addr > ovLo {
+					ovLo = st.Addr
+				}
+				if stEnd < ovHi {
+					ovHi = stEnd
+				}
+				first := int((ovLo - st.Addr) / elem)
+				last := int((ovHi - 1 - st.Addr) / elem)
+				for idx := first; idx <= last; idx++ {
+					sLane := idx
+					if st.Dir == isa.DirDown {
+						sLane = isa.NumLanes - 1 - idx
+					}
+					sLo := st.Addr + uint64(idx)*elem
+					sHi := sLo + elem
+					if sLo < addr {
+						sLo = addr
+					}
+					if sHi > winEnd {
+						sHi = winEnd
+					}
+					slotBits := windowRange(int(sLo-addr), int(sHi-sLo)) & vbits
+					if slotBits == 0 {
+						continue
+					}
+					if core.Forwardable(sLane, st.ID, lane, e.ID) {
+						units = append(units, fwdUnit{st, forwardKey{region: true, lane: sLane, id: st.ID}, slotBits})
+					} else if sLane > lane {
+						war = true // cross-lane rejection = WAR
+					}
+				}
+			} else {
+				// Elem / broadcast / scalar: constant lane attribution.
+				sHi := isa.NumLanes - 1
+				if st.Kind == core.KindElem {
+					sHi = st.Lane
+				}
+				if core.Forwardable(sHi, st.ID, lane, e.ID) {
+					units = append(units, fwdUnit{st, forwardKey{region: true, lane: sHi, id: st.ID}, vbits})
+				} else if sHi > lane {
+					war = true
+				}
+			}
+		case eRegion && !stRegion:
+			// Pre-region store: program-order older by construction (the
+			// srv_start issue gate orders region loads after older stores).
+			if st.Seq > e.Seq {
+				continue
+			}
+			units = append(units, fwdUnit{st, forwardKey{seq: st.Seq}, vbits})
+		case !eRegion && stRegion:
+			continue // speculative region data never forwards outside
+		default:
+			if st.Seq > e.Seq {
+				continue // vertical: younger stores never forward
+			}
+			units = append(units, fwdUnit{st, forwardKey{seq: st.Seq}, vbits})
+		}
+	}
+	l.units = units[:0]
+
+	// Youngest-first, stable: equal keys keep allocation order, so the
+	// first-seen entry wins ties exactly as a front-to-back byte scan did.
+	for i := 1; i < len(units); i++ {
+		for j := i; j > 0 && units[j].key.younger(units[j-1].key); j-- {
+			units[j], units[j-1] = units[j-1], units[j]
+		}
+	}
+	var claimed uint64
+	for i := range units {
+		u := &units[i]
+		take := u.allowed &^ claimed
+		if take == 0 {
+			continue
+		}
+		claimed |= take
+		base := int(int64(addr) - int64(u.st.Addr)) // window byte w -> footprint offset base+w
+		for t := take; t != 0; t &= t - 1 {
+			w := bits.TrailingZeros64(t)
+			buf[w] = u.st.Data[base+w]
+		}
+	}
+	fwd := bits.OnesCount64(claimed)
+	mem := n - fwd
+	for w := 0; w < n; w++ {
+		if claimed&(1<<uint(w)) == 0 {
+			res.MemAddrs = append(res.MemAddrs, addr+uint64(w))
 		}
 	}
 	res.FwdBytes += fwd
@@ -587,59 +701,15 @@ func (l *LSU) resolveLoad(e *Entry, cands []*Entry, addr uint64, n, lane int, re
 	return isa.DecodeInt(buf), war
 }
 
-// youngestForwardable finds the store entry supplying the byte at ba for
-// load lane `lane` of entry e, honouring the WAR rule: only sequentially
-// older store bytes forward. The bool result reports whether a later-lane
-// store byte was rejected (a horizontal WAR).
-func (l *LSU) youngestForwardable(e *Entry, cands []*Entry, ba uint64, lane int) (*Entry, int, bool) {
-	var best *Entry
-	bestKey := forwardKey{}
-	war := false
-	eRegion := e.Instance != NoInstance
-	for _, st := range cands {
-		if ba < st.Addr || ba >= st.Addr+uint64(st.footprint()) {
-			continue
-		}
-		off := int(ba - st.Addr)
-		if !st.ByteValid[off] {
-			continue
-		}
-		stRegion := st.Instance != NoInstance
-		var key forwardKey
-		switch {
-		case eRegion && stRegion:
-			if st.Instance != e.Instance {
-				continue // entries of a different region instance never forward
-			}
-			_, sHi := st.laneBoundsAt(ba)
-			if !core.Forwardable(sHi, st.ID, lane, e.ID) {
-				war = war || sHi > lane // cross-lane rejection = WAR
-				continue
-			}
-			key = forwardKey{region: true, lane: sHi, id: st.ID}
-		case eRegion && !stRegion:
-			// Pre-region store: program-order older by construction (the
-			// srv_start issue gate orders region loads after older stores).
-			if st.Seq > e.Seq {
-				continue
-			}
-			key = forwardKey{region: false, seq: st.Seq}
-		case !eRegion && stRegion:
-			continue // speculative region data never forwards outside
-		default:
-			if st.Seq > e.Seq {
-				continue // vertical: younger stores never forward
-			}
-			key = forwardKey{region: false, seq: st.Seq}
-		}
-		if best == nil || key.younger(bestKey) {
-			best, bestKey = st, key
-		}
+// windowRange returns a window-relative mask with bits [off, off+n) set.
+func windowRange(off, n int) uint64 {
+	if n <= 0 {
+		return 0
 	}
-	if best == nil {
-		return nil, 0, war
+	if n >= 64 {
+		return ^uint64(0) << uint(off)
 	}
-	return best, int(ba - best.Addr), war
+	return (uint64(1)<<uint(n) - 1) << uint(off)
 }
 
 // forwardKey orders candidate forwarding sources: region entries are younger
@@ -702,15 +772,13 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 		}
 		e.Addr = addr
 		e.sizeBuffers(fp)
-		e.ActLanes = isa.Pred{}
+		e.ActLanes = 0
 		e.Spec = e.Instance != NoInstance && l.ctrl.Mode() == core.ModeSpeculative
 	} else if kind == core.KindElem {
 		if update[e.Lane] && e.Addr != addr {
 			e.Addr = addr
 			// The footprint moved: previous-round bytes are superseded.
-			for i := range e.ByteValid {
-				e.ByteValid[i] = false
-			}
+			e.valid = bitvec.Mask128{}
 		}
 	}
 
@@ -721,30 +789,33 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 			if !update[lane] {
 				continue
 			}
-			e.ActLanes[lane] = act[lane]
 			off := lane
 			if dir == isa.DirDown {
 				off = isa.NumLanes - 1 - lane
 			}
 			isa.PutInt(e.Data[off*elem:(off+1)*elem], elem, vals[lane])
-			for b := 0; b < elem; b++ {
-				e.ByteValid[off*elem+b] = act[lane]
+			if act[lane] {
+				e.ActLanes |= 1 << uint(lane)
+				e.valid.SetRange(off*elem, elem)
+			} else {
+				e.ActLanes &^= 1 << uint(lane)
+				e.valid.ClearRange(off*elem, elem)
 			}
 		}
 	case core.KindElem:
 		if update[e.Lane] {
-			e.ActLanes = isa.Pred{}
-			e.ActLanes[e.Lane] = act[e.Lane]
 			isa.PutInt(e.Data[:elem], elem, vals[e.Lane])
-			for b := 0; b < elem; b++ {
-				e.ByteValid[b] = act[e.Lane]
+			if act[e.Lane] {
+				e.ActLanes = 1 << uint(e.Lane)
+				e.valid = bitvec.Range128(0, elem)
+			} else {
+				e.ActLanes = 0
+				e.valid = bitvec.Mask128{}
 			}
 		}
 	case core.KindScalar:
 		isa.PutInt(e.Data, elem, vals[0])
-		for b := range e.ByteValid {
-			e.ByteValid[b] = true
-		}
+		e.valid = bitvec.Range128(0, len(e.Data))
 	default:
 		panic(fmt.Sprintf("lsu: store kind %v unsupported (pc=%d seq=%d lane=%d instance=%d addr=%#x)",
 			kind, e.ID, seq, e.Lane, e.Instance, addr))
@@ -781,27 +852,27 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 	// are skipped, as are bytes of store lanes not updated this round (their
 	// data is unchanged and was already forwarded or flagged).
 	l.Stats.HorizDisamb += int64(l.validLoadsByInst[e.Instance])
-	replay := l.ctrl.Replay()
+	replayMask := core.PredMask(l.ctrl.Replay())
+	updateMask := core.PredMask(update)
 	iss := e.Access()
+	var rawMask bitvec.LaneMask
 	for _, ld := range l.collect(false, addr, fp) {
 		if ld.Instance != e.Instance {
 			continue
 		}
-		lanes := core.ViolatingLanesMasked(iss, ld.Access(), update)
-		for lane := 0; lane < isa.NumLanes; lane++ {
-			if !lanes[lane] || !ld.ActLanes[lane] {
-				continue
-			}
-			if replay[lane] && ld.ID > e.ID {
-				continue // will re-read after this store in this round
-			}
-			// Restrict to lanes whose access actually overlaps (elem loads
-			// have per-lane footprints; contig per-lane spans are encoded in
-			// the Access lane attribution already).
-			res.RAWLanes[lane] = true
+		// Word-parallel: violating lanes restricted to lanes the load
+		// architecturally performed (elem loads have per-lane footprints;
+		// contig per-lane spans are encoded in the Access lane attribution
+		// already). Lanes being re-read after this store in this round pick
+		// the fresh data up via forwarding instead.
+		viol := core.ViolatingLaneMask(iss, ld.Access(), updateMask) & ld.ActLanes
+		if ld.ID > e.ID {
+			viol &^= replayMask
 		}
+		rawMask |= viol
 	}
-	if res.RAWLanes.Any() {
+	if rawMask.Any() {
+		res.RAWLanes = core.MaskPred(rawMask)
 		l.ctrl.RecordRAW(res.RAWLanes)
 	}
 
@@ -811,7 +882,7 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 		if st == e || st.Instance != e.Instance {
 			continue
 		}
-		if core.ViolatingLanes(iss, st.Access()).Any() && iss.Overlaps(st.Access()) {
+		if core.ViolatingLaneMask(iss, st.Access(), core.AllLanes).Any() && iss.Overlaps(st.Access()) {
 			res.WAW = true
 		}
 	}
@@ -872,10 +943,9 @@ func (l *LSU) writeEntry(e *Entry) {
 		fmt.Printf("  writeEntry id=%d lane=%d inst=%d seq=%d addr=%#x\n",
 			e.ID, e.Lane, e.Instance, e.Seq, e.Addr)
 	}
-	for b := 0; b < len(e.Data); b++ {
-		if e.ByteValid[b] {
-			l.mem.WriteBytes(e.Addr+uint64(b), e.Data[b:b+1])
-		}
+	// Batch runs of valid bytes into single memory writes.
+	for off, n := e.valid.NextRun(0); n > 0; off, n = e.valid.NextRun(off + n) {
+		l.mem.WriteBytes(e.Addr+uint64(off), e.Data[off:off+n])
 	}
 }
 
@@ -902,17 +972,31 @@ func (l *LSU) CommitRegion(instance int) {
 	written.Reset()
 	for i := len(stores) - 1; i >= 0; i-- { // youngest first; skip overwritten bytes
 		e := stores[i]
-		for b := 0; b < len(e.Data); b++ {
-			if !e.ByteValid[b] {
-				continue
+		// Walk the footprint one alignment region at a time: the entry's
+		// valid bytes AND the already-written mask resolve a whole region's
+		// WAW suppression in two word operations (paper §IV-A).
+		fp := len(e.Data)
+		for fpOff := 0; fpOff < fp; {
+			a := e.Addr + uint64(fpOff)
+			base := bitvec.Base(a)
+			rOff := bitvec.Offset(a)
+			cnt := bitvec.RegionSize - rOff
+			if cnt > fp-fpOff {
+				cnt = fp - fpOff
 			}
-			a := e.Addr + uint64(b)
-			if written.Contains(a) {
-				l.Stats.WAWWritebacks++
-				continue
+			vm := bitvec.Mask(e.valid.Window(fpOff, cnt)) << uint(rOff)
+			if vm != 0 {
+				w := written.Get(base)
+				l.Stats.WAWWritebacks += int64((vm & w).Count())
+				take := vm &^ w
+				written.Add(bitvec.RegionMask{Base: base, Mask: take})
+				t := bitvec.Mask128{uint64(take)}
+				for off, n := t.NextRun(0); n > 0; off, n = t.NextRun(off + n) {
+					d := fpOff + off - rOff
+					l.mem.WriteBytes(base+uint64(off), e.Data[d:d+n])
+				}
 			}
-			written.MarkByte(a)
-			l.mem.WriteBytes(a, e.Data[b:b+1])
+			fpOff += cnt
 		}
 	}
 	l.freeInstance(instance)
@@ -974,18 +1058,36 @@ func clampAddr(addr uint64, e *Entry) uint64 {
 func (l *LSU) WritebackNonSpec(instance, oldestLane, uptoID int) {
 	stores := l.collectStores(instance)
 	sort.Slice(stores, func(i, j int) bool { return storeSeqLess(stores[i], stores[j]) })
+	nonSpec := func(lo int, e *Entry) bool {
+		return lo < oldestLane || (lo == oldestLane && e.ID < uptoID)
+	}
+	writeMasked := func(e *Entry, m bitvec.Mask128) {
+		for off, n := m.NextRun(0); n > 0; off, n = m.NextRun(off + n) {
+			l.mem.WriteBytes(e.Addr+uint64(off), e.Data[off:off+n])
+		}
+	}
 	for _, e := range stores {
-		for b := 0; b < len(e.Data); b++ {
-			if !e.ByteValid[b] {
-				continue
-			}
-			a := e.Addr + uint64(b)
-			lo, _ := e.laneBoundsAt(a)
+		if e.Kind != core.KindContig {
+			// Elem entries sit wholly in one lane; scalar entries attribute
+			// to the pseudo-lane range starting at 0. One test per entry.
+			lo := 0
 			if e.Kind == core.KindElem {
 				lo = e.Lane
 			}
-			if lo < oldestLane || (lo == oldestLane && e.ID < uptoID) {
-				l.mem.WriteBytes(a, e.Data[b:b+1])
+			if nonSpec(lo, e) {
+				writeMasked(e, e.valid)
+			}
+			continue
+		}
+		// Contiguous: one lane per element slot, walked in byte order so
+		// write ordering matches the per-byte reference.
+		for idx := 0; idx < isa.NumLanes; idx++ {
+			lane := idx
+			if e.Dir == isa.DirDown {
+				lane = isa.NumLanes - 1 - idx
+			}
+			if nonSpec(lane, e) {
+				writeMasked(e, e.valid.And(bitvec.Range128(idx*e.Elem, e.Elem)))
 			}
 		}
 	}

@@ -15,6 +15,11 @@ type Tracer struct {
 	events  []traceEvent
 	cap     int
 	dropped int64
+	// ctrSlab backs CounterInts values: periodic counter samples are the
+	// bulk of a trace, and boxing each value into a map[string]any costs the
+	// simulator several allocations per interval. Values land here and are
+	// materialised into args maps only at export.
+	ctrSlab []int64
 }
 
 // DefaultTraceCap bounds the event buffer (~100 MB of JSON at worst).
@@ -30,6 +35,12 @@ type traceEvent struct {
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"` // instant scope
 	Args map[string]any `json:"args,omitempty"`
+
+	// CounterInts fast path: when ctrKeys is non-nil the args object is
+	// (ctrKeys[i] -> ctrVals[i]) and Args is built at export time.
+	// Unexported, so encoding/json ignores both.
+	ctrKeys []string
+	ctrVals []int64
 }
 
 // NewTracer returns a tracer with the default event cap.
@@ -77,6 +88,22 @@ func (t *Tracer) Counter(name string, ts int64, values map[string]any) {
 	t.add(traceEvent{Name: name, Ph: "C", TS: ts, Args: values})
 }
 
+// CounterInts is the allocation-free Counter variant for the per-interval
+// hot path: keys must be a static, alphabetically sorted slice (matching the
+// key order encoding/json gives a map, so the exported bytes are identical),
+// and vals[i] belongs to keys[i]. The values are copied; callers may reuse
+// their buffer.
+func (t *Tracer) CounterInts(name string, ts int64, keys []string, vals []int64) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	start := len(t.ctrSlab)
+	t.ctrSlab = append(t.ctrSlab, vals...)
+	t.events = append(t.events, traceEvent{Name: name, Ph: "C", TS: ts,
+		ctrKeys: keys, ctrVals: t.ctrSlab[start:len(t.ctrSlab):len(t.ctrSlab)]})
+}
+
 // traceFile is the object form of the Chrome trace format.
 type traceFile struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
@@ -89,6 +116,19 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	f := traceFile{TraceEvents: t.events, DisplayTimeUnit: "ms"}
 	if t.events == nil {
 		f.TraceEvents = []traceEvent{}
+	}
+	// Materialise the CounterInts fast-path events: the export is a one-off
+	// cold path, so building the args maps here is fine.
+	for i := range f.TraceEvents {
+		e := &f.TraceEvents[i]
+		if e.ctrKeys == nil {
+			continue
+		}
+		args := make(map[string]any, len(e.ctrKeys))
+		for j, k := range e.ctrKeys {
+			args[k] = e.ctrVals[j]
+		}
+		e.Args = args
 	}
 	if t.dropped > 0 {
 		f.Meta = map[string]any{"dropped_events": t.dropped}

@@ -63,17 +63,17 @@ const snapshotROBEntries = 12
 func (p *Pipeline) Snapshot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycle=%d fetchPC=%d fetchq=%d stalled=%v rob=%d/%d lsu=%d/%d mode=%v region=%d resumeAt=%d\n",
-		p.cycle, p.fetchPC, len(p.fetchq), p.fetchStalled, len(p.rob), p.Cfg.ROBSize,
+		p.cycle, p.fetchPC, p.fetchLen(), p.fetchStalled, p.robLen(), p.Cfg.ROBSize,
 		p.LSU.Len(), p.Cfg.LSQSize, p.Ctrl.Mode(), p.curInstance, p.resumeAt)
-	for i, e := range p.rob {
+	for i, e := range p.robWin() {
 		if i >= snapshotROBEntries {
-			fmt.Fprintf(&b, "  ... %d younger entries elided\n", len(p.rob)-i)
+			fmt.Fprintf(&b, "  ... %d younger entries elided\n", p.robLen()-i)
 			break
 		}
 		fmt.Fprintf(&b, "  rob[%d] seq=%d pc=%d op=%s state=%s ready=%v faulted=%v region=%d\n",
 			i, e.seq, e.pc, e.inst.Op.String(), stateName(e.state), p.ready(e), e.faulted, e.regionIdx)
 	}
-	if len(p.rob) == 0 {
+	if p.robLen() == 0 {
 		fmt.Fprint(&b, "  (rob empty)\n")
 	}
 	return b.String()

@@ -9,12 +9,19 @@ import (
 	"srvsim/internal/lsu"
 )
 
-// readVal reads the operand bound to ref at dispatch: the producer's result
-// if one is in flight, the architectural file otherwise.
+// findSrc resolves the operand bound to ref at dispatch: the producer entry
+// while it is still in flight, nil once it has committed (the architectural
+// file then holds exactly the forwarded value — commit is in order, so no
+// younger writer can have overwritten it before this instruction executes)
+// or when the file held the value all along.
 func (p *Pipeline) findSrc(e *robEntry, ref isa.RegRef) *robEntry {
-	for _, s := range e.srcs {
+	for i := range e.srcs {
+		s := &e.srcs[i]
 		if s.ref == ref {
-			return s.prod
+			if s.prod != nil && s.prodSeq > p.committedSeq {
+				return s.prod
+			}
+			return nil
 		}
 	}
 	return nil
@@ -65,10 +72,11 @@ func (p *Pipeline) oldVec(e *robEntry) isa.Vec {
 	if !e.hasWrite || e.writeRef.Class != isa.RegVector {
 		return isa.Vec{}
 	}
-	if prod := e.prevWriter; prod != nil {
-		// prevWriter may have committed; its result remains readable.
+	if prod := e.prevWriter; prod != nil && e.prevWriterSeq > p.committedSeq {
 		return prod.vecRes
 	}
+	// No in-flight previous writer (or it committed, possibly recycled): the
+	// architectural file holds its value.
 	return p.Vr[e.writeRef.Idx]
 }
 
@@ -76,7 +84,7 @@ func (p *Pipeline) oldPred(e *robEntry) isa.Pred {
 	if !e.hasWrite || e.writeRef.Class != isa.RegPred {
 		return isa.Pred{}
 	}
-	if prod := e.prevWriter; prod != nil {
+	if prod := e.prevWriter; prod != nil && e.prevWriterSeq > p.committedSeq {
 		return prod.predRes
 	}
 	return p.Pr[e.writeRef.Idx]
@@ -87,6 +95,8 @@ func (p *Pipeline) oldPred(e *robEntry) isa.Pred {
 // (branch mispredict, replay, fallback pass) and the issue scan must stop.
 func (p *Pipeline) execute(e *robEntry, loadSlots, storeSlots *int) bool {
 	defer p.traceExec(e)
+	p.stepQuiet = false
+	p.iqCount-- // e leaves the issue queue (always sDispatched on entry)
 	e.state = sIssued
 	e.granted = true
 	e.issueAt = p.cycle

@@ -1,0 +1,86 @@
+package pipeline
+
+// The fetch queue is a FIFO of fetchSlots that can legitimately run millions
+// of slots deep: fetch follows the predicted path at full width while a
+// memory-bound dispatcher drains a handful of instructions per cycle, and
+// the queue's depth is an architectural observable (the sampler's fetchq
+// column), so it cannot be capped. A contiguous slice pays O(n) growth
+// copies and leaves multi-megabyte garbage behind; this chunked deque pushes
+// and pops in O(1) with no copying, and recycles chunks through a freelist
+// so a squash-heavy run reuses the same few blocks forever.
+
+// fetchChunkSize is slots per chunk: 1024 x 32-byte slots = one 32 KiB
+// block, large enough to amortise the link hops, small enough that the
+// freelist holds no more than a few hundred KiB after a deep-queue phase.
+const fetchChunkSize = 1024
+
+type fetchChunk struct {
+	slots [fetchChunkSize]fetchSlot
+	next  *fetchChunk
+}
+
+// fetchQueue is a chunked FIFO: slots are pushed at (tail, tailIdx) and
+// popped at (head, headIdx); exhausted head chunks and cleared queues return
+// their blocks to free.
+type fetchQueue struct {
+	head, tail       *fetchChunk
+	headIdx, tailIdx int // headIdx: next slot to pop; tailIdx: next slot to fill
+	n                int
+	free             *fetchChunk
+}
+
+func (q *fetchQueue) len() int { return q.n }
+
+// front returns the oldest slot; the queue must be non-empty.
+func (q *fetchQueue) front() *fetchSlot { return &q.head.slots[q.headIdx] }
+
+func (q *fetchQueue) push(s fetchSlot) {
+	if q.tail == nil || q.tailIdx == fetchChunkSize {
+		c := q.free
+		if c != nil {
+			q.free = c.next
+			c.next = nil
+		} else {
+			c = &fetchChunk{}
+		}
+		if q.tail == nil {
+			q.head, q.headIdx = c, 0
+		} else {
+			q.tail.next = c
+		}
+		q.tail, q.tailIdx = c, 0
+	}
+	q.tail.slots[q.tailIdx] = s
+	q.tailIdx++
+	q.n++
+}
+
+func (q *fetchQueue) pop() {
+	q.headIdx++
+	q.n--
+	if q.n == 0 {
+		// Keep the current chunk hot instead of cycling it through the
+		// freelist: the common drained-queue case restarts in place.
+		q.headIdx, q.tailIdx = 0, 0
+		q.tail = q.head
+		return
+	}
+	if q.headIdx == fetchChunkSize {
+		c := q.head
+		q.head = c.next
+		c.next = q.free
+		q.free = c
+		q.headIdx = 0
+	}
+}
+
+// clear empties the queue, returning every chunk to the freelist (squash and
+// redirect flush the whole front end).
+func (q *fetchQueue) clear() {
+	if q.head != nil {
+		q.tail.next = q.free
+		q.free = q.head
+		q.head, q.tail = nil, nil
+	}
+	q.headIdx, q.tailIdx, q.n = 0, 0, 0
+}

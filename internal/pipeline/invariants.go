@@ -41,10 +41,12 @@ func (p *Pipeline) violated(check, format string, args ...any) {
 }
 
 func (p *Pipeline) checkInvariants() {
-	// 1. ROB sequence numbers strictly increase and states are sane.
+	// 1. ROB sequence numbers strictly increase and states are sane. The
+	// scheduler's derived structures (incremental IQ count, the active
+	// window) must agree with a from-scratch scan.
 	var prev int64 = -1
-	dispatched := 0
-	for i, e := range p.rob {
+	dispatched, inFlight := 0, 0
+	for i, e := range p.robWin() {
 		if e.seq <= prev {
 			p.violated("rob-order", "ROB seq not increasing at %d (%d after %d)", i, e.seq, prev)
 		}
@@ -56,13 +58,23 @@ func (p *Pipeline) checkInvariants() {
 		default:
 			p.violated("rob-state", "bad state %d at seq %d", e.state, e.seq)
 		}
+		if e.state != sDone || e.faulted {
+			inFlight++
+		}
 	}
 	// 2. Structural capacities.
-	if len(p.rob) > p.Cfg.ROBSize {
-		p.violated("rob-capacity", "ROB %d > %d", len(p.rob), p.Cfg.ROBSize)
+	if p.robLen() > p.Cfg.ROBSize {
+		p.violated("rob-capacity", "ROB %d > %d", p.robLen(), p.Cfg.ROBSize)
 	}
 	if dispatched > p.Cfg.IQSize {
 		p.violated("iq-capacity", "IQ %d > %d", dispatched, p.Cfg.IQSize)
+	}
+	if dispatched != p.iqCount {
+		p.violated("iq-capacity", "incremental IQ count %d != scanned %d", p.iqCount, dispatched)
+	}
+	if inFlight != len(p.active) {
+		p.violated("rob-state", "active window %d entries, ROB scan finds %d in flight",
+			len(p.active), inFlight)
 	}
 	if p.LSU.Len() > p.Cfg.LSQSize {
 		p.violated("lsq-capacity", "LSU %d > %d", p.LSU.Len(), p.Cfg.LSQSize)
@@ -70,7 +82,7 @@ func (p *Pipeline) checkInvariants() {
 	// 3. srv_end instances never execute concurrently (serialisation); any
 	// number may be dispatched-but-waiting.
 	executing := 0
-	for _, e := range p.rob {
+	for _, e := range p.robWin() {
 		if e.inst.Op == isa.OpSRVEnd && e.state == sIssued {
 			executing++
 		}
@@ -98,14 +110,16 @@ func (p *Pipeline) checkInvariants() {
 				p.Ctrl.Replay().Count())
 		}
 	}
-	// 5. The rename map only points at live or committed entries that wrote
-	// the mapped register.
-	for ref, e := range p.rename {
+	// 5. The rename table only points at live, uncommitted entries that
+	// wrote the mapped register (nil slots mean the architectural file).
+	// Committed entries are recycled through the pool, so a stale mapping
+	// here would be a use-after-free, not just a bookkeeping slip.
+	for i, e := range p.rename {
 		if e == nil {
-			p.violated("rename-map", "nil rename mapping for %v", ref)
+			continue
 		}
-		if !e.hasWrite || e.writeRef != ref {
-			p.violated("rename-map", "rename[%v] points at a non-writer (pc %d)", ref, e.pc)
+		if !e.hasWrite || renameIdx(e.writeRef) != i || e.seq <= p.committedSeq {
+			p.violated("rename-map", "rename[%d] points at a non-writer (pc %d)", i, e.pc)
 		}
 	}
 }

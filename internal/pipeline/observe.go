@@ -56,23 +56,32 @@ func (p *Pipeline) EnableSampling(every int64) {
 // Samples returns the recorded time-series (nil when sampling is off).
 func (p *Pipeline) Samples() *obsv.Sampler { return p.sampler }
 
+// Static, alphabetically sorted key sets for the counter tracks: sorted so
+// the CounterInts fast path exports byte-identical JSON to the map form
+// (encoding/json sorts map keys).
+var (
+	occupancyKeys = []string{"fetchq", "iq", "lsq", "rob"}
+	srvPredKeys   = []string{"replay_lanes"}
+)
+
 // observeCycle runs the per-cycle observability hooks; step calls it only
-// when sampling or tracing is enabled.
+// when sampling or tracing is enabled. It is allocation-free in steady state
+// (the sampler appends to a flat slab, the tracer boxes nothing), so
+// observability does not distort the timing it observes.
 func (p *Pipeline) observeCycle() {
 	if p.sampleEvery > 0 && p.cycle%p.sampleEvery == 0 {
 		ipc := float64(p.Stats.Committed-p.lastSampleCommitted) / float64(p.sampleEvery)
 		p.lastSampleCommitted = p.Stats.Committed
 		p.sampler.Sample(p.cycle, ipc, float64(p.Stats.Committed),
-			float64(len(p.rob)), float64(p.iqOccupancy()), float64(p.LSU.Len()),
-			float64(len(p.fetchq)), float64(p.replayPopulation()))
+			float64(p.robLen()), float64(p.iqCount), float64(p.LSU.Len()),
+			float64(p.fetchLen()), float64(p.replayPopulation()))
 	}
 	if p.tracer != nil && p.cycle%traceCounterInterval == 0 {
-		p.tracer.Counter("occupancy", p.cycle, map[string]any{
-			"rob": len(p.rob), "iq": p.iqOccupancy(), "lsq": p.LSU.Len(), "fetchq": len(p.fetchq),
-		})
-		p.tracer.Counter("srv predicate", p.cycle, map[string]any{
-			"replay_lanes": p.replayPopulation(),
-		})
+		occ := [...]int64{int64(p.fetchLen()), int64(p.iqCount),
+			int64(p.LSU.Len()), int64(p.robLen())}
+		p.tracer.CounterInts("occupancy", p.cycle, occupancyKeys, occ[:])
+		srv := [...]int64{int64(p.replayPopulation())}
+		p.tracer.CounterInts("srv predicate", p.cycle, srvPredKeys, srv[:])
 	}
 }
 

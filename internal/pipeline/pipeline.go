@@ -24,6 +24,10 @@ const (
 type src struct {
 	ref  isa.RegRef
 	prod *robEntry
+	// prodSeq is prod's identity at capture: once committedSeq passes it the
+	// producer's value lives in the architectural file and prod must not be
+	// dereferenced (the entry may have been recycled for a new instruction).
+	prodSeq int64
 	// mergeOnly marks an old-destination read added solely for SRV-replay
 	// merging of an unpredicated in-region write: when the SRV-replay
 	// register is fully set, every lane is overwritten and the old value is
@@ -46,10 +50,12 @@ type robEntry struct {
 	inRegionAfter      bool
 	fallback           bool // dispatched while the region ran in fallback mode
 
-	srcs       []src
-	hasWrite   bool
-	writeRef   isa.RegRef
-	prevWriter *robEntry // rename rollback: previous producer of writeRef
+	srcs          []src
+	srcBuf        [6]src // inline backing: operand capture at dispatch never allocates
+	hasWrite      bool
+	writeRef      isa.RegRef
+	prevWriter    *robEntry // rename rollback: previous producer of writeRef
+	prevWriterSeq int64     // identity guard, as src.prodSeq
 
 	doneAt int64
 
@@ -64,7 +70,8 @@ type robEntry struct {
 
 	// Memory state.
 	lsuEntries []*lsu.Entry
-	memElems   int // port slots still to drain
+	lsuBuf     [1]*lsu.Entry // inline backing for the common one-entry case
+	memElems   int           // port slots still to drain
 	cacheLat   int
 	granted    bool // all port slots granted; doneAt fixed
 
@@ -86,6 +93,21 @@ type fetchSlot struct {
 	predTarget int
 }
 
+// renameSlots flattens the register namespace for the producer table:
+// scalars first, then vectors, then predicates.
+const renameSlots = isa.NumSclRegs + isa.NumVecRegs + isa.NumPredReg
+
+func renameIdx(r isa.RegRef) int {
+	switch r.Class {
+	case isa.RegScalar:
+		return r.Idx
+	case isa.RegVector:
+		return isa.NumSclRegs + r.Idx
+	default:
+		return isa.NumSclRegs + isa.NumVecRegs + r.Idx
+	}
+}
+
 // Pipeline is the simulated core.
 type Pipeline struct {
 	Cfg   Config
@@ -103,14 +125,61 @@ type Pipeline struct {
 	Vr [isa.NumVecRegs]isa.Vec
 	Pr [isa.NumPredReg]isa.Pred
 
+	// The ROB is a FIFO window over a reusable backing array: live entries
+	// are rob[robHead:], commit advances robHead, and pushROB compacts the
+	// dead prefix before growing, so steady state never reallocates.
 	rob     []*robEntry
-	rename  map[isa.RegRef]*robEntry
+	robHead int
+
+	// active is the scheduler's working window: the seq-ordered subset of
+	// ROB entries still in flight (state != sDone, plus faulted entries,
+	// which keep gating allOlderDone until delivered). complete maintains
+	// it each cycle, so the issue-stage scans stay proportional to work in
+	// flight instead of ROB occupancy.
+	active []*robEntry
+
+	// iqCount tracks the dispatched-not-yet-issued population incrementally
+	// (dispatch ++, execute --, squash adjusts), making the per-slot IQ
+	// capacity check O(1).
+	iqCount int
+
+	// rename is a flat register-indexed producer table (scalars, vectors,
+	// then predicates); nil means the architectural file holds the value.
+	// Entries here are always live and uncommitted: commit clears its own
+	// mapping, and squash rollback discards already-committed prev-writers.
+	rename  [renameSlots]*robEntry
 	nextSeq int64
 	cycle   int64
 
+	// committedSeq is the seq of the youngest committed instruction. It
+	// gates every deref of a captured producer pointer: entries at or below
+	// it have their results in the architectural file and may have been
+	// recycled through entryPool.
+	committedSeq int64
+
+	// entryPool recycles retired/squashed robEntries so steady-state
+	// dispatch allocates nothing (GC scan cost dominated the tick core).
+	entryPool []*robEntry
+
 	fetchPC      int
 	fetchStalled bool // stop fetching (after halt or program end)
-	fetchq       []fetchSlot
+	// The fetch queue: a chunked deque (fetchq.go), since fetch can run
+	// millions of slots ahead of a stalled dispatcher.
+	fetchq fetchQueue
+
+	// srcScratch is the dispatch-time operand scratch buffer (AppendReads).
+	srcScratch []isa.RegRef
+
+	// fullMask caches "in a region with a full SRV-replay mask" across one
+	// issue scan; readySrcs consults it for every merge-only source, and
+	// issue recomputes it after each execute (which can change it).
+	fullMask bool
+
+	// stepQuiet is true after a step that performed no work: nothing was
+	// fetched, dispatched, issued, drained, completed, committed or counted.
+	// The event-driven scheduler may then advance time straight to the next
+	// wake event (scheduler.go).
+	stepQuiet bool
 
 	// Dispatcher region state.
 	dispRegionCounter int
@@ -176,6 +245,10 @@ type Pipeline struct {
 	// the machine so the forward-progress watchdog can be exercised on
 	// otherwise-healthy programs. 0 = disabled.
 	wedgeAt int64
+
+	// tickRef selects the per-cycle reference scheduler over the default
+	// event-driven one (UseReferenceTickCore).
+	tickRef bool
 }
 
 // New builds a pipeline over prog with fresh architectural state.
@@ -189,7 +262,6 @@ func New(cfg Config, prog *isa.Program, image *mem.Image) *Pipeline {
 		Ctrl:        ctrl,
 		BP:          predictor.NewBranch(predictor.DefaultBranchConfig()),
 		SS:          predictor.NewStoreSet(1024, 128),
-		rename:      make(map[isa.RegRef]*robEntry),
 		curInstance: -1,
 		regionHist:  obsv.NewHistogram(obsv.PowersOfTwo(17)...),
 	}
@@ -215,6 +287,12 @@ func (p *Pipeline) SetCancel(fn func() error) { p.cancel = fn }
 // nothing, so the machine stops making forward progress while still cycling
 // — the synthetic livelock the watchdog exists to catch.
 func (p *Pipeline) InjectWedge(cycle int64) { p.wedgeAt = cycle }
+
+// UseReferenceTickCore forces the per-cycle reference scheduler: every
+// cycle runs a full step with no quiet-stretch skipping. The event-driven
+// scheduler must be bit-identical to this core on every observable output;
+// the cross-core equivalence suite holds it to that contract.
+func (p *Pipeline) UseReferenceTickCore() { p.tickRef = true }
 
 // DefaultWatchdogCycles is the forward-progress window when
 // Config.WatchdogCycles is 0: generous enough that no legitimate commit gap
@@ -251,7 +329,7 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 	for !p.halted {
 		if p.cycle >= max {
 			p.Stats.Cycles = p.cycle
-			return fmt.Errorf("%w: %d cycles at pc %d (rob=%d)", ErrCycleBudget, max, p.fetchPC, len(p.rob))
+			return fmt.Errorf("%w: %d cycles at pc %d (rob=%d)", ErrCycleBudget, max, p.fetchPC, p.robLen())
 		}
 		if p.cycle&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -275,13 +353,72 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 			p.Stats.Cycles = p.cycle
 			return &DeadlockError{Cycle: p.cycle, Window: wd, PC: p.fetchPC, Snapshot: p.Snapshot()}
 		}
+		// Event-driven scheduling: after a step that did no work, advance
+		// time straight to the next wake event instead of ticking through
+		// the dead stretch (scheduler.go). The reference tick core never
+		// skips.
+		if p.stepQuiet && !p.tickRef && !p.halted {
+			if target := p.quietTarget(max, wd, lastProgress); target > p.cycle {
+				p.advanceQuiet(target)
+				if p.resumeAt > p.cycle {
+					lastProgress = p.cycle // frozen cycles count as progress
+				}
+			}
+		}
 	}
 	p.Stats.Cycles = p.cycle
 	return nil
 }
 
+// robWin returns the live ROB entries, oldest first.
+func (p *Pipeline) robWin() []*robEntry { return p.rob[p.robHead:] }
+
+func (p *Pipeline) robLen() int { return len(p.rob) - p.robHead }
+
+func (p *Pipeline) fetchLen() int { return p.fetchq.len() }
+
+// pushROB appends to the ROB window, compacting the committed prefix of the
+// backing array before it would otherwise have to grow.
+func (p *Pipeline) pushROB(e *robEntry) {
+	if p.robHead > 0 && len(p.rob) == cap(p.rob) {
+		n := copy(p.rob, p.rob[p.robHead:])
+		for i := n; i < len(p.rob); i++ {
+			p.rob[i] = nil
+		}
+		p.rob = p.rob[:n]
+		p.robHead = 0
+	}
+	p.rob = append(p.rob, e)
+}
+
+// allocEntry takes a zeroed robEntry from the pool, or a fresh one while the
+// pool warms up to the maximum in-flight population.
+func (p *Pipeline) allocEntry() *robEntry {
+	if n := len(p.entryPool); n > 0 {
+		e := p.entryPool[n-1]
+		p.entryPool[n-1] = nil
+		p.entryPool = p.entryPool[:n-1]
+		return e
+	}
+	return &robEntry{}
+}
+
+// freeEntry recycles a retired or squashed entry. The caller guarantees no
+// live structure will dereference it again: rename and the windows drop their
+// pointers before the free, and captured prod/prevWriter pointers are gated
+// by their seq guards.
+func (p *Pipeline) freeEntry(e *robEntry) {
+	*e = robEntry{}
+	p.entryPool = append(p.entryPool, e)
+}
+
 func (p *Pipeline) step() {
 	p.cycle++
+	// Stats.Cycles stays coherent mid-run so crash forensics (deadlock
+	// snapshots, sampler rows, paranoid panics) report the true cycle count
+	// instead of whatever the last exit path left behind.
+	p.Stats.Cycles = p.cycle
+	p.stepQuiet = true
 	if p.sampleEvery > 0 || p.tracer != nil {
 		p.observeCycle()
 	}
@@ -293,6 +430,7 @@ func (p *Pipeline) step() {
 		if p.cycle < p.resumeAt {
 			return
 		}
+		p.stepQuiet = false
 		p.resumeAt = 0
 		if p.resuming {
 			p.Ctrl.Resume(p.savedSRV)
@@ -301,7 +439,7 @@ func (p *Pipeline) step() {
 	}
 	// Precise exception delivery: the faulting instruction has reached the
 	// ROB head with every older instruction committed (§III-D3).
-	if len(p.rob) > 0 && p.rob[0].faulted {
+	if p.robLen() > 0 && p.rob[p.robHead].faulted {
 		p.deliverFault()
 		return
 	}
@@ -327,7 +465,8 @@ func (p *Pipeline) raiseFault(e *robEntry, addr uint64) {
 // mappable, the pipeline flushes, and execution resumes at the faulting
 // instruction — through the §III-D2 save/resume path when inside a region.
 func (p *Pipeline) deliverFault() {
-	e := p.rob[0]
+	p.stepQuiet = false
+	e := p.rob[p.robHead]
 	p.Stats.Exceptions++
 	if p.tracer != nil {
 		p.traceInstant("fault", map[string]any{"pc": e.pc, "addr": e.faultAddr})
@@ -371,6 +510,7 @@ func (p *Pipeline) fetch() {
 	if p.fetchStalled {
 		return
 	}
+	p.stepQuiet = false
 	for n := 0; n < p.Cfg.Width; n++ {
 		if p.fetchPC < 0 || p.fetchPC >= p.Prog.Len() {
 			p.fetchStalled = true
@@ -380,12 +520,12 @@ func (p *Pipeline) fetch() {
 		slot := fetchSlot{pc: p.fetchPC, readyAt: p.cycle + int64(p.Cfg.FrontEndDelay)}
 		switch {
 		case in.Op == isa.OpHalt:
-			p.fetchq = append(p.fetchq, slot)
+			p.fetchq.push(slot)
 			p.fetchStalled = true
 			return
 		case in.Op == isa.OpJmp:
 			slot.predTaken, slot.predTarget = true, in.Tgt
-			p.fetchq = append(p.fetchq, slot)
+			p.fetchq.push(slot)
 			p.fetchPC = in.Tgt
 			return // taken-branch fetch break
 		case in.IsCondBranch():
@@ -398,13 +538,13 @@ func (p *Pipeline) fetch() {
 				target = p.fetchPC + 1
 			}
 			slot.predTaken, slot.predTarget = taken, target
-			p.fetchq = append(p.fetchq, slot)
+			p.fetchq.push(slot)
 			p.fetchPC = target
 			if taken {
 				return
 			}
 		default:
-			p.fetchq = append(p.fetchq, slot)
+			p.fetchq.push(slot)
 			p.fetchPC++
 		}
 	}
@@ -412,42 +552,35 @@ func (p *Pipeline) fetch() {
 
 // ---- Dispatch ----
 
-func (p *Pipeline) iqOccupancy() int {
-	n := 0
-	for _, e := range p.rob {
-		if e.state == sDispatched {
-			n++
-		}
-	}
-	return n
-}
-
 func (p *Pipeline) dispatch() {
 	for n := 0; n < p.Cfg.Width; n++ {
-		if len(p.fetchq) == 0 || p.fetchq[0].readyAt > p.cycle {
+		if p.fetchq.len() == 0 || p.fetchq.front().readyAt > p.cycle {
 			return
 		}
-		if len(p.rob) >= p.Cfg.ROBSize {
+		if p.robLen() >= p.Cfg.ROBSize {
+			p.stepQuiet = false
 			p.Stats.DispatchStallROB++
 			return
 		}
-		if p.iqOccupancy() >= p.Cfg.IQSize {
+		if p.iqCount >= p.Cfg.IQSize {
+			p.stepQuiet = false
 			p.Stats.DispatchStallIQ++
 			return
 		}
-		slot := p.fetchq[0]
+		slot := *p.fetchq.front()
 		in := p.Prog.At(slot.pc)
 
-		e := &robEntry{
-			seq:        p.nextSeq + 1,
-			pc:         slot.pc,
-			inst:       in,
-			regionIdx:  -1,
-			predTaken:  slot.predTaken,
-			predTarget: slot.predTarget,
-			fetchAt:    slot.readyAt - int64(p.Cfg.FrontEndDelay),
-			dispatchAt: p.cycle,
-		}
+		e := p.allocEntry()
+		e.seq = p.nextSeq + 1
+		e.pc = slot.pc
+		e.inst = in
+		e.regionIdx = -1
+		e.predTaken = slot.predTaken
+		e.predTarget = slot.predTarget
+		e.fetchAt = slot.readyAt - int64(p.Cfg.FrontEndDelay)
+		e.dispatchAt = p.cycle
+		e.srcs = e.srcBuf[:0]
+		e.lsuEntries = e.lsuBuf[:0]
 		if p.dispInRegion {
 			e.regionIdx = p.dispRegionCounter
 			// Fallback dispatch applies only to the region instance that is
@@ -464,12 +597,14 @@ func (p *Pipeline) dispatch() {
 				instance = e.regionIdx
 			}
 			if !p.reserveLSU(e, instance) {
-				return // stalled (or fallback redirect emptied the queue)
+				p.freeEntry(e) // never entered the ROB: nothing references it
+				return         // stalled (or fallback redirect emptied the queue)
 			}
 		}
 
+		p.stepQuiet = false
 		p.nextSeq++
-		p.fetchq = p.fetchq[1:]
+		p.fetchq.pop()
 
 		// Region bookkeeping.
 		switch in.Op {
@@ -484,27 +619,40 @@ func (p *Pipeline) dispatch() {
 		e.inRegionAfter = p.dispInRegion
 
 		// Rename: capture producers for reads, record previous writer.
-		for _, r := range in.Reads() {
-			e.srcs = append(e.srcs, src{ref: r, prod: p.rename[r]})
+		p.srcScratch = in.AppendReads(p.srcScratch[:0])
+		for _, r := range p.srcScratch {
+			s := src{ref: r, prod: p.rename[renameIdx(r)]}
+			if s.prod != nil {
+				s.prodSeq = s.prod.seq
+			}
+			e.srcs = append(e.srcs, s)
 		}
 		if e.regionIdx >= 0 && in.Pg == isa.NoPred {
 			// Inside a region every vector/predicate write merges with its
 			// old value under the SRV-replay mask (paper §III-D5), so the
 			// old destination becomes a source even without a governing
 			// predicate. The read is only consumed when the mask is partial.
-			for _, w := range in.Writes() {
-				if w.Class != isa.RegScalar {
-					e.srcs = append(e.srcs, src{ref: w, prod: p.rename[w], mergeOnly: true})
+			if w, ok := in.WriteReg(); ok && w.Class != isa.RegScalar {
+				s := src{ref: w, prod: p.rename[renameIdx(w)], mergeOnly: true}
+				if s.prod != nil {
+					s.prodSeq = s.prod.seq
 				}
+				e.srcs = append(e.srcs, s)
 			}
 		}
-		if ws := in.Writes(); len(ws) == 1 {
-			e.hasWrite, e.writeRef = true, ws[0]
-			e.prevWriter = p.rename[ws[0]]
-			p.rename[ws[0]] = e
+		if w, ok := in.WriteReg(); ok {
+			e.hasWrite, e.writeRef = true, w
+			ri := renameIdx(w)
+			e.prevWriter = p.rename[ri]
+			if e.prevWriter != nil {
+				e.prevWriterSeq = e.prevWriter.seq
+			}
+			p.rename[ri] = e
 		}
 
-		p.rob = append(p.rob, e)
+		p.pushROB(e)
+		p.active = append(p.active, e)
+		p.iqCount++
 	}
 }
 
@@ -539,6 +687,7 @@ func (p *Pipeline) reserveLSU(e *robEntry, instance int) bool {
 			p.enterFallback()
 			return false
 		}
+		p.stepQuiet = false
 		p.Stats.DispatchStallLSQ++
 		return false
 	}
@@ -565,6 +714,7 @@ func (p *Pipeline) enterFallback() {
 // ---- Issue ----
 
 func (p *Pipeline) issue() {
+	p.fullMask = p.Ctrl.InRegion() && p.Ctrl.Replay() == isa.AllTrue()
 	budget := struct{ total, scalar, branch, vecInt, vecOther, load, store int }{}
 	loadSlots := p.Cfg.LoadPorts
 	storeSlots := p.Cfg.StoreElemPerCycle
@@ -574,7 +724,7 @@ func (p *Pipeline) issue() {
 
 	// Drain pending gather/scatter element accesses first: they own port
 	// slots from previous cycles.
-	for _, e := range p.rob {
+	for _, e := range p.active {
 		if e.state != sIssued || e.granted || !e.inst.IsMem() {
 			continue
 		}
@@ -583,6 +733,7 @@ func (p *Pipeline) issue() {
 			ports = &storeSlots
 		}
 		for e.memElems > 0 && *ports > 0 {
+			p.stepQuiet = false
 			e.memElems--
 			*ports--
 		}
@@ -593,7 +744,7 @@ func (p *Pipeline) issue() {
 	}
 
 	barrierSeq := int64(-1) // seq of a pending srv_end (RelaxedBarrier mode)
-	for _, e := range p.rob {
+	for _, e := range p.active {
 		// The srv_end serialisation barrier: a pending srv_end (waiting or
 		// executing) blocks all younger issue (paper §III-D1). The cycles
 		// *introduced by* the barrier (Fig 8) are those where everything
@@ -609,6 +760,7 @@ func (p *Pipeline) issue() {
 				break // nothing younger issues in the same cycle
 			}
 			if e.state == sIssued && p.anyYoungerReady(e.seq) {
+				p.stepQuiet = false
 				p.Stats.BarrierCycles++
 			}
 			if !p.Cfg.RelaxedBarrier {
@@ -674,13 +826,17 @@ func (p *Pipeline) issue() {
 		if p.execute(e, &loadSlots, &storeSlots) {
 			break // squash/redirect invalidated the scan
 		}
+		// execute can move the region/replay state (srv_start, srv_end,
+		// exception-lane marking): refresh the cached full-mask bit for the
+		// remaining readiness checks of this scan.
+		p.fullMask = p.Ctrl.InRegion() && p.Ctrl.Replay() == isa.AllTrue()
 	}
 }
 
 // anyYoungerReady reports whether an instruction younger than seq could
 // issue were the barrier not in the way (barrier-cycle accounting, Fig 8).
 func (p *Pipeline) anyYoungerReady(seq int64) bool {
-	for _, e := range p.rob {
+	for _, e := range p.active {
 		if e.seq > seq && e.state == sDispatched && p.readySrcs(e) {
 			return true
 		}
@@ -724,12 +880,14 @@ func (p *Pipeline) fuClass(in *isa.Inst) fuKind {
 }
 
 func (p *Pipeline) readySrcs(e *robEntry) bool {
-	fullMask := p.Ctrl.InRegion() && p.Ctrl.Replay() == isa.AllTrue()
-	for _, s := range e.srcs {
-		if s.mergeOnly && fullMask {
+	for i := range e.srcs {
+		s := &e.srcs[i]
+		if s.mergeOnly && p.fullMask {
 			continue
 		}
-		if s.prod != nil && s.prod.state != sDone {
+		// Committed producers (seq at or below committedSeq) are done by
+		// definition and must not be dereferenced — recycled entries.
+		if s.prod != nil && s.prodSeq > p.committedSeq && s.prod.state != sDone {
 			return false
 		}
 	}
@@ -748,7 +906,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 		if p.Ctrl.InRegion() {
 			return false
 		}
-		for _, o := range p.rob {
+		for _, o := range p.active {
 			if o.seq >= e.seq {
 				break
 			}
@@ -772,7 +930,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 			// stores so forwarding and horizontal disambiguation see all
 			// addresses and data. (Region bodies load first and store last,
 			// so this costs little.)
-			for _, o := range p.rob {
+			for _, o := range p.active {
 				if o.seq >= e.seq {
 					break
 				}
@@ -783,7 +941,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 			return true
 		}
 		if p.Cfg.ConservativeMem {
-			for _, o := range p.rob {
+			for _, o := range p.active {
 				if o.seq >= e.seq {
 					break
 				}
@@ -798,7 +956,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 		// unexecuted older stores in its own store set; a misprediction is
 		// caught by the vertical RAW check at store execution and squashed.
 		sid := p.SS.SetOf(e.pc)
-		for _, o := range p.rob {
+		for _, o := range p.active {
 			if o.seq >= e.seq {
 				break
 			}
@@ -817,7 +975,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 }
 
 func (p *Pipeline) allOlderDone(e *robEntry) bool {
-	for _, o := range p.rob {
+	for _, o := range p.active {
 		if o.seq >= e.seq {
 			break
 		}
@@ -830,24 +988,49 @@ func (p *Pipeline) allOlderDone(e *robEntry) bool {
 
 // ---- Complete / commit ----
 
+// complete retires execution: issued entries whose completion time has
+// arrived become done, and the active window is compacted in the same sweep
+// (dropping everything done-and-unfaulted, so the issue scans stay short).
 func (p *Pipeline) complete() {
-	for _, e := range p.rob {
+	n := 0
+	for i, e := range p.active {
 		if e.state == sIssued && e.granted && p.cycle >= e.doneAt {
 			e.state = sDone
+			p.stepQuiet = false
+		}
+		if e.state != sDone || e.faulted {
+			if n != i {
+				p.active[n] = e // shift only once a gap opens: the common
+			} // no-completion sweep writes nothing (no barriers, no copies)
+			n++
 		}
 	}
+	if n == len(p.active) {
+		return
+	}
+	for i := n; i < len(p.active); i++ {
+		p.active[i] = nil
+	}
+	p.active = p.active[:n]
 }
 
 func (p *Pipeline) commit() {
 	if p.wedgeAt > 0 && p.cycle >= p.wedgeAt {
 		return // injected wedge: retire nothing (chaos/watchdog testing)
 	}
-	for n := 0; n < p.Cfg.Width && len(p.rob) > 0; n++ {
-		e := p.rob[0]
+	for n := 0; n < p.Cfg.Width && p.robLen() > 0; n++ {
+		e := p.rob[p.robHead]
 		if e.state != sDone || e.faulted {
 			return
 		}
-		p.rob = p.rob[1:]
+		p.stepQuiet = false
+		p.rob[p.robHead] = nil
+		p.robHead++
+		if p.robHead == len(p.rob) {
+			p.rob = p.rob[:0]
+			p.robHead = 0
+		}
+		p.committedSeq = e.seq
 		p.Stats.Committed++
 		if p.recordTimeline {
 			if len(p.timeline) < TimelineCap {
@@ -874,8 +1057,8 @@ func (p *Pipeline) commit() {
 		// Architectural effects.
 		if e.hasWrite {
 			p.writeArch(e)
-			if p.rename[e.writeRef] == e {
-				delete(p.rename, e.writeRef)
+			if ri := renameIdx(e.writeRef); p.rename[ri] == e {
+				p.rename[ri] = nil
 			}
 		}
 		// CommitRegion (at srv_end execution) frees a region's entries while
@@ -898,7 +1081,9 @@ func (p *Pipeline) commit() {
 				p.LSU.Release(le)
 			}
 		}
-		if e.inst.Op == isa.OpHalt {
+		halt := e.inst.Op == isa.OpHalt
+		p.freeEntry(e)
+		if halt {
 			p.halted = true
 			p.Stats.Cycles = p.cycle
 			return
@@ -922,26 +1107,37 @@ func (p *Pipeline) writeArch(e *robEntry) {
 // squashAfter removes every instruction with seq > after, restoring the
 // rename table and dispatcher state.
 func (p *Pipeline) squashAfter(after int64) {
-	cut := len(p.rob)
-	for i, e := range p.rob {
+	p.stepQuiet = false
+	win := p.robWin()
+	cut := len(win)
+	for i, e := range win {
 		if e.seq > after {
 			cut = i
 			break
 		}
 	}
-	doomed := p.rob[cut:]
-	// Unwind the rename map youngest-first. A doomed writer's previous
+	doomed := win[cut:]
+	// Unwind the rename table youngest-first. A doomed writer's previous
 	// writer may itself be doomed; restoring it anyway lets the chain unwind
 	// until the youngest SURVIVING writer (or the architectural file) is the
 	// final mapping.
 	for i := len(doomed) - 1; i >= 0; i-- {
 		e := doomed[i]
-		if e.hasWrite && p.rename[e.writeRef] == e {
-			if e.prevWriter != nil {
-				p.rename[e.writeRef] = e.prevWriter
-			} else {
-				delete(p.rename, e.writeRef)
+		if e.hasWrite {
+			if ri := renameIdx(e.writeRef); p.rename[ri] == e {
+				w := e.prevWriter
+				if w != nil && e.prevWriterSeq <= p.committedSeq {
+					// The previous writer already committed: its value is in
+					// the architectural file and the entry may be recycled.
+					// (Behaviourally identical — a committed producer reads
+					// as ready and forwards the same value the file holds.)
+					w = nil
+				}
+				p.rename[ri] = w // nil restores the architectural file
 			}
+		}
+		if e.state == sDispatched {
+			p.iqCount--
 		}
 	}
 	p.Stats.SquashedInsts += int64(len(doomed))
@@ -951,10 +1147,27 @@ func (p *Pipeline) squashAfter(after int64) {
 			p.traceInstant("squash", map[string]any{"insts": len(doomed)})
 		}
 	}
-	p.rob = p.rob[:cut]
+	// The active window shares the seq order: truncate it at the same seq
+	// (before the frees below zero the doomed entries' seqs).
+	acut := len(p.active)
+	for i, e := range p.active {
+		if e.seq > after {
+			acut = i
+			break
+		}
+	}
+	for i := acut; i < len(p.active); i++ {
+		p.active[i] = nil
+	}
+	p.active = p.active[:acut]
+	for i := range doomed {
+		p.freeEntry(doomed[i]) // last: rename and the windows no longer hold them
+		doomed[i] = nil
+	}
+	p.rob = p.rob[:p.robHead+cut]
 	p.LSU.SquashYounger(after)
 	// Restore dispatcher region state from the youngest survivor.
-	if len(p.rob) > 0 {
+	if cut > 0 {
 		last := p.rob[len(p.rob)-1]
 		p.dispRegionCounter = last.regionCounterAfter
 		p.dispInRegion = last.inRegionAfter
@@ -962,14 +1175,15 @@ func (p *Pipeline) squashAfter(after int64) {
 		p.dispInRegion = p.Ctrl.InRegion()
 		p.dispRegionCounter = p.curInstance
 	}
-	p.fetchq = p.fetchq[:0]
+	p.fetchq.clear()
 	p.fetchStalled = false
 }
 
 func (p *Pipeline) redirect(pc int) {
+	p.stepQuiet = false
 	p.fetchPC = pc
 	p.fetchStalled = false
-	p.fetchq = p.fetchq[:0]
+	p.fetchq.clear()
 }
 
 // ---- Interrupts ----
@@ -987,13 +1201,13 @@ func (p *Pipeline) redirect(pc int) {
 // drains to such a boundary before vectoring to a handler; the wait is
 // bounded because completed heads retire at the commit width.
 func (p *Pipeline) interruptSafe() bool {
-	if len(p.rob) == 0 {
+	if p.robLen() == 0 {
 		return true
 	}
-	if p.rob[0].state == sDone {
+	if p.rob[p.robHead].state == sDone {
 		return false
 	}
-	for _, e := range p.rob {
+	for _, e := range p.robWin() {
 		op := e.inst.Op
 		if (op == isa.OpSRVStart || op == isa.OpSRVEnd) && e.state != sDispatched {
 			return false
@@ -1003,6 +1217,7 @@ func (p *Pipeline) interruptSafe() bool {
 }
 
 func (p *Pipeline) takeInterrupt() {
+	p.stepQuiet = false
 	p.Stats.Interrupts++
 	if p.tracer != nil {
 		p.traceInstant("interrupt", nil)
@@ -1010,14 +1225,14 @@ func (p *Pipeline) takeInterrupt() {
 	// The architectural point is the oldest uncommitted instruction: the ROB
 	// head, else the oldest front-end slot, else the fetch PC.
 	archPC := p.fetchPC
-	if len(p.rob) > 0 {
-		archPC = p.rob[0].pc
-	} else if len(p.fetchq) > 0 {
-		archPC = p.fetchq[0].pc
+	if p.robLen() > 0 {
+		archPC = p.rob[p.robHead].pc
+	} else if p.fetchLen() > 0 {
+		archPC = p.fetchq.front().pc
 	}
 	var committedSeq int64
-	if len(p.rob) > 0 {
-		committedSeq = p.rob[0].seq - 1
+	if p.robLen() > 0 {
+		committedSeq = p.rob[p.robHead].seq - 1
 	} else {
 		committedSeq = p.nextSeq
 	}
