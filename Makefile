@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos
+.PHONY: build test check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # check is the pre-merge gate: static vetting plus the race detector over
 # the packages with concurrency (harness worker pool) and the rewritten
 # LSU hot path.
-check: serve-chaos
+check: serve-chaos resume-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve
 
@@ -60,6 +60,13 @@ chaos-smoke: build
 # on any deviation).
 serve-smoke: build
 	$(GO) run ./cmd/srvd -smoke
+
+# resume-smoke is the checkpoint/resume acceptance drill, run under the race
+# detector: a daemon SIGKILLed mid-simulation (machine checkpoints already
+# journaled) must resume the job from its last checkpoint on restart and
+# finish it byte-identical to an uninterrupted run.
+resume-smoke: build
+	$(GO) test -race -timeout 15m -run 'TestSIGKILLMidSimResume|TestPreemptAndResume' ./internal/serve
 
 # serve-chaos is the service-layer resilience drill, run under the race
 # detector: remote submissions through a seeded fault-injecting transport

@@ -40,6 +40,7 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "max cached results (LRU; negative disables the cache)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per job, e.g. 5m (0 = unbounded)")
 	journalDir := flag.String("journal", "", "directory for the durable job journal (empty = no journal; jobs do not survive restarts)")
+	ckptEvery := flag.Int64("checkpoint-every", 100000, "journal a machine checkpoint every N simulated cycles per running simulation, so killed or preempted jobs resume mid-run on restart (0 = off; requires -journal)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "budget for finishing in-flight jobs on SIGTERM/SIGINT before they are cancelled")
 	queueDeadline := flag.Duration("queue-deadline", 0, "shed submissions with 429 when the predicted queue wait exceeds this (0 = never shed)")
 	maxInflight := flag.Int64("max-inflight-bytes", serve.DefaultMaxInflightBytes, "largest accepted request body in bytes (0 = unbounded)")
@@ -53,6 +54,7 @@ func main() {
 		CacheSize:        *cacheSize,
 		JobTimeout:       *jobTimeout,
 		JournalDir:       *journalDir,
+		CheckpointEvery:  *ckptEvery,
 		QueueDeadline:    *queueDeadline,
 		MaxInflightBytes: *maxInflight,
 	})

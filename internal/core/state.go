@@ -1,0 +1,45 @@
+package core
+
+import "srvsim/internal/isa"
+
+// ControllerState is the serialisable state of the SRV controller: the
+// architectural registers the paper adds (SRV-replay, SRV-needs-replay,
+// restart PC), the execution mode, the fallback/invariant cursors, and the
+// event counters. Capturing and restoring it round-trips the controller
+// bit-identically mid-region.
+type ControllerState struct {
+	Mode         Mode          `json:"mode"`
+	StartPC      int           `json:"startPC"`
+	Dir          isa.Direction `json:"dir"`
+	Replay       isa.Pred      `json:"replay"`
+	NeedsReplay  isa.Pred      `json:"needsReplay"`
+	FallbackLane int           `json:"fallbackLane"`
+	PrevMinLane  int           `json:"prevMinLane"`
+	Stats        Stats         `json:"stats"`
+}
+
+// State captures the controller.
+func (c *Controller) State() ControllerState {
+	return ControllerState{
+		Mode:         c.mode,
+		StartPC:      c.startPC,
+		Dir:          c.dir,
+		Replay:       c.replay,
+		NeedsReplay:  c.needsReplay,
+		FallbackLane: c.fallbackLane,
+		PrevMinLane:  c.prevMinLane,
+		Stats:        c.Stats,
+	}
+}
+
+// SetState replaces the controller's state with a captured one.
+func (c *Controller) SetState(st ControllerState) {
+	c.mode = st.Mode
+	c.startPC = st.StartPC
+	c.dir = st.Dir
+	c.replay = st.Replay
+	c.needsReplay = st.NeedsReplay
+	c.fallbackLane = st.FallbackLane
+	c.prevMinLane = st.PrevMinLane
+	c.Stats = st.Stats
+}

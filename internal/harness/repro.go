@@ -3,12 +3,14 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"srvsim/internal/compiler"
 	"srvsim/internal/pipeline"
 	"srvsim/internal/workloads"
 )
@@ -19,6 +21,11 @@ import (
 // observed failure itself. Written as JSON under the crash directory and
 // replayed with `srvsim -repro <file>`.
 type CrashArtifact struct {
+	// SchemaVersion of the artifact encoding (the harness-wide
+	// SchemaVersion); zero marks an artifact written before versioning.
+	// Validation errors cite it so a stale artifact is diagnosed as such.
+	SchemaVersion int `json:"schema_version,omitempty"`
+
 	Tool    string `json:"tool"` // "harness" or "srvfuzz"
 	Bench   string `json:"bench,omitempty"`
 	Loop    string `json:"loop,omitempty"`
@@ -47,12 +54,15 @@ type ArtifactFailure struct {
 	Cycle    int64  `json:"cycle,omitempty"`
 	Snapshot string `json:"snapshot,omitempty"`
 	Stack    string `json:"stack,omitempty"`
+	// Checkpoint is the serialised pipeline.Checkpoint of the wedged machine
+	// (deadlocks): -repro restores it and single-steps from the wedge.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
 }
 
 func artifactFailure(se *SimError) ArtifactFailure {
 	return ArtifactFailure{
 		Kind: se.Kind.String(), Message: se.Msg, Cycle: se.Cycle,
-		Snapshot: se.Snapshot, Stack: se.Stack,
+		Snapshot: se.Snapshot, Stack: se.Stack, Checkpoint: se.Checkpoint,
 	}
 }
 
@@ -70,6 +80,9 @@ func sanitize(s string) string {
 
 // writeArtifact serialises one artifact into dir, creating it if needed.
 func writeArtifact(dir, name string, art CrashArtifact) (string, error) {
+	if art.SchemaVersion == 0 {
+		art.SchemaVersion = SchemaVersion
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("harness: creating crash dir: %w", err)
 	}
@@ -132,10 +145,50 @@ func WriteFuzzArtifact(dir string, seed int64, trial int, affine, interrupts boo
 	return path, err
 }
 
+// Validate checks that the artifact carries every field its tool's replay
+// needs. Errors name the missing field together with the artifact's schema
+// version, so a stale, truncated or hand-edited artifact is diagnosed as
+// such instead of failing deep inside the replay.
+func (art *CrashArtifact) Validate() error {
+	missing := func(field string) error {
+		return fmt.Errorf("harness: crash artifact (schema v%d, current v%d) is missing required field %q",
+			art.SchemaVersion, SchemaVersion, field)
+	}
+	if art.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("harness: crash artifact has schema v%d, this build reads v%d — replay it with a newer build",
+			art.SchemaVersion, SchemaVersion)
+	}
+	if art.Failure.Kind == "" {
+		return missing("failure.kind")
+	}
+	if _, ok := ParseFailKind(art.Failure.Kind); !ok {
+		return fmt.Errorf("harness: crash artifact (schema v%d) has unknown failure.kind %q",
+			art.SchemaVersion, art.Failure.Kind)
+	}
+	switch art.Tool {
+	case "srvfuzz":
+		if art.Trial < 0 {
+			return fmt.Errorf("harness: crash artifact (schema v%d) has negative trial %d", art.SchemaVersion, art.Trial)
+		}
+	case "harness", "":
+		if art.Shape == nil {
+			return missing("shape")
+		}
+		if art.Shape.Name == "" {
+			return missing("shape.name")
+		}
+	default:
+		return fmt.Errorf("harness: crash artifact (schema v%d) names unknown tool %q", art.SchemaVersion, art.Tool)
+	}
+	return nil
+}
+
 // ReplayArtifact loads a crash artifact and re-runs the recorded simulation
 // with full diagnostics (invariants + timeline). It reports whether the
 // original failure reproduced; the returned error is non-nil only when the
-// replay machinery itself fails (unreadable artifact, unknown tool).
+// replay machinery itself fails (unreadable or invalid artifact, unknown
+// tool). Deadlock artifacts carrying a machine checkpoint are additionally
+// restored and single-stepped from the wedge.
 func ReplayArtifact(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -144,6 +197,9 @@ func ReplayArtifact(path string, w io.Writer) error {
 	var art CrashArtifact
 	if err := json.Unmarshal(data, &art); err != nil {
 		return fmt.Errorf("harness: decoding crash artifact %s: %w", path, err)
+	}
+	if err := art.Validate(); err != nil {
+		return fmt.Errorf("%w (artifact %s)", err, path)
 	}
 	fmt.Fprintf(w, "replaying %s: tool=%s bench=%s loop=%s variant=%s seed=%d\n",
 		filepath.Base(path), art.Tool, art.Bench, art.Loop, art.Variant, art.Seed)
@@ -158,9 +214,6 @@ func ReplayArtifact(path string, w io.Writer) error {
 			return err
 		})
 	case "harness", "":
-		if art.Shape == nil {
-			return fmt.Errorf("harness: artifact %s has no workload shape", path)
-		}
 		ls := workloads.LoopSpec{Shape: *art.Shape, Weight: art.Weight, PredTail: art.PredTail}
 		pcfg := cfg()
 		if art.Config != nil {
@@ -171,8 +224,6 @@ func ReplayArtifact(path string, w io.Writer) error {
 			_, err := runLoop(context.Background(), pcfg, art.Bench, ls, art.Seed, true)
 			return err
 		})
-	default:
-		return fmt.Errorf("harness: artifact %s names unknown tool %q", path, art.Tool)
 	}
 
 	if rerr != nil {
@@ -184,5 +235,72 @@ func ReplayArtifact(path string, w io.Writer) error {
 		fmt.Fprintf(w, "replay: PASS — failure did not reproduce under invariants+timeline\n")
 		fmt.Fprintf(w, "(the original fault was transient, environmental, or chaos-injected)\n")
 	}
+	if len(art.Failure.Checkpoint) > 0 {
+		stepWedgeCheckpoint(&art, w)
+	}
 	return nil
+}
+
+// wedgeSteps bounds the checkpoint single-step loop: enough cycles to watch
+// the wedge not move, few enough to stay instant.
+const wedgeSteps = 4
+
+// stepWedgeCheckpoint restores the artifact's embedded machine checkpoint
+// and single-steps from the wedge, printing the machine after each cycle.
+// Failures here are reported to w, never returned: the checkpoint is a
+// forensics bonus on top of the replay, not a replay prerequisite (e.g. a
+// chaos-injected livelock embeds the injected spin program's checkpoint,
+// which by design does not fit the recorded workload).
+func stepWedgeCheckpoint(art *CrashArtifact, w io.Writer) {
+	var cp pipeline.Checkpoint
+	if err := json.Unmarshal(art.Failure.Checkpoint, &cp); err != nil {
+		fmt.Fprintf(w, "checkpoint: undecodable: %v\n", err)
+		return
+	}
+	if art.Shape == nil {
+		fmt.Fprintf(w, "checkpoint: no workload shape to rebuild the machine around\n")
+		return
+	}
+	ls := workloads.LoopSpec{Shape: *art.Shape, Weight: art.Weight, PredTail: art.PredTail}
+	l, im := ls.Instantiate(art.Seed)
+	mode := compiler.ModeSRV
+	if art.Variant == "scalar" {
+		mode = compiler.ModeScalar
+	}
+	c, err := compiler.Compile(l, im, mode)
+	if err != nil {
+		fmt.Fprintf(w, "checkpoint: recompiling workload: %v\n", err)
+		return
+	}
+	pcfg := cfg()
+	if art.Config != nil {
+		pcfg = *art.Config
+	}
+	p := pipeline.New(pcfg, c.Prog, im)
+	if err := p.Restore(&cp); err != nil {
+		fmt.Fprintf(w, "checkpoint: not restorable against this workload: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "\nsingle-stepping from the wedge checkpoint (cycle %d):\n%s", cp.Cycle, p.Snapshot())
+	for i := 0; i < wedgeSteps; i++ {
+		err := p.Run()
+		var de *pipeline.DeadlockError
+		switch {
+		case err == nil:
+			fmt.Fprintf(w, "step %d: run completed cleanly at cycle %d — the wedge did not persist\n", i+1, p.Stats.Cycles)
+			return
+		case errors.As(err, &de):
+			fmt.Fprintf(w, "step %d: still wedged at cycle %d\n%s", i+1, de.Cycle, de.Snapshot)
+			if de.Checkpoint == nil {
+				return
+			}
+			if rerr := p.Restore(de.Checkpoint); rerr != nil {
+				fmt.Fprintf(w, "step %d: re-restore failed: %v\n", i+1, rerr)
+				return
+			}
+		default:
+			fmt.Fprintf(w, "step %d: run failed: %v\n", i+1, err)
+			return
+		}
+	}
 }

@@ -217,6 +217,9 @@ type FailureRecord struct {
 	Snapshot string `json:"snapshot,omitempty"`
 	Stack    string `json:"stack,omitempty"`
 	Artifact string `json:"artifact,omitempty"`
+	// Checkpoint is the serialised machine state at the failure (deadlocks),
+	// restorable with pipeline.Restore for single-step forensics.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
 }
 
 // failureRecord flattens one SimError for the wire.
@@ -225,7 +228,7 @@ func failureRecord(se *SimError) FailureRecord {
 		Bench: se.Bench, Loop: se.Loop, Variant: se.Variant,
 		Kind: se.Kind.String(), Seed: se.Seed, Cycle: se.Cycle,
 		Message: se.Msg, Snapshot: se.Snapshot, Stack: se.Stack,
-		Artifact: se.Artifact,
+		Artifact: se.Artifact, Checkpoint: se.Checkpoint,
 	}
 }
 
@@ -240,6 +243,7 @@ func (fr FailureRecord) SimError() *SimError {
 		Kind: kind, Bench: fr.Bench, Loop: fr.Loop, Variant: fr.Variant,
 		Seed: fr.Seed, Cycle: fr.Cycle, Msg: fr.Message,
 		Snapshot: fr.Snapshot, Stack: fr.Stack, Artifact: fr.Artifact,
+		Checkpoint: fr.Checkpoint,
 	}
 }
 

@@ -83,6 +83,9 @@ func warm(p *pipeline.Pipeline, l *compiler.Loop) {
 // simContext.)
 func prepare(p *pipeline.Pipeline, l *compiler.Loop, diag bool) {
 	warm(p, l)
+	if RefTickCore() {
+		p.UseReferenceTickCore()
+	}
 	if diag {
 		p.EnableParanoid()
 		p.EnableTimeline()
@@ -165,6 +168,9 @@ func runLoop(ctx context.Context, pcfg pipeline.Config, bench string, ls workloa
 			}
 			sp := pipeline.New(pcfg, sc.Prog, sim)
 			prepare(sp, sl, diag)
+			if err := armCheckpoints(ctx, sp, a); err != nil {
+				return err
+			}
 			sctx, cancel := simContext(ctx)
 			defer cancel()
 			if err := sp.RunContext(sctx); err != nil {
@@ -186,6 +192,9 @@ func runLoop(ctx context.Context, pcfg pipeline.Config, bench string, ls workloa
 			}
 			vp := pipeline.New(pcfg, vc.Prog, vim)
 			prepare(vp, vl, diag)
+			if err := armCheckpoints(ctx, vp, a); err != nil {
+				return err
+			}
 			vctx, cancel := simContext(ctx)
 			defer cancel()
 			if err := vp.RunContext(vctx); err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -79,7 +80,10 @@ type SimError struct {
 	Snapshot string // machine snapshot (deadlocks)
 	Stack    string // goroutine stack (panics)
 	Artifact string // crash-artifact path, when one was written
-	Err      error  // wrapped cause (nil for panics)
+	// Checkpoint is the serialised pipeline.Checkpoint of the failed machine
+	// (deadlocks): `srvsim -repro` restores it to single-step the wedge.
+	Checkpoint json.RawMessage
+	Err        error // wrapped cause (nil for panics)
 }
 
 func (e *SimError) Error() string {
@@ -125,6 +129,11 @@ func (a attribution) classify(err error) *SimError {
 		out.Kind = KindDeadlock
 		out.Cycle = de.Cycle
 		out.Snapshot = de.Snapshot
+		if de.Checkpoint != nil {
+			if raw, merr := json.Marshal(de.Checkpoint); merr == nil {
+				out.Checkpoint = raw
+			}
+		}
 	case errors.Is(err, pipeline.ErrCycleBudget):
 		out.Kind = KindCycleBudget
 	}
@@ -190,6 +199,7 @@ func AsSimError(err error) *SimError {
 var (
 	failFast    atomic.Bool
 	simTimeout  atomic.Int64 // nanoseconds; 0 = no wall-clock bound
+	refTick     atomic.Bool
 	crashDirMu  sync.Mutex
 	crashDirVal string
 )
@@ -201,6 +211,16 @@ func SetFailFast(on bool) { failFast.Store(on) }
 
 // FailFast reports whether fail-fast mode is on.
 func FailFast() bool { return failFast.Load() }
+
+// SetRefTickCore runs every loop simulation on the per-cycle reference tick
+// core instead of the default event-driven scheduler. The two are held
+// bit-identical by the equivalence suite, but wall-clock throughput differs
+// wildly, so timing reports record the setting (TimingReport.RefTickCore)
+// and benchgate warns when a baseline and a fresh run disagree on it.
+func SetRefTickCore(on bool) { refTick.Store(on) }
+
+// RefTickCore reports whether simulations run on the reference tick core.
+func RefTickCore() bool { return refTick.Load() }
 
 // SetSimTimeout bounds each simulation's wall-clock time via the pipeline's
 // cooperative cancellation hook. 0 disables the bound (the default).

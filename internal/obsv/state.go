@@ -1,0 +1,156 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// This file exports the mutable state of the observability primitives for
+// the pipeline checkpoint (pipeline.Checkpoint): everything a Sampler,
+// Histogram or Tracer has accumulated mid-run, in a JSON-serialisable form
+// whose round trip reproduces byte-identical WriteCSV/WriteJSON output.
+// Configuration that the owner re-establishes on construction (column sets,
+// histogram bounds, caps) is captured too, so a restore can validate shape.
+
+// SamplerState is the serialisable state of a Sampler.
+type SamplerState struct {
+	Every   int64     `json:"every"`
+	Columns []string  `json:"columns"`
+	Cycles  []int64   `json:"cycles"`
+	Data    []float64 `json:"data"` // row-major, len == len(Cycles)*len(Columns)
+}
+
+// State captures the sampler's accumulated rows. The returned slices are
+// copies: the sampler may keep appending after the capture.
+func (s *Sampler) State() SamplerState {
+	return SamplerState{
+		Every:   s.Every,
+		Columns: append([]string(nil), s.columns...),
+		Cycles:  append([]int64(nil), s.cycles...),
+		Data:    append([]float64(nil), s.data...),
+	}
+}
+
+// SetState replaces the sampler's contents with a captured state.
+func (s *Sampler) SetState(st SamplerState) {
+	s.Every = st.Every
+	s.columns = append(s.columns[:0], st.Columns...)
+	s.cycles = append(s.cycles[:0], st.Cycles...)
+	s.data = append(s.data[:0], st.Data...)
+}
+
+// HistogramState is the serialisable state of a Histogram.
+type HistogramState struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Total  int64   `json:"total"`
+	Sum    int64   `json:"sum"`
+}
+
+// State captures the histogram's buckets and totals.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Total:  h.total,
+		Sum:    h.sum,
+	}
+}
+
+// SetState replaces the histogram's contents with a captured state.
+func (h *Histogram) SetState(st HistogramState) {
+	h.bounds = append(h.bounds[:0], st.Bounds...)
+	h.counts = append(h.counts[:0], st.Counts...)
+	h.total = st.Total
+	h.sum = st.Sum
+}
+
+// TraceEventState is one captured trace event. Args round-trips as raw JSON:
+// re-decoding it with json.Number preserves integer literals verbatim, so a
+// restored tracer's WriteJSON emits the same bytes the uninterrupted run
+// would have (encoding/json sorts map keys either way).
+type TraceEventState struct {
+	Name    string          `json:"name"`
+	Cat     string          `json:"cat,omitempty"`
+	Ph      string          `json:"ph"`
+	TS      int64           `json:"ts"`
+	Dur     int64           `json:"dur,omitempty"`
+	PID     int             `json:"pid"`
+	TID     int             `json:"tid"`
+	S       string          `json:"s,omitempty"`
+	Args    json.RawMessage `json:"args,omitempty"`
+	CtrKeys []string        `json:"ctrKeys,omitempty"`
+	CtrVals []int64         `json:"ctrVals,omitempty"`
+}
+
+// TracerState is the serialisable state of a Tracer.
+type TracerState struct {
+	Cap     int               `json:"cap"`
+	Dropped int64             `json:"dropped"`
+	Events  []TraceEventState `json:"events"`
+}
+
+// State captures the buffered events. CounterInts fast-path events keep
+// their key/value form (no args map is materialised).
+func (t *Tracer) State() (TracerState, error) {
+	st := TracerState{Cap: t.cap, Dropped: t.dropped, Events: make([]TraceEventState, len(t.events))}
+	for i := range t.events {
+		e := &t.events[i]
+		es := TraceEventState{Name: e.Name, Cat: e.Cat, Ph: e.Ph, TS: e.TS,
+			Dur: e.Dur, PID: e.PID, TID: e.TID, S: e.S}
+		if e.Args != nil {
+			raw, err := json.Marshal(e.Args)
+			if err != nil {
+				return TracerState{}, err
+			}
+			es.Args = raw
+		}
+		if e.ctrKeys != nil {
+			es.CtrKeys = e.ctrKeys
+			es.CtrVals = append([]int64(nil), e.ctrVals...)
+		}
+		st.Events[i] = es
+	}
+	return st, nil
+}
+
+// SetState replaces the tracer's buffer with a captured state. Restored
+// Args decode with json.Number so numeric literals re-marshal verbatim.
+func (t *Tracer) SetState(st TracerState) error {
+	t.cap = st.Cap
+	t.dropped = st.Dropped
+	t.events = t.events[:0]
+	t.ctrSlab = t.ctrSlab[:0]
+	for i := range st.Events {
+		es := &st.Events[i]
+		e := traceEvent{Name: es.Name, Cat: es.Cat, Ph: es.Ph, TS: es.TS,
+			Dur: es.Dur, PID: es.PID, TID: es.TID, S: es.S}
+		if es.Args != nil {
+			args, err := decodeArgs(es.Args)
+			if err != nil {
+				return err
+			}
+			e.Args = args
+		}
+		if es.CtrKeys != nil {
+			start := len(t.ctrSlab)
+			t.ctrSlab = append(t.ctrSlab, es.CtrVals...)
+			e.ctrKeys = append([]string(nil), es.CtrKeys...)
+			e.ctrVals = t.ctrSlab[start:len(t.ctrSlab):len(t.ctrSlab)]
+		}
+		t.events = append(t.events, e)
+	}
+	return nil
+}
+
+// decodeArgs parses a captured args object preserving numeric literals:
+// json.Number values marshal back as the exact bytes they were read from.
+func decodeArgs(raw json.RawMessage) (map[string]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -254,7 +254,12 @@ func fnvHash(s string) string {
 // run as text: exit status, every counter, the DumpStats rendering, hashed
 // architectural state, and hashed sampler / tracer output.
 func equivDigest(p *Pipeline) string {
-	err := p.Run()
+	return runDigest(p, p.Run())
+}
+
+// runDigest renders the digest for a pipeline whose run already returned err
+// (the checkpoint suite runs restored pipelines itself before digesting).
+func runDigest(p *Pipeline, err error) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "err: %v\n", err)
 	if de, ok := err.(*DeadlockError); ok {

@@ -31,6 +31,9 @@ type DeadlockError struct {
 	Window   int64  // commit-free cycles that triggered it
 	PC       int    // fetch PC at detection
 	Snapshot string // Pipeline.Snapshot() at detection
+	// Checkpoint is the full machine state at detection: a restored pipeline
+	// single-steps straight into the wedge instead of re-running from cycle 0.
+	Checkpoint *Checkpoint
 }
 
 func (e *DeadlockError) Error() string {
@@ -67,7 +70,7 @@ func (p *Pipeline) Snapshot() string {
 		p.LSU.Len(), p.Cfg.LSQSize, p.Ctrl.Mode(), p.curInstance, p.resumeAt)
 	for i, e := range p.robWin() {
 		if i >= snapshotROBEntries {
-			fmt.Fprintf(&b, "  ... %d younger entries elided\n", p.robLen()-i)
+			fmt.Fprintf(&b, "  (+%d more entries elided)\n", p.robLen()-i)
 			break
 		}
 		fmt.Fprintf(&b, "  rob[%d] seq=%d pc=%d op=%s state=%s ready=%v faulted=%v region=%d\n",

@@ -1,5 +1,13 @@
 package pipeline
 
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
 // The fetch queue is a FIFO of fetchSlots that can legitimately run millions
 // of slots deep: fetch follows the predicted path at full width while a
 // memory-bound dispatcher drains a handful of instructions per cycle, and
@@ -83,4 +91,115 @@ func (q *fetchQueue) clear() {
 		q.head, q.tail = nil, nil
 	}
 	q.headIdx, q.tailIdx, q.n = 0, 0, 0
+}
+
+// each visits the queue's slots oldest-first.
+func (q *fetchQueue) each(fn func(*fetchSlot)) {
+	c, idx := q.head, q.headIdx
+	for n := q.n; n > 0; n-- {
+		fn(&c.slots[idx])
+		idx++
+		if idx == fetchChunkSize {
+			c, idx = c.next, 0
+		}
+	}
+}
+
+// FetchQState is the captured fetch queue in packed, DEFLATE-compressed
+// form. A literal per-slot capture is ruinous: the queue legitimately runs
+// millions of slots deep (fetch follows the predicted path at full width
+// while a memory-bound dispatcher drains a trickle), so a checkpoint's size
+// would grow with simulated time — hundreds of megabytes per emission on
+// fetch-bound loops. The slots are near-periodic, though: predicted-path pcs
+// repeat the loop body and readyAt advances on a fixed cadence, so
+// interleaved zigzag-varint deltas behind DEFLATE shrink the capture by two
+// orders of magnitude while staying exactly lossless.
+type FetchQState struct {
+	N      int    `json:"n"`                // slot count
+	Packed []byte `json:"packed,omitempty"` // compressed per-slot delta records
+}
+
+// state captures the queue: one pass appends each slot as zigzag-varint
+// deltas of (pc, readyAt, predTarget) plus a predTaken byte, then DEFLATE
+// (BestSpeed: the stream is so repetitive that higher levels buy little)
+// compresses the record stream.
+func (q *fetchQueue) state() FetchQState {
+	st := FetchQState{N: q.n}
+	if q.n == 0 {
+		return st
+	}
+	raw := make([]byte, 0, q.n*4)
+	var prevPC, prevReady, prevTarget int64
+	q.each(func(s *fetchSlot) {
+		raw = binary.AppendVarint(raw, int64(s.pc)-prevPC)
+		raw = binary.AppendVarint(raw, s.readyAt-prevReady)
+		t := byte(0)
+		if s.predTaken {
+			t = 1
+		}
+		raw = append(raw, t)
+		raw = binary.AppendVarint(raw, int64(s.predTarget)-prevTarget)
+		prevPC, prevReady, prevTarget = int64(s.pc), s.readyAt, int64(s.predTarget)
+	})
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		panic(err) // only invalid levels fail; BestSpeed is valid
+	}
+	zw.Write(raw)
+	zw.Close()
+	st.Packed = buf.Bytes()
+	return st
+}
+
+// setState replaces the queue's contents with a captured state. Slot pcs are
+// validated against progLen: the packed form is opaque on the wire, and a
+// corrupt pc would otherwise index the program out of range mid-run.
+func (q *fetchQueue) setState(st FetchQState, progLen int) error {
+	q.clear()
+	if st.N == 0 {
+		return nil
+	}
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(st.Packed)))
+	if err != nil {
+		return fmt.Errorf("pipeline: fetch queue state: %v", err)
+	}
+	pos := 0
+	next := func() (int64, error) {
+		v, n := binary.Varint(raw[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("pipeline: fetch queue state truncated at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	var pc, ready, target int64
+	for i := 0; i < st.N; i++ {
+		d, err := next()
+		if err != nil {
+			return err
+		}
+		pc += d
+		if d, err = next(); err != nil {
+			return err
+		}
+		ready += d
+		if pos >= len(raw) {
+			return fmt.Errorf("pipeline: fetch queue state truncated at byte %d", pos)
+		}
+		taken := raw[pos] != 0
+		pos++
+		if d, err = next(); err != nil {
+			return err
+		}
+		target += d
+		if pc < 0 || pc >= int64(progLen) {
+			return fmt.Errorf("pipeline: fetch queue slot %d pc %d out of range", i, pc)
+		}
+		q.push(fetchSlot{pc: int(pc), readyAt: ready, predTaken: taken, predTarget: int(target)})
+	}
+	if pos != len(raw) {
+		return fmt.Errorf("pipeline: fetch queue state carries %d trailing bytes", len(raw)-pos)
+	}
+	return nil
 }

@@ -249,6 +249,21 @@ type Pipeline struct {
 	// tickRef selects the per-cycle reference scheduler over the default
 	// event-driven one (UseReferenceTickCore).
 	tickRef bool
+
+	// Periodic checkpointing (checkpoint.go): with a sink installed and
+	// Cfg.CheckpointEvery > 0, RunContext emits a full machine checkpoint at
+	// the first cancellation-poll boundary at least CheckpointEvery cycles
+	// after the previous emission. ckptLastAt anchors the cadence; Restore
+	// sets it to the restored cycle so a resumed run continues the original
+	// rhythm.
+	ckptSink   func(*Checkpoint)
+	ckptLastAt int64
+
+	// Restore hands the captured watchdog anchor to the next RunContext
+	// through these, so a restored run trips the forward-progress watchdog
+	// at the exact cycle the uninterrupted run would have.
+	restoredProgress     bool
+	restoredLastProgress int64
 }
 
 // New builds a pipeline over prog with fresh architectural state.
@@ -326,6 +341,10 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 	}
 	committed := p.Stats.Committed
 	lastProgress := p.cycle
+	if p.restoredProgress {
+		lastProgress = p.restoredLastProgress
+		p.restoredProgress = false
+	}
 	for !p.halted {
 		if p.cycle >= max {
 			p.Stats.Cycles = p.cycle
@@ -342,6 +361,17 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 					return fmt.Errorf("%w at cycle %d: %v", ErrCancelled, p.cycle, err)
 				}
 			}
+			// Periodic checkpoint emission shares the poll boundary: both
+			// schedulers visit every boundary (quietTarget clamps to them),
+			// so emitted cycles are identical across cores. With no sink the
+			// default path pays only this one predictable branch.
+			if p.ckptSink != nil {
+				if every := p.Cfg.CheckpointEvery; every > 0 && p.cycle-p.ckptLastAt >= every {
+					p.ckptLastAt = p.cycle
+					p.Stats.Cycles = p.cycle
+					p.ckptSink(p.checkpoint(lastProgress))
+				}
+			}
 		}
 		p.step()
 		// Forward progress = an instruction committed, or the front end is
@@ -351,7 +381,8 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 			lastProgress = p.cycle
 		} else if wd > 0 && p.cycle-lastProgress >= wd {
 			p.Stats.Cycles = p.cycle
-			return &DeadlockError{Cycle: p.cycle, Window: wd, PC: p.fetchPC, Snapshot: p.Snapshot()}
+			return &DeadlockError{Cycle: p.cycle, Window: wd, PC: p.fetchPC,
+				Snapshot: p.Snapshot(), Checkpoint: p.checkpoint(lastProgress)}
 		}
 		// Event-driven scheduling: after a step that did no work, advance
 		// time straight to the next wake event instead of ticking through

@@ -238,3 +238,77 @@ func assertJournalConsistent(t *testing.T, dir string) {
 	}
 	t.Logf("journal: %d lines, %d completed keys", lines, len(results))
 }
+
+// TestSIGKILLMidSimResume is the acceptance drill for checkpoint/resume: a
+// daemon SIGKILLed in the middle of one long simulation (periodic machine
+// checkpoints already journaled, no terminal record) must, on restart, resume
+// the job from its last checkpoint rather than cycle 0 and finish it with a
+// result byte-identical to an uninterrupted local run.
+func TestSIGKILLMidSimResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := buildSrvd(t)
+	addr := freePort(t)
+	journal := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	req := bigLoopReq(150_000, 7)
+
+	// Phase 1: a checkpoint interval a small fraction of the job's length, so
+	// the kill lands after at least one checkpoint but well before the
+	// simulation finishes.
+	daemon := startSrvd(t, bin, addr, journal, "-checkpoint-every", "100000")
+	c := NewClient("http://" + addr)
+	if _, err := c.Submit(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for a fully-written checkpoint record. Only newline-terminated
+	// lines count: a SIGKILL can land while a multi-megabyte checkpoint line
+	// is mid-write, and that torn tail is (correctly) dropped at replay —
+	// matching a prefix of it here would kill too early and leave nothing to
+	// resume from.
+	jpath := filepath.Join(journal, journalFile)
+	deadline := time.Now().Add(time.Minute)
+	for found := false; !found; {
+		data, _ := os.ReadFile(jpath)
+		if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+			complete := data[:i+1]
+			if bytes.Contains(complete, []byte(`"op":"done"`)) {
+				t.Fatal("job finished before it could be killed; enlarge the workload")
+			}
+			found = bytes.Contains(complete, []byte(`"op":"ckpt"`))
+		}
+		if !found {
+			if time.Now().After(deadline) {
+				t.Fatal("no checkpoint journaled before the deadline")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	// Phase 2: restart over the same journal. The job must be re-enqueued
+	// with its checkpoints and complete without resubmission.
+	startSrvd(t, bin, addr, journal, "-checkpoint-every", "500000")
+	cc := NewClient("http://" + addr)
+	if n := metricValue(t, cc, "serve.journal.replayed_resumed"); n != 1 {
+		t.Fatalf("replayed_resumed = %d, want 1", n)
+	}
+	want, err := harness.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, _ := json.Marshal(want)
+	res, err := cc.Do(ctx, req) // coalesces with the resumed in-flight job
+	if err != nil {
+		t.Fatalf("job after restart: %v", err)
+	}
+	gotBytes, _ := json.Marshal(res)
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatalf("resumed job diverged from an uninterrupted run:\n  %s\n  %s", wantBytes, gotBytes)
+	}
+}

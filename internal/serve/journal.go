@@ -38,6 +38,11 @@ const (
 	opStart  journalOp = "start"  // picked up by a worker
 	opDone   journalOp = "done"   // finished successfully (Result recorded)
 	opFail   journalOp = "fail"   // finished with a failure, or shed post-submit
+	// opCkpt records one periodic machine checkpoint (Checkpoint recorded).
+	// Replay keeps only the latest per simulation, so an interrupted job
+	// resumes from where it was instead of cycle 0.
+	opPreempt journalOp = "preempt" // cancelled by drain/shutdown: stays pending, resumable
+	opCkpt    journalOp = "ckpt"
 )
 
 // journalRecord is one NDJSON line of the write-ahead log.
@@ -53,6 +58,10 @@ type journalRecord struct {
 	// the bytes the result cache replays, so recovery is byte-identical.
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Checkpoint holds one machine checkpoint on ckpt records. Replay retains
+	// the latest per (bench, loop, variant, seed) for each pending key, and
+	// recovery hands them to harness.WithResume.
+	Checkpoint *harness.RunCheckpoint `json:"checkpoint,omitempty"`
 }
 
 // journal owns the append handle. Appends are serialised by mu, which also
@@ -128,6 +137,29 @@ type replayEntry struct {
 	state  int
 	req    *harness.Request
 	result json.RawMessage
+	// ckpts is the latest journaled checkpoint per simulation of a pending
+	// key (a benchmark job runs many loops × two variants concurrently), in
+	// first-seen order so compaction is deterministic.
+	ckpts []harness.RunCheckpoint
+}
+
+// absorbCkpt folds one ckpt record into the entry, replacing any earlier
+// checkpoint for the same simulation. Checkpoints that fail validation or
+// were produced by different simulator code are dropped: resuming them would
+// either fail the job or silently mix two machines — re-running from cycle 0
+// is always correct (and, for a stale CodeVersion, the only honest option).
+func (e *replayEntry) absorbCkpt(cp *harness.RunCheckpoint) {
+	if cp == nil || cp.Validate() != nil || cp.CodeVersion != harness.CodeVersion {
+		return
+	}
+	for i := range e.ckpts {
+		old := &e.ckpts[i]
+		if old.Bench == cp.Bench && old.Loop == cp.Loop && old.Variant == cp.Variant && old.Seed == cp.Seed {
+			*old = *cp
+			return
+		}
+	}
+	e.ckpts = append(e.ckpts, *cp)
 }
 
 // replayedState is the journal reduced to live state: completed jobs (to
@@ -188,9 +220,22 @@ func replayJournal(dir string) (replayedState, error) {
 			case opDone:
 				e.state = replayDone
 				e.result = rec.Result
+				e.ckpts = nil // absorbed: nothing left to resume
 			case opFail:
 				if e.state != replayDone {
 					e.state = replayFailed
+					// A genuine failure invalidates the run's checkpoints: a
+					// resubmission must re-execute from scratch, not continue
+					// a run that already went wrong.
+					e.ckpts = nil
+				}
+			case opPreempt:
+				// Drain or shutdown cancelled the job mid-run: it stays
+				// pending and keeps its checkpoints, so the next process
+				// resumes it instead of restarting at cycle 0.
+			case opCkpt:
+				if e.state != replayDone {
+					e.absorbCkpt(rec.Checkpoint)
 				}
 			}
 			continue
@@ -215,9 +260,9 @@ func replayJournal(dir string) (replayedState, error) {
 }
 
 // compactJournal atomically rewrites the journal to just the replayed live
-// state — one done record per completed key, one submit per pending key — so
-// the log stays bounded by live state across restarts instead of growing
-// with history.
+// state — one done record per completed key, one submit (plus the latest
+// checkpoint per simulation) per pending key — so the log stays bounded by
+// live state across restarts instead of growing with history.
 func compactJournal(dir string, st replayedState, now time.Time) error {
 	path := filepath.Join(dir, journalFile)
 	tmp := path + ".tmp"
@@ -236,6 +281,12 @@ func compactJournal(dir string, st replayedState, now time.Time) error {
 		if err := enc.Encode(journalRecord{Op: opSubmit, Key: e.key, At: now, Req: e.req}); err != nil {
 			f.Close()
 			return err
+		}
+		for i := range e.ckpts {
+			if err := enc.Encode(journalRecord{Op: opCkpt, Key: e.key, At: now, Checkpoint: &e.ckpts[i]}); err != nil {
+				f.Close()
+				return err
+			}
 		}
 	}
 	if err := f.Sync(); err != nil {

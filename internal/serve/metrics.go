@@ -36,6 +36,11 @@ type metrics struct {
 	journalErrors           atomic.Int64 // journal appends that failed (or torn tail lines dropped)
 	journalReplayedDone     atomic.Int64 // completed jobs restored into the cache on startup
 	journalReplayedRequeued atomic.Int64 // interrupted/queued jobs re-enqueued on startup
+
+	// Checkpoint/resume (this PR's robustness layer).
+	checkpointsJournaled   atomic.Int64 // machine checkpoints journaled while jobs ran
+	jobsPreempted          atomic.Int64 // jobs cancelled by drain/shutdown and journaled as resumable
+	journalReplayedResumed atomic.Int64 // re-enqueued jobs that carried checkpoints to resume from
 }
 
 // clientMet holds the resilient client's counters. They are package-level —
@@ -81,6 +86,9 @@ func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
 	j.CounterFn("serve.journal.errors", "journal appends that failed or torn tail lines discarded at replay", m.journalErrors.Load)
 	j.CounterFn("serve.journal.replayed_done", "completed jobs restored into the result cache at startup", m.journalReplayedDone.Load)
 	j.CounterFn("serve.journal.replayed_requeued", "interrupted or queued jobs re-enqueued at startup", m.journalReplayedRequeued.Load)
+	j.CounterFn("serve.journal.checkpoints", "machine checkpoints journaled while jobs ran", m.checkpointsJournaled.Load)
+	j.CounterFn("serve.journal.replayed_resumed", "re-enqueued jobs that resumed from a journaled checkpoint", m.journalReplayedResumed.Load)
+	s.CounterFn("serve.jobs_preempted", "jobs cancelled by drain or shutdown and journaled as resumable", m.jobsPreempted.Load)
 	cl := reg.Section("serve.client")
 	cl.CounterFn("serve.client.retries", "client attempts beyond the first (in-process clients only)", clientMet.retries.Load)
 	cl.CounterFn("serve.client.breaker_opens", "circuit breaker transitions to open", clientMet.breakerOpens.Load)

@@ -53,6 +53,11 @@ type job struct {
 	id  string
 	key string
 	req harness.Request // canonical form
+	// resume holds the journal-replayed machine checkpoints of an
+	// interrupted job (one per loop simulation that had emitted any), handed
+	// to harness.WithResume when the job runs. Set once before the job is
+	// queued, never mutated after.
+	resume []harness.RunCheckpoint
 
 	mu   sync.Mutex
 	cond *sync.Cond

@@ -67,6 +67,12 @@ type Config struct {
 	// interrupted jobs resume after a crash and completed ones repopulate
 	// the cache byte-identically. Empty disables journaling.
 	JournalDir string
+	// CheckpointEvery journals a machine checkpoint roughly every this many
+	// simulated cycles for each running simulation of a job, so a killed or
+	// preempted job resumes from its last checkpoint instead of cycle 0 when
+	// the journal is next replayed. 0 disables checkpointing. Only meaningful
+	// together with JournalDir.
+	CheckpointEvery int64
 	// QueueDeadline sheds submissions whose predicted queue wait (observed
 	// EWMA service time × depth ÷ workers) exceeds it, with 429 and a
 	// Retry-After derived from the prediction. 0 disables shedding.
@@ -165,7 +171,15 @@ func New(cfg Config) (*Server, error) {
 		}
 		for _, e := range st.pending {
 			id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
-			recovered = append(recovered, newJob(id, e.key, *e.req, time.Now()))
+			j := newJob(id, e.key, *e.req, time.Now())
+			// Interrupted jobs resume from their journaled checkpoints; a
+			// pending job without any (checkpointing off, or killed before
+			// the first emission) re-runs from cycle 0 as before.
+			j.resume = e.ckpts
+			if len(e.ckpts) > 0 {
+				s.met.journalReplayedResumed.Add(1)
+			}
+			recovered = append(recovered, j)
 			s.met.journalReplayedRequeued.Add(1)
 		}
 	}
@@ -219,8 +233,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // (503 + Retry-After), let in-flight jobs finish within ctx — cancelling
 // them cooperatively once it expires — journal their final states, and
 // return. Queued-but-unstarted jobs stay journaled as pending, so a
-// journal-backed restart resumes them; a drained server admits nothing
-// further. Safe to call once; later calls (and calls after Shutdown) no-op.
+// journal-backed restart resumes them; in-flight jobs the budget forced us
+// to cancel are preempted-and-journaled (a preempt record on top of their
+// periodic checkpoint records), so the restart continues them from the last
+// checkpoint instead of cycle 0. A drained server admits nothing further.
+// Safe to call once; later calls (and calls after Shutdown) no-op.
 func (s *Server) Drain(ctx context.Context) error {
 	if !s.state.CompareAndSwap(stateServing, stateDraining) {
 		return nil
@@ -328,6 +345,16 @@ func (s *Server) runJob(j *job) {
 	}
 	defer cancel()
 	ctx = harness.WithProgress(ctx, j.appendEvent)
+	if s.journal != nil && s.cfg.CheckpointEvery > 0 {
+		key, id := j.key, j.id
+		ctx = harness.WithCheckpoints(ctx, s.cfg.CheckpointEvery, func(rc harness.RunCheckpoint) {
+			s.met.checkpointsJournaled.Add(1)
+			s.journalAppend(journalRecord{Op: opCkpt, Key: key, ID: id, At: time.Now(), Checkpoint: &rc})
+		})
+	}
+	if len(j.resume) > 0 {
+		ctx = harness.WithResume(ctx, j.resume)
+	}
 
 	res, err := harness.Run(ctx, j.req)
 	if err != nil {
@@ -335,6 +362,15 @@ func (s *Server) runJob(j *job) {
 		fr := se.Record()
 		j.finish(nil, &fr, se.Error(), failStatusFor(err, ctx), time.Now())
 		s.met.jobsFailed.Add(1)
+		// A job cancelled because the server itself is going down (drain
+		// budget exhausted, Shutdown) was preempted, not failed: journal it
+		// as such so it stays pending — with its checkpoints — and the next
+		// process resumes it instead of marking the key terminally failed.
+		if s.ctx.Err() != nil {
+			s.met.jobsPreempted.Add(1)
+			s.journalAppend(journalRecord{Op: opPreempt, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
+			return
+		}
 		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
 		return
 	}
