@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke
+.PHONY: build test check fmt-check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: static vetting plus the race detector over
-# the packages with concurrency (harness worker pool) and the rewritten
-# LSU hot path.
-check: serve-chaos resume-smoke
+# fmt-check fails on any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# check is the pre-merge gate: formatting, static vetting, the observability
+# smoke, plus the race detector over the packages with concurrency (harness
+# worker pool) and the rewritten LSU hot path.
+check: fmt-check serve-chaos resume-smoke obs-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve
 
@@ -60,6 +65,13 @@ chaos-smoke: build
 # on any deviation).
 serve-smoke: build
 	$(GO) run ./cmd/srvd -smoke
+
+# obs-smoke is the observability acceptance drill: boot the daemon on a
+# loopback port, run one traced job, require every client/server/progress
+# span to share a single TraceID, and require the Prometheus exposition to
+# parse and account for the job.
+obs-smoke: build
+	$(GO) run ./cmd/srvd -obs-smoke
 
 # resume-smoke is the checkpoint/resume acceptance drill, run under the race
 # detector: a daemon SIGKILLed mid-simulation (machine checkpoints already

@@ -27,8 +27,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
 	"srvsim/internal/serve"
 )
 
@@ -56,6 +58,7 @@ func main() {
 	netChaosSeed := flag.Int64("net-chaos-seed", 1, "decision seed for -net-chaos fault injection")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	obs = obsv.RegisterObsFlags(flag.CommandLine, "trace-out", "metrics-out")
 	flag.Parse()
 	harness.SetParallelism(*par)
 	harness.SetFailFast(*failfast)
@@ -92,6 +95,11 @@ func main() {
 	}
 
 	harness.ResetFleet()
+	if obs.TraceOut != "" {
+		fleetSpans = obsv.NewSpanRecorder(0)
+		fleetRoot = harness.SetSpanRecorder(fleetSpans)
+		fleetStart = time.Now()
+	}
 	var err error
 	switch {
 	case *timing != "":
@@ -105,9 +113,6 @@ func main() {
 	default:
 		err = run(*exp, *seed)
 	}
-	if fs := harness.SnapshotFleet(); fs.Simulations > 0 {
-		fmt.Fprint(os.Stderr, fs)
-	}
 	if *memprofile != "" {
 		if perr := writeHeapProfile(*memprofile); perr != nil && err == nil {
 			err = perr
@@ -117,6 +122,55 @@ func main() {
 		pprof.StopCPUProfile() // idempotent; flush before a non-zero exit
 	}
 	exit(err)
+}
+
+// Fleet observability state, written by exit() so every termination path —
+// clean, contained failures (exit 3), fatal (exit 1) — emits it.
+var (
+	obs        *obsv.ObsFlags
+	fleetSpans *obsv.SpanRecorder
+	fleetRoot  obsv.SpanContext
+	fleetStart time.Time
+)
+
+// writeObsArtifacts closes the fleet root span and writes the requested
+// observability outputs: -trace-out gets a Perfetto view of the fleet (one
+// leaf span per simulation under one root), -metrics-out the fleet registry
+// as JSON ("-" = stdout).
+func writeObsArtifacts() error {
+	if fleetSpans != nil {
+		fleetSpans.Record(obsv.Span{
+			Trace: fleetRoot.Trace, ID: fleetRoot.Span, Name: "srvbench",
+			Start: fleetStart, End: time.Now(),
+		})
+	}
+	emit := func(path string, write func(*os.File) error) error {
+		if path == "-" {
+			return write(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	// fleetSpans is nil when exit() fires before the fleet was set up (flag
+	// validation errors); there is nothing to write then.
+	if obs.TraceOut != "" && fleetSpans != nil {
+		if err := emit(obs.TraceOut, func(f *os.File) error { return fleetSpans.WriteTrace(f) }); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	if obs.MetricsOut != "" {
+		if err := emit(obs.MetricsOut, func(f *os.File) error { return harness.FleetRegistry().WriteJSON(f) }); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
 }
 
 // writeHeapProfile snapshots the heap (after a GC, so live objects dominate)
@@ -136,8 +190,19 @@ func writeHeapProfile(path string) error {
 
 // exit maps the harness's error taxonomy onto process exit codes: 0 clean,
 // 3 completed-with-contained-failures (partial results were produced), 1
-// fatal (no usable results).
+// fatal (no usable results). The fleet summary and observability artifacts
+// are emitted here, on every path — a fatal run's partial fleet throughput
+// and trace are exactly what the post-mortem needs.
 func exit(err error) {
+	if fs := harness.SnapshotFleet(); fs.Simulations > 0 {
+		fmt.Fprint(os.Stderr, fs)
+	}
+	if oerr := writeObsArtifacts(); oerr != nil {
+		fmt.Fprintln(os.Stderr, "srvbench:", oerr)
+		if err == nil {
+			err = oerr
+		}
+	}
 	if err == nil {
 		return
 	}

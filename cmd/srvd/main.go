@@ -7,27 +7,37 @@
 //
 //	srvd -addr :8077
 //	srvd -addr :8077 -parallel 8 -queue 128 -cache 512 -job-timeout 5m
+//	srvd -addr :8077 -log-format json -pprof
 //	srvd -smoke              # in-process self-test used by `make serve-smoke`
+//	srvd -obs-smoke          # observability self-test used by `make obs-smoke`
 //
 // Submit work with curl (see "Service mode" in the README) or point a CLI at
 // it: `srvbench -remote http://localhost:8077`.
+//
+// Every log line about a job carries its trace_id, the same ID stamped on
+// the W3C traceparent header and returned in the job status, so one grep
+// correlates client spans, server logs and GET /v1/trace output.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
 	"srvsim/internal/serve"
 	"srvsim/internal/workloads"
 )
@@ -44,8 +54,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "budget for finishing in-flight jobs on SIGTERM/SIGINT before they are cancelled")
 	queueDeadline := flag.Duration("queue-deadline", 0, "shed submissions with 429 when the predicted queue wait exceeds this (0 = never shed)")
 	maxInflight := flag.Int64("max-inflight-bytes", serve.DefaultMaxInflightBytes, "largest accepted request body in bytes (0 = unbounded)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log line format: text|json")
+	pprofFlag := flag.Bool("pprof", false, "expose Go runtime profiling at /debug/pprof/ (CPU, heap, goroutine, ...)")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke test (submit, wait, assert cache hit) and exit")
+	obsSmoke := flag.Bool("obs-smoke", false, "run the in-process observability smoke test (scrape prometheus, trace one job end to end) and exit")
 	flag.Parse()
+
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srvd:", err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	harness.SetParallelism(*par)
 	srv, err := serve.New(serve.Config{
@@ -57,9 +81,10 @@ func main() {
 		CheckpointEvery:  *ckptEvery,
 		QueueDeadline:    *queueDeadline,
 		MaxInflightBytes: *maxInflight,
+		Logger:           logger,
 	})
 	if err != nil {
-		log.Fatalf("srvd: %v", err)
+		fatal(err)
 	}
 	srv.Start()
 
@@ -71,14 +96,24 @@ func main() {
 		fmt.Println("serve-smoke: ok")
 		return
 	}
+	if *obsSmoke {
+		if err := runObsSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "obs-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("obs-smoke: ok")
+		return
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("srvd: %v", err)
+		fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
-	log.Printf("srvd: listening on %s (%s, schema v%d, %d job workers, queue %d, cache %d)",
-		ln.Addr(), harness.CodeVersion, harness.SchemaVersion, *jobWorkers, *queueSize, *cacheSize)
+	hs := &http.Server{Handler: withPprof(srv.Handler(), *pprofFlag)}
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"version", harness.CodeVersion, "schema", harness.SchemaVersion,
+		"job_workers", *jobWorkers, "queue", *queueSize, "cache", *cacheSize,
+		"pprof", *pprofFlag)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -86,7 +121,7 @@ func main() {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		log.Fatalf("srvd: %v", err)
+		fatal(err)
 	case <-ctx.Done():
 	}
 
@@ -94,16 +129,60 @@ func main() {
 	// finish or cancel in-flight jobs within the budget, journal their final
 	// states, then stop serving HTTP. Exit 0 either way — a drain that had to
 	// cancel still left a consistent journal for the next process to replay.
-	log.Printf("srvd: draining (budget %s)", *drainTimeout)
+	logger.Info("signal received, draining", "budget", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("srvd: drain cancelled in-flight jobs: %v", err)
+		logger.Warn("drain cancelled in-flight jobs", "err", err)
 	}
 	if err := hs.Shutdown(dctx); err != nil {
-		log.Printf("srvd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	log.Print("srvd: drained")
+	logger.Info("drained")
+}
+
+// buildLogger constructs the process logger from the -log-level/-log-format
+// flags. The server adds trace_id/job fields to every job-scoped line.
+func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+	}
+}
+
+// withPprof optionally mounts the Go runtime profiling endpoints next to the
+// API. The handlers are attached explicitly — srvd never serves
+// http.DefaultServeMux, so nothing is exposed without the flag.
+func withPprof(api http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }
 
 // runSmoke exercises the full service loop against a loopback listener: the
@@ -165,6 +244,105 @@ func runSmoke(srv *serve.Server) error {
 	}
 	if m := srv.Registry().Lookup("serve.cache.hits"); m == nil || m.Int() != 1 {
 		return fmt.Errorf("expected exactly one recorded cache hit")
+	}
+	return nil
+}
+
+// runObsSmoke exercises the observability surface end to end against a
+// loopback listener: one benchmark job must produce a single trace whose
+// client, admission, queue-wait, execute and progress spans all share the
+// client's TraceID, and the Prometheus exposition must parse and account for
+// the job. CI runs this as `make obs-smoke`.
+func runObsSmoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	base := "http://" + ln.Addr().String()
+	rec := obsv.NewSpanRecorder(0)
+	c := serve.NewClient(base, serve.WithSpanRecorder(rec))
+
+	// One traced benchmark job (benchmark mode streams progress events, which
+	// must surface as child spans on the server side).
+	b := workloads.All()[0]
+	if _, err := c.Do(ctx, harness.Request{Mode: harness.ModeBenchmark, Bench: b.Name, Seed: 7}); err != nil {
+		return fmt.Errorf("traced job: %w", err)
+	}
+	client := rec.Snapshot()
+	if len(client) != 1 {
+		return fmt.Errorf("expected 1 client span, recorder holds %d", len(client))
+	}
+	trace := client[0].Trace.String()
+
+	// The server's half of the trace, through the public endpoint.
+	resp, err := http.Get(base + "/v1/trace")
+	if err != nil {
+		return fmt.Errorf("GET /v1/trace: %w", err)
+	}
+	defer resp.Body.Close()
+	stages := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var span struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			return fmt.Errorf("/v1/trace line not JSON: %w", err)
+		}
+		if span.TraceID != trace {
+			return fmt.Errorf("span %q carries trace %s, want %s (one job must mean one trace)", span.Name, span.TraceID, trace)
+		}
+		name := span.Name
+		if strings.HasPrefix(name, "progress:") {
+			name = "progress"
+		}
+		stages[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, stage := range []string{"admission", "queue-wait", "execute", "progress"} {
+		if stages[stage] == 0 {
+			return fmt.Errorf("no %q span in /v1/trace (got %v)", stage, stages)
+		}
+	}
+
+	// Prometheus exposition: correct content type, parseable by the strict
+	// scrape parser, and accounting for the finished job.
+	resp, err = http.Get(base + "/v1/metrics?format=prometheus")
+	if err != nil {
+		return fmt.Errorf("GET /v1/metrics?format=prometheus: %w", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obsv.PromContentType {
+		return fmt.Errorf("prometheus content type %q, want %q", ct, obsv.PromContentType)
+	}
+	samples, err := obsv.ParsePrometheus(resp.Body)
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			byName[s.Name] = s.Value
+		}
+	}
+	if byName["serve_jobs_done"] < 1 {
+		return fmt.Errorf("serve_jobs_done = %v, want >= 1", byName["serve_jobs_done"])
+	}
+	if byName["serve_e2e_latency_ms_count"] < 1 {
+		return fmt.Errorf("serve_e2e_latency_ms_count = %v, want >= 1", byName["serve_e2e_latency_ms_count"])
+	}
+	if _, ok := byName["serve_trace_spans"]; !ok {
+		return fmt.Errorf("serve_trace_spans missing from exposition")
 	}
 	return nil
 }

@@ -42,10 +42,8 @@ func main() {
 	regions := flag.Bool("regions", false, "print the SRV region-duration distribution")
 	par := flag.Int("parallel", harness.DefaultParallelism(), "max concurrent simulations (1 = serial)")
 	repro := flag.String("repro", "", "replay a crash artifact (JSON written by the harness or srvfuzz)")
-	flag.StringVar(&traceOut, "trace-out", "", "write a Chrome-trace-event (Perfetto) JSON of the run to this file")
-	flag.Int64Var(&sampleEvery, "sample-every", 0, "record an IPC/occupancy sample every N cycles (0 = off)")
-	flag.StringVar(&sampleOut, "sample-out", "", "write the cycle samples here (.json = JSON, else CSV; default stdout)")
-	flag.StringVar(&metricsOut, "metrics-out", "", "write the full metrics registry as JSON to this file (- = stdout)")
+	obs = obsv.RegisterObsFlags(flag.CommandLine,
+		"trace-out", "metrics-out", "sample-out", "sample-every", "replay-profile")
 	flag.Parse()
 	dumpStats = *statsFlag
 	pipeview = *pv
@@ -191,10 +189,7 @@ var (
 	dumpStats   bool
 	pipeview    int
 	showRegions bool
-	traceOut    string
-	sampleEvery int64
-	sampleOut   string
-	metricsOut  string
+	obs         *obsv.ObsFlags
 )
 
 func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64, dis bool) error {
@@ -210,11 +205,14 @@ func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64,
 	if pipeview > 0 {
 		p.EnableTimeline()
 	}
-	if traceOut != "" {
+	if obs.TraceOut != "" {
 		p.AttachTracer(obsv.NewTracer())
 	}
-	if sampleEvery > 0 {
-		p.EnableSampling(sampleEvery)
+	if obs.SampleEvery > 0 {
+		p.EnableSampling(obs.SampleEvery)
+	}
+	if obs.ReplayProfile {
+		p.EnableReplayProfile()
 	}
 	if err := p.Run(); err != nil {
 		return err
@@ -240,11 +238,12 @@ func runOne(bench string, ls workloads.LoopSpec, mode compiler.Mode, seed int64,
 	return writeObservability(p)
 }
 
-// writeObservability exports the run's trace, cycle samples and metrics
-// registry as requested by the -trace-out/-sample-out/-metrics-out flags.
+// writeObservability exports the run's trace, cycle samples, metrics
+// registry and per-PC replay profile as requested by the shared
+// observability flags.
 func writeObservability(p *pipeline.Pipeline) error {
 	if t := p.Tracer(); t != nil {
-		if err := writeObsFile(traceOut, t.WriteJSON); err != nil {
+		if err := writeObsFile(obs.TraceOut, t.WriteJSON); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 		if t.Dropped() > 0 {
@@ -253,10 +252,10 @@ func writeObservability(p *pipeline.Pipeline) error {
 	}
 	if s := p.Samples(); s != nil {
 		emit := s.WriteCSV
-		if filepath.Ext(sampleOut) == ".json" {
+		if filepath.Ext(obs.SampleOut) == ".json" {
 			emit = s.WriteJSON
 		}
-		out := sampleOut
+		out := obs.SampleOut
 		if out == "" {
 			out = "-"
 		}
@@ -264,10 +263,13 @@ func writeObservability(p *pipeline.Pipeline) error {
 			return fmt.Errorf("sample-out: %w", err)
 		}
 	}
-	if metricsOut != "" {
-		if err := writeObsFile(metricsOut, p.Metrics().WriteJSON); err != nil {
+	if obs.MetricsOut != "" {
+		if err := writeObsFile(obs.MetricsOut, p.Metrics().WriteJSON); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
+	}
+	if p.ReplayProfiling() {
+		fmt.Print(p.RenderReplayProfile())
 	}
 	return nil
 }

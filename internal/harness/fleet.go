@@ -2,8 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"srvsim/internal/obsv"
 )
 
 // Fleet metrics: process-wide atomic counters over the leaf simulations (one
@@ -38,8 +41,9 @@ func ResetFleet() {
 	fleet.lastEnd.Store(0)
 }
 
-// fleetRecord accounts one finished leaf simulation.
-func fleetRecord(variant string, start time.Time, err error) {
+// fleetRecord accounts one finished leaf simulation, and — when a fleet span
+// recorder is installed — records it as one leaf span under the fleet root.
+func fleetRecord(a attribution, start time.Time, err error) {
 	end := time.Now()
 	d := end.Sub(start).Nanoseconds()
 	fleet.simulations.Add(1)
@@ -47,11 +51,26 @@ func fleetRecord(variant string, start time.Time, err error) {
 		fleet.failures.Add(1)
 	}
 	fleet.busyNS.Add(d)
-	switch variant {
+	switch a.variant {
 	case "scalar":
 		fleet.scalarNS.Add(d)
 	case "srv":
 		fleet.srvNS.Add(d)
+	}
+	if rec, root := currentSpanRecorder(); rec != nil {
+		sc := root.Child()
+		sp := obsv.Span{
+			Trace: sc.Trace, ID: sc.Span, Parent: root.Span,
+			Name: a.variant, Start: start, End: end,
+			Attrs: map[string]string{
+				"bench": a.bench, "loop": a.loop,
+				"seed": strconv.FormatInt(a.seed, 10),
+			},
+		}
+		if err != nil {
+			sp.Attrs["error"] = err.Error()
+		}
+		rec.Record(sp)
 	}
 	fleet.firstStart.CompareAndSwap(0, start.UnixNano())
 	for {

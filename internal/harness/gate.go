@@ -28,8 +28,8 @@ type GateRow struct {
 // committed baseline.
 type GateResult struct {
 	Rows      []GateRow
-	Geomean   float64  // geomean of the per-benchmark ratios
-	Threshold float64  // fail above this
+	Geomean   float64 // geomean of the per-benchmark ratios
+	Threshold float64 // fail above this
 	Pass      bool
 	Skipped   []string // benchmarks present in only one report
 }

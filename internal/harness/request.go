@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"srvsim/internal/flexvec"
+	"srvsim/internal/obsv"
 	"srvsim/internal/pipeline"
 	"srvsim/internal/trace"
 	"srvsim/internal/workloads"
@@ -352,6 +353,14 @@ func Run(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	if ex := currentExecutor(); ex != nil {
+		// When a fleet span recorder is installed, remote submissions ride
+		// under the fleet-root trace: the serve.Client reads the span from
+		// the context and stamps the matching traceparent.
+		if _, ok := obsv.SpanFromContext(ctx); !ok {
+			if rec, root := currentSpanRecorder(); rec != nil {
+				ctx = obsv.ContextWithSpan(ctx, root)
+			}
+		}
 		return ex(ctx, creq)
 	}
 	return runLocal(ctx, creq)

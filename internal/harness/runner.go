@@ -255,7 +255,7 @@ func runLoop(ctx context.Context, pcfg pipeline.Config, bench string, ls workloa
 		if !diag {
 			// Leaf-level fleet accounting: diagnostic re-runs are forensics,
 			// not fleet throughput.
-			fleetRecord(variants[i].name, t0, verr)
+			fleetRecord(a, t0, verr)
 		}
 		return verr
 	})

@@ -75,7 +75,7 @@ type SimError struct {
 	Loop     string
 	Variant  string // "scalar", "srv", "diag", fuzz stage, ...
 	Seed     int64
-	Cycle    int64  // simulated cycle of the failure, when known
+	Cycle    int64 // simulated cycle of the failure, when known
 	Msg      string
 	Snapshot string // machine snapshot (deadlocks)
 	Stack    string // goroutine stack (panics)

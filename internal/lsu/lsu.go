@@ -155,6 +155,12 @@ type LSU struct {
 	ctrl     *core.Controller
 	Stats    Stats
 
+	// OnRAW, when non-nil, observes each horizontal RAW violation with the
+	// static PC of the violating store and the lanes marked for replay
+	// (per-PC replay attribution). Pure observation — never serialised, no
+	// architectural effect.
+	OnRAW func(pc int, lanes isa.Pred)
+
 	head, tail *Entry // live entries in allocation order
 	live       int
 	free       *Entry // recycled entries, linked through next
@@ -874,6 +880,9 @@ func (l *LSU) ExecStore(e *Entry, kind core.Kind, addr uint64, elem int, dir isa
 	if rawMask.Any() {
 		res.RAWLanes = core.MaskPred(rawMask)
 		l.ctrl.RecordRAW(res.RAWLanes)
+		if l.OnRAW != nil {
+			l.OnRAW(e.ID, res.RAWLanes)
+		}
 	}
 
 	// Horizontal WAW: older stores in later lanes covering common bytes.

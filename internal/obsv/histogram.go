@@ -1,11 +1,19 @@
 package obsv
 
+import "sync"
+
 // Histogram buckets int64 observations into fixed ranges chosen at
 // construction. Observe is a binary search over a small bounds slice plus
 // two increments — cheap enough for once-per-region events, though not meant
 // for the per-cycle hot path.
+//
+// A plain Histogram is single-goroutine (the simulator's discipline); the
+// serve layer observes from worker goroutines while scrapes read, so it uses
+// NewSyncHistogram, which carries a mutex. The nil-mutex fast path keeps the
+// pipeline's histograms lock-free.
 type Histogram struct {
-	bounds []int64 // ascending upper bounds (inclusive); one overflow bucket beyond
+	mu     *sync.Mutex // nil for single-goroutine histograms
+	bounds []int64     // ascending upper bounds (inclusive); one overflow bucket beyond
 	counts []int64
 	total  int64
 	sum    int64
@@ -23,6 +31,15 @@ func NewHistogram(bounds ...int64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
+// NewSyncHistogram builds a histogram safe for concurrent Observe and
+// export (used by the serve layer, where workers observe while /v1/metrics
+// scrapes read).
+func NewSyncHistogram(bounds ...int64) *Histogram {
+	h := NewHistogram(bounds...)
+	h.mu = &sync.Mutex{}
+	return h
+}
+
 // PowersOfTwo returns bounds 1, 2, 4, ... up to 2^(n-1).
 func PowersOfTwo(n int) []int64 {
 	b := make([]int64, n)
@@ -32,8 +49,21 @@ func PowersOfTwo(n int) []int64 {
 	return b
 }
 
+func (h *Histogram) lock() {
+	if h.mu != nil {
+		h.mu.Lock()
+	}
+}
+
+func (h *Histogram) unlock() {
+	if h.mu != nil {
+		h.mu.Unlock()
+	}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
+	h.lock()
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -46,13 +76,27 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[lo]++
 	h.total++
 	h.sum += v
+	h.unlock()
 }
 
 // Total returns the observation count.
-func (h *Histogram) Total() int64 { return h.total }
+func (h *Histogram) Total() int64 {
+	h.lock()
+	defer h.unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	h.lock()
+	defer h.unlock()
+	return h.sum
+}
 
 // Mean returns the arithmetic mean of the observations (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.lock()
+	defer h.unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -68,6 +112,8 @@ type Bucket struct {
 
 // Buckets returns the non-empty buckets in range order.
 func (h *Histogram) Buckets() []Bucket {
+	h.lock()
+	defer h.unlock()
 	var out []Bucket
 	lo := int64(0)
 	for i, c := range h.counts {
@@ -81,4 +127,20 @@ func (h *Histogram) Buckets() []Bucket {
 		lo = hi + 1
 	}
 	return out
+}
+
+// Cumulative returns the bucket upper bounds alongside cumulative counts up
+// to and including each bound, plus the grand total and sum — the shape the
+// Prometheus text exposition wants (the total doubles as the +Inf bucket).
+func (h *Histogram) Cumulative() (bounds []int64, cum []int64, total, sum int64) {
+	h.lock()
+	defer h.unlock()
+	bounds = append([]int64(nil), h.bounds...)
+	cum = make([]int64, len(h.bounds))
+	var run int64
+	for i := range h.bounds {
+		run += h.counts[i]
+		cum[i] = run
+	}
+	return bounds, cum, h.total, h.sum
 }

@@ -1,0 +1,251 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the registry, and a
+// minimal scrape parser used by the golden tests and the obs-smoke drill.
+// Hand-rolled on purpose: the module takes no external dependencies, and the
+// exposition grammar needed here — HELP/TYPE comments, optionally-labelled
+// samples, histograms as cumulative `le` buckets — is small.
+
+// PromContentType is the Content-Type a scrape endpoint should declare.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitises a registry metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: the registry's dotted namespaces become
+// underscore-joined (serve.cache.hits → serve_cache_hits).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes a help string for a # HELP line.
+func promHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// WritePrometheus writes every live metric in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as cumulative
+// `le`-labelled buckets with the conventional _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.metrics {
+		if !m.live() {
+			continue
+		}
+		name := promName(m.Name)
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, promHelp(m.Help))
+		switch m.Kind {
+		case KindCounter:
+			// The registry's "counters" include point-in-time values
+			// (queue depth, cache entries) that can go down, so they are
+			// exposed as gauges: Prometheus counters must be monotonic.
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, m.Int())
+		case KindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %s\n", name, strconv.FormatFloat(m.Float(), 'g', -1, 64))
+		case KindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			bounds, cum, total, sum := m.hist.Cumulative()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b, cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, total)
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed sample line of an exposition.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus parses text exposition produced by WritePrometheus (and
+// any plain subset of the 0.0.4 grammar): # HELP/# TYPE comments are
+// validated and skipped, every other non-blank line must be a well-formed
+// sample. It returns the samples in input order.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkPromComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func checkPromComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		// Bare comments are legal exposition; only HELP/TYPE carry structure.
+		return nil
+	}
+	if len(fields) < 3 || !validPromName(fields[2]) {
+		return fmt.Errorf("malformed %s comment %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	// Metric name runs until '{', whitespace, or end of line.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		cb := strings.Index(rest, "}")
+		if cb < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:cb])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[cb+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after name in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		// +Inf/-Inf are legal sample values ParseFloat already accepts;
+		// anything else is malformed.
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parsePromLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validPromName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(s) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewTrace()
+	if sc.Trace.IsZero() || sc.Span.IsZero() {
+		t.Fatal("NewTrace produced zero IDs")
+	}
+	hdr := sc.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("malformed traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected %q", hdr)
+	}
+	if got != sc {
+		t.Fatalf("round-trip mismatch: %+v != %+v", got, sc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace ID
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span ID
+		"00-0123456789abcdef0123456789abcdeZ-0123456789abcdef-01", // non-hex
+		"00_0123456789abcdef0123456789abcdef-0123456789abcdef-01", // bad separator
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent accepted %q", s)
+		}
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	root := NewTrace()
+	child := root.Child()
+	if child.Trace != root.Trace {
+		t.Fatal("child changed trace ID")
+	}
+	if child.Span == root.Span {
+		t.Fatal("child reused parent span ID")
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	if _, ok := SpanFromContext(context.Background()); ok {
+		t.Fatal("empty context should carry no span")
+	}
+	sc := NewTrace()
+	ctx := ContextWithSpan(context.Background(), sc)
+	got, ok := SpanFromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("context round-trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestSpanRecorderCapAndNDJSON(t *testing.T) {
+	r := NewSpanRecorder(2)
+	sc := NewTrace()
+	base := time.Unix(100, 0)
+	for i := 0; i < 3; i++ {
+		child := sc.Child()
+		r.Record(Span{
+			Trace: sc.Trace, ID: child.Span, Parent: sc.Span,
+			Name:  "stage",
+			Start: base, End: base.Add(5 * time.Millisecond),
+			Attrs: map[string]string{"i": "x"},
+		})
+	}
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatalf("cap not enforced: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d", len(lines))
+	}
+	for _, ln := range lines {
+		var j map[string]any
+		if err := json.Unmarshal([]byte(ln), &j); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		if j["trace_id"] != sc.Trace.String() {
+			t.Fatalf("trace_id mismatch in %q", ln)
+		}
+		if j["parent_id"] != sc.Span.String() {
+			t.Fatalf("parent_id mismatch in %q", ln)
+		}
+		if j["dur_ns"] != float64(5*time.Millisecond) {
+			t.Fatalf("dur_ns mismatch in %q", ln)
+		}
+	}
+}
+
+func TestSpanRecorderWriteTrace(t *testing.T) {
+	r := NewSpanRecorder(0)
+	sc := NewTrace()
+	base := time.Now()
+	r.Record(Span{Trace: sc.Trace, ID: sc.Span, Name: "root", Start: base, End: base.Add(time.Millisecond)})
+	r.Record(Span{Trace: sc.Trace, ID: NewSpanID(), Parent: sc.Span, Name: "child",
+		Start: base.Add(100 * time.Microsecond), End: base.Add(200 * time.Microsecond)})
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+			if ev.Args["trace_id"] != sc.Trace.String() {
+				t.Fatalf("span %q lost its trace_id", ev.Name)
+			}
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("want 2 complete events, got %d", spans)
+	}
+}

@@ -49,6 +49,8 @@ type HistogramState struct {
 
 // State captures the histogram's buckets and totals.
 func (h *Histogram) State() HistogramState {
+	h.lock()
+	defer h.unlock()
 	return HistogramState{
 		Bounds: append([]int64(nil), h.bounds...),
 		Counts: append([]int64(nil), h.counts...),
@@ -59,6 +61,8 @@ func (h *Histogram) State() HistogramState {
 
 // SetState replaces the histogram's contents with a captured state.
 func (h *Histogram) SetState(st HistogramState) {
+	h.lock()
+	defer h.unlock()
 	h.bounds = append(h.bounds[:0], st.Bounds...)
 	h.counts = append(h.counts[:0], st.Counts...)
 	h.total = st.Total

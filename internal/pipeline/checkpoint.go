@@ -91,9 +91,9 @@ type Checkpoint struct {
 	ProgLen       int   `json:"progLen"`
 	Cycle         int64 `json:"cycle"`
 
-	Stats Stats                   `json:"stats"`
-	S     [isa.NumSclRegs]int64   `json:"s"`
-	Vr    [isa.NumVecRegs]isa.Vec `json:"vr"`
+	Stats Stats                    `json:"stats"`
+	S     [isa.NumSclRegs]int64    `json:"s"`
+	Vr    [isa.NumVecRegs]isa.Vec  `json:"vr"`
 	Pr    [isa.NumPredReg]isa.Pred `json:"pr"`
 
 	ROB          []ROBEntryState    `json:"rob"`
@@ -170,7 +170,7 @@ func (p *Pipeline) SetCheckpointSink(fn func(*Checkpoint)) { p.ckptSink = fn }
 
 // Checkpoint captures the full machine state. The pipeline must be at a
 // step boundary (between cycles): inside Run that means the cancellation
-//-poll/watchdog points; outside Run any time.
+// -poll/watchdog points; outside Run any time.
 func (p *Pipeline) Checkpoint() *Checkpoint { return p.checkpoint(p.cycle) }
 
 func (p *Pipeline) checkpoint(lastProgress int64) *Checkpoint {

@@ -182,9 +182,13 @@ func (p *Pipeline) execute(e *robEntry, loadSlots, storeSlots *int) bool {
 			// Ablation: discard the speculative pass and re-execute the
 			// whole region sequentially, as a core without selective
 			// replay would have to.
-			p.enterFallback()
+			p.enterFallback(e.pc)
 			return true
 		}
+		// Close the pass clock before the controller decides: replay and
+		// fallback passes charge their cycles to the instruction whose
+		// mark caused them.
+		p.profClosePass()
 		switch p.Ctrl.End() {
 		case core.EndCommit:
 			p.LSU.CommitRegion(e.regionIdx)
@@ -193,9 +197,11 @@ func (p *Pipeline) execute(e *robEntry, loadSlots, storeSlots *int) bool {
 				p.regionDurations = append(p.regionDurations, p.cycle-p.regionStartCycle)
 			}
 			p.regionHist.Observe(p.cycle - p.regionStartCycle)
+			p.profEndCommit()
 			p.traceRegionPass("commit", 0)
 			p.traceRegionEnd(e.regionIdx)
 		case core.EndReplay:
+			p.profReplayRound()
 			p.traceRegionPass("replay", p.Ctrl.Replay().Count())
 			p.squashAfter(e.seq)
 			p.dispRegionCounter = e.regionIdx
@@ -236,6 +242,7 @@ func (p *Pipeline) faultCheck(e *robEntry, addr uint64, lane int) bool {
 		p.raiseFault(e, addr)
 	} else {
 		p.Stats.DeferredFaults++
+		p.profExcMark(e.pc, lane)
 	}
 	return false
 }

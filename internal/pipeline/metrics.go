@@ -59,6 +59,28 @@ func (p *Pipeline) buildRegistry() *obsv.Registry {
 			})
 	srv.Histogram("srv.regionDuration", "region duration distribution in cycles", p.regionHist)
 
+	// Replay-attribution aggregates, exported only while the per-PC profile
+	// is enabled so DumpStats stays bit-identical with profiling off. The
+	// closures re-check p.prof: the section predicate and the render are two
+	// separate moments.
+	prof := r.Section("replayProf").If(func() bool { return p.prof != nil })
+	profInt := func(get func(pr *replayProfile) int64) func() int64 {
+		return func() int64 {
+			if p.prof == nil {
+				return 0
+			}
+			return get(p.prof)
+		}
+	}
+	prof.CounterFn("srv.replayProf.rounds", "replay rounds attributed to a static PC",
+		profInt(func(pr *replayProfile) int64 { return pr.rounds }))
+	prof.CounterFn("srv.replayProf.lanes", "squashed lanes attributed to a static PC",
+		profInt(func(pr *replayProfile) int64 { return pr.lanes }))
+	prof.CounterFn("srv.replayProf.fallbacks", "sequential demotions attributed to a static PC",
+		profInt(func(pr *replayProfile) int64 { return pr.fallbacks }))
+	prof.CounterFn("srv.replayProf.wastedCycles", "cycles spent in attributed replay/fallback passes",
+		profInt(func(pr *replayProfile) int64 { return pr.wasted }))
+
 	p.LSU.RegisterMetrics(r.Section("lsu"))
 
 	pred := r.Section("predictors")

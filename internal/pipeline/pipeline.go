@@ -226,6 +226,11 @@ type Pipeline struct {
 	sampleEvery         int64
 	lastSampleCommitted int64
 
+	// Per-PC replay attribution (EnableReplayProfile); nil by default, and
+	// every hook guards on that nil so the hot path pays one branch per
+	// region event, no allocation.
+	prof *replayProfile
+
 	// Scratch buffer for memLatency's distinct-line dedup.
 	lineScratch []uint64
 
@@ -465,6 +470,7 @@ func (p *Pipeline) step() {
 		p.resumeAt = 0
 		if p.resuming {
 			p.Ctrl.Resume(p.savedSRV)
+			p.profResume()
 			p.resuming = false
 		}
 	}
@@ -503,6 +509,7 @@ func (p *Pipeline) deliverFault() {
 		p.traceInstant("fault", map[string]any{"pc": e.pc, "addr": e.faultAddr})
 	}
 	delete(p.FaultAddrs, e.faultAddr)
+	p.profSuspend()
 	committedSeq := e.seq - 1
 	if p.Ctrl.InRegion() && e.pc >= p.Ctrl.StartPC() {
 		mode := p.Ctrl.Mode()
@@ -715,7 +722,7 @@ func (p *Pipeline) reserveLSU(e *robEntry, instance int) bool {
 		}
 		e.lsuEntries = nil
 		if r.Overflow && p.Ctrl.Mode() == core.ModeSpeculative {
-			p.enterFallback()
+			p.enterFallback(e.pc)
 			return false
 		}
 		p.stepQuiet = false
@@ -728,12 +735,15 @@ func (p *Pipeline) reserveLSU(e *robEntry, instance int) bool {
 // enterFallback demotes the current region to sequential execution: all
 // instructions younger than the region's srv_start are squashed, the
 // region's LSU entries discarded, and fetch restarts at the region body with
-// a single active lane.
-func (p *Pipeline) enterFallback() {
+// a single active lane. causePC is the static instruction that forced the
+// demotion (the overflowing store, or the srv_end of the ablation), which
+// the replay profile charges the fallback to.
+func (p *Pipeline) enterFallback(causePC int) {
 	if p.tracer != nil {
-		p.traceInstant("fallback", map[string]any{"instance": p.curInstance})
+		p.traceInstant("fallback", map[string]any{"instance": p.curInstance, "pc": causePC})
 		p.tracePassStart = p.cycle // abandoned speculative pass: restart the span
 	}
+	p.profFallback(causePC)
 	p.Ctrl.EnterFallback()
 	p.LSU.DiscardRegion(p.curInstance)
 	p.squashAfter(p.curStartSeq)
@@ -1250,6 +1260,7 @@ func (p *Pipeline) interruptSafe() bool {
 func (p *Pipeline) takeInterrupt() {
 	p.stepQuiet = false
 	p.Stats.Interrupts++
+	p.profSuspend()
 	if p.tracer != nil {
 		p.traceInstant("interrupt", nil)
 	}

@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"srvsim/internal/isa"
+	"srvsim/internal/mem"
+)
+
+// profSums column-sums a profile, so tests can pin it against the
+// controller's aggregate counters.
+func profSums(rows []PCReplayStats) (raw, exc, rounds, lanes, fallbacks, wasted int64) {
+	for _, r := range rows {
+		raw += r.RAWViolations
+		exc += r.ExcMarks
+		rounds += r.ReplayRounds
+		lanes += r.SquashedLanes
+		fallbacks += r.Fallbacks
+		wasted += r.WastedCycles
+	}
+	return
+}
+
+// TestReplayProfileInvariants: on the paper's listing 1 conflict pattern the
+// per-PC attribution must sum exactly to the controller's aggregate counters,
+// and every violation must land on the scatter that caused it.
+func TestReplayProfileInvariants(t *testing.T) {
+	const n = 64
+	xs := paperIndices(n)
+	im, aBase, xBase, ref := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	p.EnableReplayProfile()
+	run(t, p)
+	checkListing1(t, im, aBase, ref, n)
+
+	rows := p.ReplayProfile()
+	if len(rows) == 0 {
+		t.Fatal("profile is empty on a replaying workload")
+	}
+	raw, exc, rounds, lanes, fallbacks, wasted := profSums(rows)
+	st := p.Ctrl.Stats
+	if raw != st.RAWViol {
+		t.Errorf("profile raw sum = %d, controller RAWViol = %d", raw, st.RAWViol)
+	}
+	if exc != st.ExcReplays {
+		t.Errorf("profile excMark sum = %d, controller ExcReplays = %d", exc, st.ExcReplays)
+	}
+	if rounds != st.Replays {
+		t.Errorf("profile rounds sum = %d, controller Replays = %d", rounds, st.Replays)
+	}
+	if lanes != st.ReplayLanes {
+		t.Errorf("profile lanes sum = %d, controller ReplayLanes = %d", lanes, st.ReplayLanes)
+	}
+	if fallbacks != st.Fallbacks {
+		t.Errorf("profile fallback sum = %d, controller Fallbacks = %d", fallbacks, st.Fallbacks)
+	}
+	if wasted <= 0 {
+		t.Errorf("wasted cycles = %d, want > 0 on a replaying workload", wasted)
+	}
+
+	// All RAW blame belongs to the scatter (the only conflicting store).
+	for _, r := range rows {
+		if r.RAWViolations > 0 && !strings.HasPrefix(r.Op, "v_scatter") {
+			t.Errorf("RAW violations attributed to pc %d (%s), want the scatter", r.PC, r.Op)
+		}
+	}
+
+	// The rendered table's totals line carries the same sums.
+	table := p.RenderReplayProfile()
+	if !strings.Contains(table, "total") {
+		t.Fatalf("rendered profile has no totals line:\n%s", table)
+	}
+}
+
+// TestReplayProfileFallbackAblation: with selective replay ablated the
+// profile must attribute the sequential demotions instead of replay rounds.
+func TestReplayProfileFallbackAblation(t *testing.T) {
+	im := mem.NewImage()
+	aBase := im.Alloc(16*4, 64)
+	xBase := im.Alloc(16*4, 64)
+	dBase := im.Alloc(16*4, 64)
+	for i := 0; i < 16; i++ {
+		v := i - 1
+		if v < 0 {
+			v = 0
+		}
+		im.WriteInt(xBase+uint64(i*4), 4, int64(v))
+		im.WriteInt(aBase+uint64(i*4), 4, int64(1000+i))
+	}
+	cfg := testConfig()
+	cfg.NoSelectiveReplay = true
+	p := New(cfg, conflictProg(aBase, xBase, dBase), im)
+	p.EnableReplayProfile()
+	run(t, p)
+
+	raw, _, rounds, _, fallbacks, wasted := profSums(p.ReplayProfile())
+	st := p.Ctrl.Stats
+	if rounds != 0 {
+		t.Errorf("profile rounds = %d, want 0 (mechanism ablated)", rounds)
+	}
+	if fallbacks != st.Fallbacks || fallbacks == 0 {
+		t.Errorf("profile fallbacks = %d, controller = %d, want equal and > 0", fallbacks, st.Fallbacks)
+	}
+	if raw != st.RAWViol {
+		t.Errorf("profile raw = %d, controller RAWViol = %d", raw, st.RAWViol)
+	}
+	if wasted <= 0 {
+		t.Errorf("wasted cycles = %d, want > 0 for sequential re-execution", wasted)
+	}
+}
+
+// TestReplayProfileOffChangesNothing: with profiling off the run must be
+// cycle-identical and DumpStats must not mention the profile section; with
+// it on, the aggregates appear but the architectural counters stay the same.
+func TestReplayProfileOffChangesNothing(t *testing.T) {
+	const n = 64
+	xs := paperIndices(n)
+
+	runOnce := func(profile bool) *Pipeline {
+		im, aBase, xBase, _ := setupListing1(n, xs)
+		p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+		if profile {
+			p.EnableReplayProfile()
+		}
+		run(t, p)
+		return p
+	}
+	off := runOnce(false)
+	on := runOnce(true)
+	if off.Stats.Cycles != on.Stats.Cycles {
+		t.Errorf("profiling changed cycles: off=%d on=%d", off.Stats.Cycles, on.Stats.Cycles)
+	}
+	if off.Ctrl.Stats != on.Ctrl.Stats {
+		t.Errorf("profiling changed controller stats: off=%+v on=%+v", off.Ctrl.Stats, on.Ctrl.Stats)
+	}
+	if s := off.DumpStats(); strings.Contains(s, "replayProf") {
+		t.Error("DumpStats mentions replayProf with profiling off")
+	}
+	if s := on.DumpStats(); !strings.Contains(s, "srv.replayProf.rounds") {
+		t.Error("DumpStats misses replayProf aggregates with profiling on")
+	}
+	if off.ReplayProfile() != nil {
+		t.Error("ReplayProfile must be nil when disabled")
+	}
+}
+
+// BenchmarkReplayProfHooksDisabled pins the disabled hooks to zero
+// allocations: this is the speculative hot path with `-replay-profile` off.
+func BenchmarkReplayProfHooksDisabled(b *testing.B) {
+	const n = 64
+	xs := paperIndices(n)
+	im, aBase, xBase, _ := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.profExcMark(9, 3)
+		p.profResume()
+		p.profClosePass()
+		p.profSuspend()
+	}
+}
+
+// BenchmarkReplayProfHooksEnabled pins the enabled slab path to zero
+// allocations per event as well.
+func BenchmarkReplayProfHooksEnabled(b *testing.B) {
+	const n = 64
+	xs := paperIndices(n)
+	im, aBase, xBase, _ := setupListing1(n, xs)
+	p := New(testConfig(), listing1Prog(aBase, xBase, n), im)
+	p.EnableReplayProfile()
+	var lanes isa.Pred
+	lanes[2], lanes[5] = true, true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.profRAW(9, lanes)
+		p.profExcMark(9, 3)
+		p.profClosePass()
+		p.profSuspend()
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
 )
 
 // DefaultMaxResponseBytes caps how much of a daemon response the client will
@@ -47,6 +48,7 @@ type Client struct {
 	br          *breaker
 	pollTimeout time.Duration
 	maxResponse int64
+	spans       *obsv.SpanRecorder
 }
 
 // ClientOption customises NewClient.
@@ -87,6 +89,15 @@ func WithHTTPClient(h *http.Client) ClientOption {
 // resilience drills).
 func WithTransport(rt http.RoundTripper) ClientOption {
 	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithSpanRecorder makes the client record one client-side span per
+// submission into rec. Submissions always stamp a W3C traceparent header —
+// continuing a span already carried by the call context, or starting a
+// fresh trace — so the daemon's stage spans share the client's TraceID; the
+// recorder just keeps the client's half of the trace locally.
+func WithSpanRecorder(rec *obsv.SpanRecorder) ClientOption {
+	return func(c *Client) { c.spans = rec }
 }
 
 // NewClient returns a resilient client for the daemon at base (e.g.
@@ -205,7 +216,10 @@ func (c *Client) doRetry(ctx context.Context, perCall time.Duration, build func(
 	return err
 }
 
-// post submits req, optionally waiting for completion server-side.
+// post submits req, optionally waiting for completion server-side. The
+// submission span continues the trace carried by ctx (harness fleet runs put
+// one there) or starts a fresh one; its traceparent rides every attempt, so
+// retries stay within the one trace.
 func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobStatus, error) {
 	var st JobStatus
 	data, err := json.Marshal(req)
@@ -214,18 +228,47 @@ func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobS
 	}
 	url := c.base + "/v1/sims"
 	perCall := c.pollTimeout
+	name := "client.submit"
 	if wait {
 		url += "?wait=1"
 		perCall = 0 // long poll: bounded by ctx only
+		name = "client.do"
 	}
+	parent, hasParent := obsv.SpanFromContext(ctx)
+	var sc obsv.SpanContext
+	if hasParent {
+		sc = parent.Child()
+	} else {
+		sc = obsv.NewTrace()
+	}
+	start := time.Now()
 	err = c.doRetry(ctx, perCall, func(actx context.Context) (*http.Request, error) {
 		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(data))
 		if err != nil {
 			return nil, err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("traceparent", sc.Traceparent())
 		return hreq, nil
 	}, &st)
+	if c.spans != nil {
+		sp := obsv.Span{
+			Trace: sc.Trace, ID: sc.Span, Name: name,
+			Start: start, End: time.Now(),
+			Attrs: map[string]string{"bench": req.Bench},
+		}
+		if hasParent {
+			sp.Parent = parent.Span
+		}
+		if st.ID != "" {
+			sp.Attrs["job"] = st.ID
+			sp.Attrs["cache_key"] = st.CacheKey
+		}
+		if err != nil {
+			sp.Attrs["error"] = err.Error()
+		}
+		c.spans.Record(sp)
+	}
 	return st, err
 }
 

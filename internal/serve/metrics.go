@@ -41,6 +41,24 @@ type metrics struct {
 	checkpointsJournaled   atomic.Int64 // machine checkpoints journaled while jobs ran
 	jobsPreempted          atomic.Int64 // jobs cancelled by drain/shutdown and journaled as resumable
 	journalReplayedResumed atomic.Int64 // re-enqueued jobs that carried checkpoints to resume from
+
+	// SLO latency histograms (observed by workers, scraped concurrently, so
+	// they carry a mutex). Built by initHistograms before registry runs.
+	queueWaitMS *obsv.Histogram // submission → worker pickup
+	e2eMS       *obsv.Histogram // submission → terminal state (cache hits included)
+}
+
+// sloBucketsMS are the latency bucket bounds, in milliseconds: fine enough
+// under a second to see queueing, coarse decades above it for long
+// simulations.
+var sloBucketsMS = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 300000}
+
+// initHistograms builds the latency histograms; the server calls it once
+// before registry (metrics is a value field, so this cannot live in a
+// constructor).
+func (m *metrics) initHistograms() {
+	m.queueWaitMS = obsv.NewSyncHistogram(sloBucketsMS...)
+	m.e2eMS = obsv.NewSyncHistogram(sloBucketsMS...)
 }
 
 // clientMet holds the resilient client's counters. They are package-level —
@@ -57,9 +75,9 @@ var clientMet struct {
 }
 
 // registry builds the obsv view over the live counters plus the server's
-// cache occupancy. Registration is not concurrency-safe (obsv contract), so
-// the server builds this exactly once at construction.
-func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
+// cache occupancy and span buffer. Registration is not concurrency-safe
+// (obsv contract), so the server builds this exactly once at construction.
+func (m *metrics) registry(cacheLen func() int64, spans *obsv.SpanRecorder) *obsv.Registry {
 	reg := obsv.NewRegistry()
 	s := reg.Section("serve")
 	s.CounterFn("serve.http_requests", "HTTP requests accepted across all endpoints", m.requests.Load)
@@ -77,6 +95,8 @@ func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
 	s.CounterFn("serve.drain_duration_ms", "duration of the last graceful drain in milliseconds", m.drainMS.Load)
 	s.Gauge("serve.job_service_ms_ewma", "moving average of successful job service time in milliseconds", "%.3f",
 		func() float64 { return float64(m.serviceNanos.Load()) / 1e6 })
+	s.Histogram("serve.queue_wait_ms", "time jobs spent queued before a worker picked them up, milliseconds", m.queueWaitMS)
+	s.Histogram("serve.e2e_latency_ms", "end-to-end submission latency (admission to terminal state, cache hits included), milliseconds", m.e2eMS)
 	c := reg.Section("serve.cache")
 	c.CounterFn("serve.cache.hits", "submissions served byte-identically from the result cache", m.cacheHits.Load)
 	c.CounterFn("serve.cache.misses", "submissions that had to simulate", m.cacheMisses.Load)
@@ -89,6 +109,9 @@ func (m *metrics) registry(cacheLen func() int64) *obsv.Registry {
 	j.CounterFn("serve.journal.checkpoints", "machine checkpoints journaled while jobs ran", m.checkpointsJournaled.Load)
 	j.CounterFn("serve.journal.replayed_resumed", "re-enqueued jobs that resumed from a journaled checkpoint", m.journalReplayedResumed.Load)
 	s.CounterFn("serve.jobs_preempted", "jobs cancelled by drain or shutdown and journaled as resumable", m.jobsPreempted.Load)
+	tr := reg.Section("serve.trace")
+	tr.CounterFn("serve.trace.spans", "request spans buffered for GET /v1/trace", func() int64 { return int64(spans.Len()) })
+	tr.CounterFn("serve.trace.spans_dropped", "request spans dropped because the buffer was full", spans.Dropped)
 	cl := reg.Section("serve.client")
 	cl.CounterFn("serve.client.retries", "client attempts beyond the first (in-process clients only)", clientMet.retries.Load)
 	cl.CounterFn("serve.client.breaker_opens", "circuit breaker transitions to open", clientMet.breakerOpens.Load)

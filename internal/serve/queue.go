@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
 )
 
 // JobState is the lifecycle of one submitted simulation.
@@ -33,6 +34,9 @@ type JobStatus struct {
 	Bench    string       `json:"bench,omitempty"`
 	CacheKey string       `json:"cache_key"`
 	Cached   bool         `json:"cached,omitempty"`
+	// TraceID correlates the job with its spans (GET /v1/trace) and with the
+	// daemon's structured log lines.
+	TraceID string `json:"trace_id,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -58,6 +62,10 @@ type job struct {
 	// to harness.WithResume when the job runs. Set once before the job is
 	// queued, never mutated after.
 	resume []harness.RunCheckpoint
+	// trace is the job's trace ID plus the admission span every worker-side
+	// stage span parents to. Set once before the job is visible to workers
+	// (handleSubmit, or journal replay in New), never mutated after.
+	trace obsv.SpanContext
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -146,6 +154,9 @@ func (j *job) status() JobStatus {
 		ID: j.id, State: j.state, Mode: j.req.Mode, Bench: j.req.Bench,
 		CacheKey: j.key, Cached: j.cached, SubmittedAt: j.submitted,
 		Result: j.result, Failure: j.failure, Error: j.errMsg,
+	}
+	if !j.trace.Trace.IsZero() {
+		st.TraceID = j.trace.Trace.String()
 	}
 	if !j.started.IsZero() {
 		t := j.started

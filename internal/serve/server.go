@@ -13,7 +13,16 @@
 //	GET  /v1/sims/{id}        poll one job
 //	GET  /v1/sims/{id}/stream NDJSON progress events, then the final status
 //	GET  /v1/healthz          liveness + build identity + serving|draining
-//	GET  /v1/metrics          obsv registry JSON (queue/cache/job/journal counters)
+//	GET  /v1/metrics          obsv registry JSON (queue/cache/job/journal counters);
+//	                          ?format=prometheus for text exposition
+//	GET  /v1/trace            request spans as NDJSON (?format=perfetto for a
+//	                          Chrome/Perfetto trace)
+//
+// Observability: submissions propagate W3C traceparent headers, every stage
+// of a job's life (admission, cache lookup, queue wait, execute, journal
+// append, per-loop progress) is recorded as a span under one TraceID, and
+// structured logs (Config.Logger) carry the same trace_id/job/cache_key
+// correlation fields.
 //
 // Robustness: an optional durable job journal (Config.JournalDir) makes
 // queued and interrupted jobs survive a crash — replayed on startup,
@@ -30,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -80,6 +90,14 @@ type Config struct {
 	// MaxInflightBytes caps a submission body; larger requests are shed with
 	// 413. 0 selects DefaultMaxInflightBytes; negative disables the guard.
 	MaxInflightBytes int64
+	// Logger receives the server's structured logs (job lifecycle, drains,
+	// journal replay), each line carrying trace_id/job/cache_key correlation
+	// fields. nil silences logging.
+	Logger *slog.Logger
+	// SpanCap bounds the in-memory request-span buffer served at /v1/trace;
+	// spans beyond it are dropped and counted. 0 selects
+	// obsv.DefaultSpanCap.
+	SpanCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +131,8 @@ type Server struct {
 	met     metrics
 	reg     *obsv.Registry
 	journal *journal
+	spans   *obsv.SpanRecorder
+	logger  *slog.Logger
 
 	mu   sync.RWMutex
 	jobs map[string]*job
@@ -142,7 +162,13 @@ func New(cfg Config) (*Server, error) {
 		cache:    newCache(cfg.CacheSize),
 		jobs:     make(map[string]*job),
 		draining: make(chan struct{}),
+		spans:    obsv.NewSpanRecorder(cfg.SpanCap),
+		logger:   cfg.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(discardHandler{})
+	}
+	s.met.initHistograms()
 
 	var recovered []*job
 	if cfg.JournalDir != "" {
@@ -176,12 +202,17 @@ func New(cfg Config) (*Server, error) {
 			// pending job without any (checkpointing off, or killed before
 			// the first emission) re-runs from cycle 0 as before.
 			j.resume = e.ckpts
+			// The original submission's trace died with the old process;
+			// start a fresh one so the re-run is still correlatable.
+			j.trace = obsv.NewTrace()
 			if len(e.ckpts) > 0 {
 				s.met.journalReplayedResumed.Add(1)
 			}
 			recovered = append(recovered, j)
 			s.met.journalReplayedRequeued.Add(1)
 		}
+		s.logger.Info("journal replayed",
+			"completed", len(st.completed), "requeued", len(st.pending), "truncated", st.truncated)
 	}
 
 	// Recovered jobs must all fit: grow the queue past its configured bound
@@ -193,7 +224,7 @@ func New(cfg Config) (*Server, error) {
 		s.met.queued.Add(1)
 	}
 
-	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) })
+	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) }, s.spans)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s, nil
 }
@@ -244,6 +275,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	start := time.Now()
 	s.met.drains.Add(1)
+	s.logger.Info("drain started", "running", s.met.running.Load(), "queued", s.met.queued.Load())
 	close(s.draining)
 
 	done := make(chan struct{})
@@ -262,6 +294,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.met.drainMS.Store(time.Since(start).Milliseconds())
+	s.logger.Info("drain finished",
+		"duration_ms", time.Since(start).Milliseconds(), "cancelled", err != nil)
 	_ = s.journal.Close()
 	return err
 }
@@ -336,6 +370,15 @@ func (s *Server) runJob(j *job) {
 	defer s.met.running.Add(-1)
 	start := time.Now()
 	j.setRunning(start)
+	// Queue-wait stage: submission → worker pickup, as a span and in the
+	// SLO histogram.
+	s.met.queueWaitMS.Observe(start.Sub(j.submitted).Milliseconds())
+	s.stageSpan(j.trace.Trace, j.trace.Span, "queue-wait", j.submitted, start,
+		map[string]string{"job": j.id})
+	exec := j.trace.Child()
+	lg := s.jobLogger(j)
+	lg.Info("job started", "bench", j.req.Bench, "mode", string(j.req.Mode),
+		"queue_wait_ms", start.Sub(j.submitted).Milliseconds())
 	s.journalAppend(journalRecord{Op: opStart, Key: j.key, ID: j.id, At: start})
 
 	ctx := s.ctx
@@ -344,7 +387,17 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 	}
 	defer cancel()
-	ctx = harness.WithProgress(ctx, j.appendEvent)
+	// Each progress event doubles as a zero-duration child span of the
+	// execute stage, so the harness's per-loop milestones line up under the
+	// request trace.
+	ctx = harness.WithProgress(ctx, func(ev harness.ProgressEvent) {
+		j.appendEvent(ev)
+		now := time.Now()
+		s.stageSpan(j.trace.Trace, exec.Span, "progress:"+ev.Stage, now, now, map[string]string{
+			"done":  strconv.Itoa(ev.Done),
+			"total": strconv.Itoa(ev.Total),
+		})
+	})
 	if s.journal != nil && s.cfg.CheckpointEvery > 0 {
 		key, id := j.key, j.id
 		ctx = harness.WithCheckpoints(ctx, s.cfg.CheckpointEvery, func(rc harness.RunCheckpoint) {
@@ -354,6 +407,30 @@ func (s *Server) runJob(j *job) {
 	}
 	if len(j.resume) > 0 {
 		ctx = harness.WithResume(ctx, j.resume)
+	}
+
+	// endExecute closes the execute span and the end-to-end latency metric
+	// for every terminal path.
+	endExecute := func(outcome string) time.Time {
+		now := time.Now()
+		s.spans.Record(obsv.Span{
+			Trace: j.trace.Trace, ID: exec.Span, Parent: j.trace.Span,
+			Name: "execute", Start: start, End: now,
+			Attrs: map[string]string{"job": j.id, "cache_key": j.key, "outcome": outcome},
+		})
+		s.met.e2eMS.Observe(now.Sub(j.submitted).Milliseconds())
+		return now
+	}
+	// journalSpan wraps a terminal journal append in a "journal-append"
+	// span (skipped without a journal: there is no stage to time).
+	journalSpan := func(rec journalRecord) {
+		if s.journal == nil {
+			return
+		}
+		js := time.Now()
+		s.journal.append(rec)
+		s.stageSpan(j.trace.Trace, exec.Span, "journal-append", js, time.Now(),
+			map[string]string{"op": string(rec.Op)})
 	}
 
 	res, err := harness.Run(ctx, j.req)
@@ -367,11 +444,15 @@ func (s *Server) runJob(j *job) {
 		// as such so it stays pending — with its checkpoints — and the next
 		// process resumes it instead of marking the key terminally failed.
 		if s.ctx.Err() != nil {
+			now := endExecute("preempted")
+			lg.Info("job preempted", "err", se.Error(), "duration_ms", now.Sub(start).Milliseconds())
 			s.met.jobsPreempted.Add(1)
-			s.journalAppend(journalRecord{Op: opPreempt, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
+			journalSpan(journalRecord{Op: opPreempt, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
 			return
 		}
-		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
+		now := endExecute("failed")
+		lg.Warn("job failed", "err", se.Error(), "duration_ms", now.Sub(start).Milliseconds())
+		journalSpan(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: se.Error()})
 		return
 	}
 	data, err := json.Marshal(res)
@@ -379,14 +460,18 @@ func (s *Server) runJob(j *job) {
 		msg := fmt.Sprintf("marshalling result: %v", err)
 		j.finish(nil, nil, msg, http.StatusInternalServerError, time.Now())
 		s.met.jobsFailed.Add(1)
-		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: msg})
+		endExecute("failed")
+		lg.Warn("job failed", "err", msg)
+		journalSpan(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: time.Now(), Error: msg})
 		return
 	}
 	s.cache.Put(j.key, data)
 	j.finish(data, nil, "", 0, time.Now())
 	s.met.jobsDone.Add(1)
 	s.observeService(time.Since(start))
-	s.journalAppend(journalRecord{Op: opDone, Key: j.key, ID: j.id, At: time.Now(), Result: data})
+	now := endExecute("done")
+	lg.Info("job done", "duration_ms", now.Sub(start).Milliseconds(), "result_bytes", len(data))
+	journalSpan(journalRecord{Op: opDone, Key: j.key, ID: j.id, At: time.Now(), Result: data})
 }
 
 // failStatusFor maps a failed job to the HTTP status a synchronous waiter
@@ -411,6 +496,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sims/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -452,8 +538,37 @@ func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
 // (429). ?wait=1 turns the call synchronous: it blocks until the job
 // finishes and maps failures onto HTTP statuses.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
+	// Adopt the caller's trace (W3C traceparent) or start a fresh one for
+	// bare submissions; either way the whole admission decision is one span,
+	// recorded with its outcome on every exit path.
+	parent, propagated := obsv.ParseTraceparent(r.Header.Get("traceparent"))
+	if !propagated {
+		parent = obsv.NewTrace()
+	}
+	adm := parent.Child()
+	admitted := func(outcome, id, key string) {
+		attrs := map[string]string{"outcome": outcome}
+		if id != "" {
+			attrs["job"] = id
+		}
+		if key != "" {
+			attrs["cache_key"] = key
+		}
+		s.spans.Record(obsv.Span{
+			Trace: parent.Trace, ID: adm.Span, Parent: parent.Span,
+			Name: "admission", Start: arrived, End: time.Now(), Attrs: attrs,
+		})
+	}
+	refused := func(outcome, detail string) {
+		admitted(outcome, "", "")
+		s.logger.Warn("submission refused",
+			"trace_id", parent.Trace.String(), "reason", outcome, "detail", detail)
+	}
+
 	if s.state.Load() != stateServing {
 		s.met.rejectedDraining.Add(1)
+		refused("draining", "")
 		writeRetryAfter(w, s.retryAfterHint())
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
@@ -466,34 +581,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.met.shedOversize.Add(1)
+			refused("oversize", err.Error())
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
 			return
 		}
 		s.met.invalid.Add(1)
+		refused("invalid", err.Error())
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	creq, err := req.Canonical()
 	if err != nil {
 		s.met.invalid.Add(1)
+		refused("invalid", err.Error())
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	key, err := creq.CacheKey()
 	if err != nil {
+		refused("hash-error", err.Error())
 		writeError(w, http.StatusInternalServerError, "hashing request: %v", err)
 		return
 	}
 
 	id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
 	j := newJob(id, key, creq, time.Now())
+	// Worker-side stage spans parent to the admission span.
+	j.trace = obsv.SpanContext{Trace: parent.Trace, Span: adm.Span}
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.mu.Unlock()
 
-	if data, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	data, hit := s.cache.Get(key)
+	s.stageSpan(parent.Trace, adm.Span, "cache-lookup", lookupStart, time.Now(),
+		map[string]string{"hit": strconv.FormatBool(hit), "cache_key": key})
+	if hit {
 		s.met.cacheHits.Add(1)
 		j.finishCached(data, time.Now())
+		s.met.e2eMS.Observe(time.Since(arrived).Milliseconds())
+		admitted("cache-hit", id, key)
+		s.jobLogger(j).Info("job served from cache")
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
@@ -508,6 +636,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			delete(s.jobs, id)
 			s.mu.Unlock()
 			s.met.shedDeadline.Add(1)
+			refused("shed-deadline", est.String())
 			writeRetryAfter(w, est)
 			writeError(w, http.StatusTooManyRequests,
 				"predicted queue wait %s exceeds deadline %s", est.Round(time.Millisecond), d)
@@ -523,6 +652,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 		s.met.queued.Add(1)
 		s.met.submitted.Add(1)
+		admitted("queued", id, key)
+		s.jobLogger(j).Info("job admitted", "bench", creq.Bench, "mode", string(creq.Mode),
+			"propagated", propagated)
 	default:
 		s.mu.Lock()
 		delete(s.jobs, id)
@@ -531,6 +663,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Terminalise the journaled submit so replay does not resurrect a
 		// job the client was told to retry.
 		s.journalAppend(journalRecord{Op: opFail, Key: key, ID: id, At: time.Now(), Error: "queue full"})
+		refused("queue-full", "")
 		writeRetryAfter(w, s.retryAfterHint())
 		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting)", s.cfg.QueueSize)
 		return
@@ -634,7 +767,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the registry: JSON by default, Prometheus text
+// exposition with ?format=prometheus (the scrape target for a fleet).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obsv.PromContentType)
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.reg.WriteJSON(w)
 }
