@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt-check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke obs-smoke
+.PHONY: build test check fmt-check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke obs-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,9 @@ fmt-check:
 # check is the pre-merge gate: formatting, static vetting, the observability
 # smoke, plus the race detector over the packages with concurrency (harness
 # worker pool) and the rewritten LSU hot path.
-check: fmt-check serve-chaos resume-smoke obs-smoke
+check: fmt-check serve-chaos resume-smoke obs-smoke fleet-smoke
 	$(GO) vet ./...
-	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve
+	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve ./internal/gateway
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/lsu ./internal/pipeline
@@ -79,6 +79,15 @@ obs-smoke: build
 # finish it byte-identical to an uninterrupted run.
 resume-smoke: build
 	$(GO) test -race -timeout 15m -run 'TestSIGKILLMidSimResume|TestPreemptAndResume' ./internal/serve
+
+# fleet-smoke is the gateway acceptance drill, run under the race detector:
+# an in-process 3-node fleet behind srvgw takes a batch of submissions,
+# one node is drained and its listener torn down mid-queue, and the run
+# must finish with zero lost jobs, results byte-identical to local
+# execution, a gateway cache hit on resubmission, and one client-rooted
+# trace spanning gateway and node.
+fleet-smoke: build
+	$(GO) run -race ./cmd/srvgw -smoke
 
 # serve-chaos is the service-layer resilience drill, run under the race
 # detector: remote submissions through a seeded fault-injecting transport

@@ -219,13 +219,13 @@ func BenchmarkStructuralSweep(b *testing.B) {
 		}
 		iq16 := pipeline.DefaultConfig()
 		iq16.IQSize = 16
-		small, err := harness.RunLoopWith(iq16, bm.Name, bm.Loops[0], benchSeed)
+		small, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(iq16))
 		if err != nil {
 			b.Fatal(err)
 		}
 		lsq24 := pipeline.DefaultConfig()
 		lsq24.LSQSize = 24
-		cliff, err := harness.RunLoopWith(lsq24, bm.Name, bm.Loops[0], benchSeed)
+		cliff, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(lsq24))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +284,7 @@ func BenchmarkAblationRelaxedBarrier(b *testing.B) {
 		}
 		cfg := pipeline.DefaultConfig()
 		cfg.RelaxedBarrier = true
-		relaxed, err := harness.RunLoopWith(cfg, bm.Name, bm.Loops[0], benchSeed)
+		relaxed, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -303,7 +303,7 @@ func BenchmarkAblationConservativeMem(b *testing.B) {
 		}
 		cfg := pipeline.DefaultConfig()
 		cfg.ConservativeMem = true
-		cons, err := harness.RunLoopWith(cfg, bm.Name, bm.Loops[0], benchSeed)
+		cons, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -354,7 +354,7 @@ func BenchmarkAblationSelectiveReplay(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := harness.RunLoopWith(cfg, conflicting.Name, conflicting.Loops[0], benchSeed)
+		without, err := harness.RunLoop(conflicting.Name, conflicting.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,7 +362,7 @@ func BenchmarkAblationSelectiveReplay(b *testing.B) {
 		b.ReportMetric(without.Speedup, "fallback-speedup-x")
 		b.ReportMetric(float64(without.SRVCycles)/float64(with.SRVCycles), "replay-gain-x")
 
-		cleanAbl, err := harness.RunLoopWith(cfg, clean.Name, clean.Loops[0], benchSeed)
+		cleanAbl, err := harness.RunLoop(clean.Name, clean.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func BenchmarkAblationSelectiveReplay(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		hotWithout, err := harness.RunLoopWith(cfg, "hot", hot, benchSeed)
+		hotWithout, err := harness.RunLoop("hot", hot, benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -401,7 +401,7 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 		}
 		cfg := pipeline.DefaultConfig()
 		cfg.Prefetch = true
-		on, err := harness.RunLoopWith(cfg, bm.Name, bm.Loops[0], benchSeed)
+		on, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -419,7 +419,7 @@ func BenchmarkAblationLSQSweep(b *testing.B) {
 		for _, size := range []int{64, 48, 24} {
 			cfg := pipeline.DefaultConfig()
 			cfg.LSQSize = size
-			lr, err := harness.RunLoopWith(cfg, bm.Name, bm.Loops[0], benchSeed)
+			lr, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(cfg))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -443,7 +443,7 @@ func BenchmarkAblationInOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := pipeline.DefaultConfig()
 		cfg.InOrder = true
-		io, err := harness.RunLoopWith(cfg, bm.Name, bm.Loops[0], benchSeed)
+		io, err := harness.RunLoop(bm.Name, bm.Loops[0], benchSeed, harness.WithConfig(cfg))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,778 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srvsim/internal/harness"
+	"srvsim/internal/obsv"
+	"srvsim/internal/serve"
+)
+
+// DefaultStealThreshold is the predicted-wait level past which the gateway
+// steals work from a shard's owner: long enough that cache locality wins on
+// a healthy fleet, short enough that one hot shard cannot queue minutes of
+// work while its neighbours idle.
+const DefaultStealThreshold = 2 * time.Second
+
+// DefaultHealthInterval paces the per-node health polls that feed routing
+// eligibility, work-stealing and drain rescue.
+const DefaultHealthInterval = time.Second
+
+// Config sizes the gateway.
+type Config struct {
+	// Nodes are the srvd base URLs forming the fleet (e.g.
+	// "http://127.0.0.1:8077"). The address is the node's ring identity.
+	Nodes []string
+	// NodeID names the gateway itself in statuses it synthesises (gateway
+	// cache hits). Default "srvgw".
+	NodeID string
+	// VirtualNodes is the ring replication factor (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// CacheSize bounds the gateway-tier result cache (LRU). Default 256;
+	// negative disables it (node caches still apply).
+	CacheSize int
+	// StealThreshold: when the owning node's predicted queue wait exceeds
+	// this, the submission is routed to the least-loaded eligible node
+	// instead. 0 selects DefaultStealThreshold; negative disables stealing.
+	StealThreshold time.Duration
+	// HealthInterval paces node health polls (0 = DefaultHealthInterval).
+	HealthInterval time.Duration
+	// MaxInflightBytes caps a submission body, mirroring the node-side guard
+	// so oversized requests die at the edge. 0 selects
+	// serve.DefaultMaxInflightBytes; negative disables.
+	MaxInflightBytes int64
+	// Logger receives the gateway's structured logs. nil silences them.
+	Logger *slog.Logger
+	// SpanCap bounds the gateway's span buffer (0 = obsv.DefaultSpanCap).
+	SpanCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NodeID == "" {
+		c.NodeID = "srvgw"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.StealThreshold == 0 {
+		c.StealThreshold = DefaultStealThreshold
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.MaxInflightBytes == 0 {
+		c.MaxInflightBytes = serve.DefaultMaxInflightBytes
+	}
+	return c
+}
+
+// gwJob tracks one submission the gateway accepted: which node owns it,
+// what its remote job ID is there, and — because requests are
+// content-addressed and the simulator deterministic — everything needed to
+// resubmit it elsewhere (the canonical body) if the owner drains or dies.
+type gwJob struct {
+	id        string
+	key       string
+	body      []byte // canonical request JSON, the resubmission payload
+	mode      harness.Mode
+	bench     string
+	trace     obsv.SpanContext // trace + the gateway's route span (forwarded parent)
+	submitted time.Time
+
+	mu       sync.Mutex
+	node     string // owning node's ring name
+	remoteID string // job ID on the owning node
+	handoffs int
+	final    *serve.JobStatus // terminal status, once known
+}
+
+func (j *gwJob) snapshot() (node, remoteID string, final *serve.JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node, j.remoteID, j.final
+}
+
+func (j *gwJob) setOwner(node, remoteID string) {
+	j.mu.Lock()
+	j.node, j.remoteID = node, remoteID
+	j.mu.Unlock()
+}
+
+func (j *gwJob) setFinal(st serve.JobStatus) {
+	j.mu.Lock()
+	j.final = &st
+	j.mu.Unlock()
+}
+
+// Gateway shards submissions across the fleet and forwards the /v1 surface.
+// Construct with New, install Handler, call Start, Shutdown on the way out.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	nodes  map[string]*node
+	order  []string // configured node order, for stable iteration
+	cache  *serve.ResultCache
+	met    gwMetrics
+	reg    *obsv.Registry
+	spans  *obsv.SpanRecorder
+	logger *slog.Logger
+
+	mu     sync.RWMutex
+	jobs   map[string]*gwJob
+	nextID atomic.Int64
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// New builds a stopped gateway over the configured fleet; call Start to
+// launch the health-poll loop.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("gateway: no nodes configured")
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VirtualNodes),
+		nodes:  make(map[string]*node, len(cfg.Nodes)),
+		cache:  serve.NewResultCache(cfg.CacheSize),
+		jobs:   make(map[string]*gwJob),
+		spans:  obsv.NewSpanRecorder(cfg.SpanCap),
+		logger: cfg.Logger,
+	}
+	if g.logger == nil {
+		g.logger = slog.New(discardHandler{})
+	}
+	for _, addr := range cfg.Nodes {
+		if _, dup := g.nodes[addr]; dup {
+			return nil, fmt.Errorf("gateway: node %q configured twice", addr)
+		}
+		g.nodes[addr] = newNode(addr)
+		g.order = append(g.order, addr)
+		g.ring.Add(addr)
+	}
+	g.reg = g.met.registry(g)
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	return g, nil
+}
+
+// Registry exposes the gateway metrics (for embedding in other exporters).
+func (g *Gateway) Registry() *obsv.Registry { return g.reg }
+
+// Spans exposes the gateway's span recorder.
+func (g *Gateway) Spans() *obsv.SpanRecorder { return g.spans }
+
+// Start launches the health-poll loop (which also drives drain rescue).
+func (g *Gateway) Start() {
+	g.started = time.Now()
+	g.pollOnce() // seed eligibility before the first request arrives
+	g.wg.Add(1)
+	go g.pollLoop()
+}
+
+// Shutdown stops the poll loop. In-flight forwards run to their own
+// completion — the gateway holds no queue of its own to drain.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.cancel()
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gateway) pollLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+			g.pollOnce()
+		}
+	}
+}
+
+// pollOnce refreshes every node's health snapshot concurrently (a dead node
+// must not stall the loop past its own timeout), then rescues jobs stranded
+// on ineligible nodes.
+func (g *Gateway) pollOnce() {
+	g.met.healthPolls.Add(1)
+	var wg sync.WaitGroup
+	for _, name := range g.order {
+		n := g.nodes[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.poll(g.ctx, g.cfg.HealthInterval)
+		}()
+	}
+	wg.Wait()
+	g.rescueOrphans()
+}
+
+// route returns the eligible nodes for key in hand-off order: ring
+// successors of the key's owner, skipping ejected/draining/unhealthy nodes
+// (and exclude), with one work-stealing adjustment — if the owner's
+// predicted queue wait exceeds the threshold, the least-loaded eligible
+// node is promoted to the front instead.
+func (g *Gateway) route(key, exclude string) []*node {
+	names := g.ring.Successors(key, g.ring.Len())
+	cands := make([]*node, 0, len(names))
+	for _, nm := range names {
+		if nm == exclude {
+			continue
+		}
+		if n := g.nodes[nm]; n != nil && n.eligible() {
+			cands = append(cands, n)
+		}
+	}
+	if th := g.cfg.StealThreshold; th > 0 && len(cands) > 1 {
+		if owner := cands[0]; owner.predictedWaitMS() > float64(th.Milliseconds()) {
+			best := 0
+			for i, n := range cands {
+				if n.predictedWaitMS() < cands[best].predictedWaitMS() {
+					best = i
+				}
+			}
+			if best != 0 {
+				g.met.steals.Add(1)
+				cands[0], cands[best] = cands[best], cands[0]
+			}
+		}
+	}
+	return cands
+}
+
+// Handler returns the gateway's /v1 API mux — the same surface a single
+// srvd node serves, so clients (and srvbench -remote) cannot tell the
+// difference.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sims", g.handleSubmit)
+	mux.HandleFunc("GET /v1/sims/{id}", g.handleStatus)
+	mux.HandleFunc("GET /v1/sims/{id}/stream", g.handleStream)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", g.handleTrace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.met.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleSubmit admits one harness.Request at the edge: mirror the node-side
+// guards (size, validity), answer repeats from the gateway-tier cache, then
+// route by CacheKey and forward — handing off along the ring when the owner
+// is draining, over capacity, or unreachable. ?wait=1 stays synchronous end
+// to end. The whole exchange lives under one TraceID: the caller's
+// traceparent (or a fresh trace) parents the gateway's route span, which in
+// turn parents the owning node's admission span.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
+	parent, propagated := obsv.ParseTraceparent(r.Header.Get("traceparent"))
+	if !propagated {
+		parent = obsv.NewTrace()
+	}
+	route := parent.Child()
+	routed := func(outcome string, attrs map[string]string) {
+		if attrs == nil {
+			attrs = map[string]string{}
+		}
+		attrs["outcome"] = outcome
+		g.spans.Record(obsv.Span{
+			Trace: parent.Trace, ID: route.Span, Parent: parent.Span,
+			Name: "gateway.route", Start: arrived, End: time.Now(), Attrs: attrs,
+		})
+	}
+
+	if g.cfg.MaxInflightBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxInflightBytes)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			g.met.shedOversize.Add(1)
+			routed("oversize", nil)
+			serve.WriteError(w, serve.CodeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		g.met.invalid.Add(1)
+		routed("invalid", nil)
+		serve.WriteError(w, serve.CodeInvalidRequest, "reading request: %v", err)
+		return
+	}
+	var req harness.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.met.invalid.Add(1)
+		routed("invalid", nil)
+		serve.WriteError(w, serve.CodeInvalidRequest, "decoding request: %v", err)
+		return
+	}
+	creq, err := req.Canonical()
+	if err != nil {
+		g.met.invalid.Add(1)
+		routed("invalid", nil)
+		serve.WriteError(w, serve.CodeInvalidRequest, "%v", err)
+		return
+	}
+	key, err := creq.CacheKey()
+	if err != nil {
+		routed("hash-error", nil)
+		serve.WriteError(w, serve.CodeInternal, "hashing request: %v", err)
+		return
+	}
+	canonical, err := json.Marshal(creq)
+	if err != nil {
+		routed("encode-error", nil)
+		serve.WriteError(w, serve.CodeInternal, "encoding request: %v", err)
+		return
+	}
+
+	id := fmt.Sprintf("gw-%06d", g.nextID.Add(1))
+	j := &gwJob{
+		id: id, key: key, body: canonical,
+		mode: creq.Mode, bench: creq.Bench,
+		trace:     obsv.SpanContext{Trace: parent.Trace, Span: route.Span},
+		submitted: arrived,
+	}
+	g.mu.Lock()
+	g.jobs[id] = j
+	g.mu.Unlock()
+
+	// Tier 1: the gateway's own LRU answers repeats without a network hop.
+	if data, ok := g.cache.Get(key); ok {
+		g.met.cacheHits.Add(1)
+		now := time.Now()
+		st := serve.JobStatus{
+			ID: id, State: serve.StateDone, Mode: creq.Mode, Bench: creq.Bench,
+			CacheKey: key, Cached: true, TraceID: parent.Trace.String(),
+			Node: g.cfg.NodeID, SubmittedAt: arrived,
+			StartedAt: &now, FinishedAt: &now, Result: data,
+		}
+		j.setFinal(st)
+		routed("cache-hit", map[string]string{"cache_key": key})
+		g.logger.Info("job served from gateway cache",
+			"trace_id", parent.Trace.String(), "job", id, "cache_key", key)
+		serve.WriteJSON(w, http.StatusOK, st)
+		return
+	}
+	g.met.cacheMisses.Add(1)
+
+	wait := r.URL.Query().Get("wait")
+	syncWait := wait == "1" || wait == "true"
+	resp, owner := g.forwardSubmit(r.Context(), j, syncWait)
+	if owner == nil {
+		if resp != nil {
+			// Every candidate refused in a way hand-off cannot help; the last
+			// typed envelope is forwarded untouched.
+			routed("refused", map[string]string{"cache_key": key, "status": fmt.Sprint(resp.Status)})
+			g.forwardRaw(w, resp)
+			return
+		}
+		g.met.noNodes.Add(1)
+		routed("no-nodes", map[string]string{"cache_key": key})
+		serve.WriteErrorRetry(w, serve.CodeDraining, g.cfg.HealthInterval,
+			"no eligible node for shard (fleet draining or unreachable)")
+		return
+	}
+
+	g.met.submitted.Add(1)
+	if resp.Status/100 != 2 {
+		// A terminal failure envelope (failed ?wait=1 job) forwards untouched;
+		// remember the node-side job ID so status polls keep working.
+		var env struct {
+			Error serve.APIError `json:"error"`
+		}
+		if json.Unmarshal(resp.Body, &env) == nil && env.Error.Job != nil {
+			j.setOwner(owner.name, env.Error.Job.ID)
+			st := *env.Error.Job
+			st.ID, st.Node = id, owner.name
+			j.setFinal(st)
+		}
+		routed("forwarded-error", map[string]string{
+			"node": owner.name, "cache_key": key, "status": fmt.Sprint(resp.Status)})
+		g.forwardRaw(w, resp)
+		return
+	}
+
+	var st serve.JobStatus
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		routed("decode-error", map[string]string{"node": owner.name})
+		serve.WriteError(w, serve.CodeInternal, "decoding node response: %v", err)
+		return
+	}
+	j.setOwner(owner.name, st.ID)
+	st.ID, st.Node = id, owner.name
+	if st.State == serve.StateDone && len(st.Result) > 0 {
+		g.cache.Put(key, st.Result)
+		j.setFinal(st)
+	}
+	routed("forwarded", map[string]string{"node": owner.name, "job": id, "cache_key": key})
+	g.logger.Info("job routed", "trace_id", parent.Trace.String(), "job", id,
+		"node", owner.name, "cache_key", key, "sync", syncWait, "handoffs", j.handoffs)
+	serve.WriteJSON(w, resp.Status, st)
+}
+
+// forwardSubmit walks the job's hand-off order, forwarding the submission
+// until a node accepts it. A draining (503) or over-capacity (429) answer
+// and any transport failure move on to the next ring owner — this is the
+// drain-aware hand-off: a queued job on a dying node is resubmitted, not
+// bounced, and determinism + content addressing make the duplicate safe.
+// Returns (resp, owner) on acceptance; (lastResp, nil) when every candidate
+// refused with a non-hand-offable error; (nil, nil) when no candidate could
+// be reached at all.
+func (g *Gateway) forwardSubmit(ctx context.Context, j *gwJob, syncWait bool) (*serve.APIResponse, *node) {
+	path := "/v1/sims"
+	perCall := serve.DefaultPollTimeout
+	if syncWait {
+		path += "?wait=1"
+		perCall = 0 // long poll: simulations can run for minutes
+	}
+	header := http.Header{}
+	header.Set("Content-Type", "application/json")
+	header.Set("traceparent", j.trace.Traceparent())
+
+	var last *serve.APIResponse
+	for attempt, n := range g.route(j.key, "") {
+		if attempt > 0 {
+			g.met.handoffs.Add(1)
+			j.mu.Lock()
+			j.handoffs++
+			j.mu.Unlock()
+		}
+		resp, err := n.client.RoundTrip(ctx, http.MethodPost, path, header, j.body, perCall)
+		if err != nil {
+			if ctx.Err() != nil {
+				return last, nil
+			}
+			g.logger.Warn("node unreachable, handing off",
+				"node", n.name, "job", j.id, "err", err)
+			continue
+		}
+		switch resp.Status {
+		case http.StatusServiceUnavailable:
+			n.markDraining()
+			g.logger.Info("node draining, handing off", "node", n.name, "job", j.id)
+			last = resp
+			continue
+		case http.StatusTooManyRequests:
+			last = resp
+			continue
+		}
+		return resp, n
+	}
+	return last, nil
+}
+
+// forwardRaw relays a node response verbatim — body bytes, status, and the
+// headers that matter (the typed error envelope's Retry-After especially).
+func (g *Gateway) forwardRaw(w http.ResponseWriter, resp *serve.APIResponse) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+// lookup resolves a gateway job ID, writing the 404 envelope when unknown.
+func (g *Gateway) lookup(w http.ResponseWriter, id string) *gwJob {
+	g.mu.RLock()
+	j := g.jobs[id]
+	g.mu.RUnlock()
+	if j == nil {
+		serve.WriteError(w, serve.CodeNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+// handleStatus serves one job's status: terminal statuses straight from the
+// gateway, live ones by asking the owning node (rewriting the node's job ID
+// and stamping the owner). A vanished owner triggers an immediate rescue.
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := g.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	nodeName, remoteID, final := j.snapshot()
+	if final != nil {
+		serve.WriteJSON(w, http.StatusOK, *final)
+		return
+	}
+	owner := g.nodes[nodeName]
+	if owner == nil || remoteID == "" {
+		// Accepted but not yet placed (mid-hand-off): report it queued.
+		serve.WriteJSON(w, http.StatusOK, g.queuedStatus(j))
+		return
+	}
+	resp, err := owner.client.RoundTrip(r.Context(), http.MethodGet, "/v1/sims/"+remoteID, nil, nil, serve.DefaultPollTimeout)
+	if err != nil || resp.Status == http.StatusNotFound {
+		// The owner is gone (or restarted without its journal): resubmit to
+		// the next ring owner and report the job queued there.
+		if g.rescue(j, nodeName) {
+			serve.WriteJSON(w, http.StatusOK, g.queuedStatus(j))
+			return
+		}
+		serve.WriteErrorRetry(w, serve.CodeDraining, g.cfg.HealthInterval,
+			"owner of job %s unreachable and no eligible node to rescue to", j.id)
+		return
+	}
+	if resp.Status/100 != 2 {
+		g.forwardRaw(w, resp)
+		return
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		serve.WriteError(w, serve.CodeInternal, "decoding node response: %v", err)
+		return
+	}
+	st.ID, st.Node = j.id, owner.name
+	if st.State == serve.StateDone && len(st.Result) > 0 {
+		g.cache.Put(j.key, st.Result)
+		j.setFinal(st)
+	} else if st.State == serve.StateFailed {
+		j.setFinal(st)
+	}
+	serve.WriteJSON(w, http.StatusOK, st)
+}
+
+// queuedStatus synthesises the status of a job the gateway has accepted but
+// whose owner cannot answer right now.
+func (g *Gateway) queuedStatus(j *gwJob) serve.JobStatus {
+	nodeName, _, _ := j.snapshot()
+	return serve.JobStatus{
+		ID: j.id, State: serve.StateQueued, Mode: j.mode, Bench: j.bench,
+		CacheKey: j.key, TraceID: j.trace.Trace.String(), Node: nodeName,
+		SubmittedAt: j.submitted,
+	}
+}
+
+// handleStream proxies the owning node's NDJSON stream line by line,
+// rewriting the terminal JobStatus to the gateway's job identity. Terminal
+// jobs answer immediately with their final status line.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := g.lookup(w, r.PathValue("id"))
+	if j == nil {
+		return
+	}
+	nodeName, remoteID, final := j.snapshot()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if final != nil {
+		w.WriteHeader(http.StatusOK)
+		_ = enc.Encode(*final)
+		return
+	}
+	owner := g.nodes[nodeName]
+	if owner == nil || remoteID == "" {
+		w.WriteHeader(http.StatusOK)
+		_ = enc.Encode(g.queuedStatus(j))
+		return
+	}
+	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		owner.client.Base()+"/v1/sims/"+remoteID+"/stream", nil)
+	if err != nil {
+		serve.WriteError(w, serve.CodeInternal, "building stream request: %v", err)
+		return
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		serve.WriteError(w, serve.CodeDraining, "owner of job %s unreachable: %v", j.id, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		g.forwardRaw(w, &serve.APIResponse{Status: resp.StatusCode, Header: resp.Header, Body: body})
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var st serve.JobStatus
+		if err := json.Unmarshal(line, &st); err == nil && st.ID == remoteID && st.State != "" {
+			st.ID, st.Node = j.id, owner.name
+			if st.State == serve.StateDone && len(st.Result) > 0 {
+				g.cache.Put(j.key, st.Result)
+				j.setFinal(st)
+			}
+			_ = enc.Encode(st)
+		} else {
+			_, _ = w.Write(append(line, '\n'))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// rescueOrphans resubmits every live job whose owner has become ineligible
+// (draining, ejected, or failing health polls) to the next ring owner — the
+// drain-aware hand-off for asynchronous jobs whose submitter is long gone.
+func (g *Gateway) rescueOrphans() {
+	g.mu.RLock()
+	jobs := make([]*gwJob, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		jobs = append(jobs, j)
+	}
+	g.mu.RUnlock()
+	for _, j := range jobs {
+		nodeName, remoteID, final := j.snapshot()
+		if final != nil || remoteID == "" {
+			continue
+		}
+		owner := g.nodes[nodeName]
+		if owner != nil && owner.eligible() {
+			continue
+		}
+		g.rescue(j, nodeName)
+	}
+}
+
+// rescue resubmits one job to the next eligible ring owner after exclude.
+// The duplicate submission is safe: the request is content-addressed and
+// the simulator deterministic, so whichever node finishes first populates
+// the caches with the byte-identical Result.
+func (g *Gateway) rescue(j *gwJob, exclude string) bool {
+	header := http.Header{}
+	header.Set("Content-Type", "application/json")
+	header.Set("traceparent", j.trace.Traceparent())
+	for _, n := range g.route(j.key, exclude) {
+		ctx, cancel := context.WithTimeout(g.ctx, serve.DefaultPollTimeout)
+		resp, err := n.client.RoundTrip(ctx, http.MethodPost, "/v1/sims", header, j.body, serve.DefaultPollTimeout)
+		cancel()
+		if err != nil {
+			continue
+		}
+		switch resp.Status {
+		case http.StatusServiceUnavailable:
+			n.markDraining()
+			continue
+		case http.StatusTooManyRequests:
+			continue
+		}
+		if resp.Status/100 != 2 {
+			continue
+		}
+		var st serve.JobStatus
+		if err := json.Unmarshal(resp.Body, &st); err != nil {
+			continue
+		}
+		g.met.rescued.Add(1)
+		j.mu.Lock()
+		j.node, j.remoteID = n.name, st.ID
+		j.handoffs++
+		j.mu.Unlock()
+		if st.State == serve.StateDone && len(st.Result) > 0 {
+			st.ID, st.Node = j.id, n.name
+			g.cache.Put(j.key, st.Result)
+			j.setFinal(st)
+		}
+		g.logger.Info("job rescued", "job", j.id, "from", exclude, "to", n.name,
+			"trace_id", j.trace.Trace.String())
+		return true
+	}
+	g.logger.Warn("job stranded: no eligible node to rescue to", "job", j.id, "from", exclude)
+	return false
+}
+
+// Health is the gateway's /v1/healthz payload: the node-compatible summary
+// (so srvd-aware tooling reads it unchanged) plus per-node detail.
+type Health struct {
+	serve.Health
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Health: serve.Health{
+			Status:        "ok",
+			State:         "serving",
+			SchemaVersion: harness.SchemaVersion,
+			CodeVersion:   harness.CodeVersion,
+			UptimeSeconds: time.Since(g.started).Seconds(),
+			CacheEntries:  g.cache.Len(),
+			Node:          g.cfg.NodeID,
+		},
+	}
+	eligible := 0
+	minWait := -1.0
+	for _, name := range g.order {
+		n := g.nodes[name]
+		st := n.status()
+		h.Nodes = append(h.Nodes, st)
+		h.Workers += st.Workers
+		h.QueueDepth += st.QueueDepth
+		h.JournalLag += st.JournalLag
+		if n.eligible() {
+			eligible++
+			if minWait < 0 || st.PredictedWaitMS < minWait {
+				minWait = st.PredictedWaitMS
+			}
+		}
+	}
+	// The gateway's own predicted wait is the best any routed submission
+	// could see: the least-loaded eligible node's.
+	if minWait > 0 {
+		h.PredictedWaitMS = minWait
+	}
+	if eligible == 0 {
+		h.State = "draining"
+	}
+	serve.WriteJSON(w, http.StatusOK, h)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obsv.PromContentType)
+		_ = g.reg.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.reg.WriteJSON(w)
+}
+
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = g.spans.WriteTrace(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = g.spans.WriteNDJSON(w)
+}
+
+// discardHandler mirrors serve's nil-logger sink.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

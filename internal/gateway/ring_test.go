@@ -1,0 +1,160 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys builds n distinct content-address-shaped keys (the ring hashes
+// strings; real callers pass harness CacheKeys, which are hex digests).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingUniformity: over 1k keys and 4 nodes, every node's share must be
+// within a factor of two of the fair share — the level of balance 128
+// vnodes buys, and what keeps one node from becoming the fleet hotspot.
+func TestRingUniformity(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := testKeys(1000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == "" {
+			t.Fatalf("key %q has no owner", k)
+		}
+		counts[owner]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): distribution too skewed (%v)",
+				n, c, len(keys), fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap: adding or removing one node must remap only about
+// 1/N of the keys — the property that preserves fleet-wide cache locality
+// across membership changes.
+func TestRingMinimalRemap(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	keys := testKeys(1000)
+
+	before := NewRing(0)
+	for _, n := range nodes[:3] {
+		before.Add(n)
+	}
+	owners := map[string]string{}
+	for _, k := range keys {
+		owners[k] = before.Owner(k)
+	}
+
+	// Add a fourth node: moved keys must all move TO it, and their number
+	// must be near 1/4 (within 2x, the vnode variance envelope).
+	before.Add(nodes[3])
+	moved := 0
+	for _, k := range keys {
+		if now := before.Owner(k); now != owners[k] {
+			moved++
+			if now != nodes[3] {
+				t.Fatalf("key %q moved %s -> %s on ADD of %s: only the new node may gain keys",
+					k, owners[k], now, nodes[3])
+			}
+		}
+	}
+	if max := 2 * len(keys) / 4; moved > max {
+		t.Fatalf("adding 1 of 4 nodes remapped %d/%d keys, want <= %d (~1/N)", moved, len(keys), max)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node remapped nothing — it owns no shard")
+	}
+
+	// Remove it again: ownership must return exactly to the 3-node map
+	// (remap on remove = only the removed node's keys, redistributed).
+	before.Remove(nodes[3])
+	for _, k := range keys {
+		if now := before.Owner(k); now != owners[k] {
+			t.Fatalf("key %q owned by %s after add+remove round trip, want %s", k, now, owners[k])
+		}
+	}
+}
+
+// TestRingJoinOrderIndependent: ownership is a pure function of the member
+// set — every insertion order yields the identical key→node map.
+func TestRingJoinOrderIndependent(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	keys := testKeys(300)
+
+	var want map[string]string
+	for _, order := range orders {
+		r := NewRing(0)
+		for _, i := range order {
+			r.Add(nodes[i])
+		}
+		got := map[string]string{}
+		for _, k := range keys {
+			got[k] = r.Owner(k)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for _, k := range keys {
+			if got[k] != want[k] {
+				t.Fatalf("join order %v assigns %q to %s; first order assigned %s", order, k, got[k], want[k])
+			}
+		}
+	}
+
+	// Arriving at the same member set via add+remove churn must also agree.
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	r.Remove(nodes[1])
+	r.Add(nodes[1])
+	for _, k := range keys {
+		if got := r.Owner(k); got != want[k] {
+			t.Fatalf("after churn, key %q owned by %s, want %s", k, got, want[k])
+		}
+	}
+}
+
+// TestRingSuccessors: the hand-off order starts at the owner, visits every
+// node exactly once, and an empty ring yields nothing.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Successors("k", 3); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, len(nodes))
+		if len(succ) != len(nodes) {
+			t.Fatalf("key %q: %d successors, want %d", k, len(succ), len(nodes))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %q: successor walk starts at %s, owner is %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: node %s appears twice in %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}

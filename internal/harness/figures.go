@@ -336,7 +336,7 @@ func Sweep(seed int64) (Report, error) {
 	row := func(param string, value int, mutate func(*pipeline.Config)) error {
 		cfg := cfg()
 		mutate(&cfg)
-		lr, err := RunLoopWith(cfg, bm.Name, ls, seed)
+		lr, err := RunLoop(bm.Name, ls, seed, WithConfig(cfg))
 		if err != nil {
 			return fmt.Errorf("%s=%d: %w", param, value, err)
 		}

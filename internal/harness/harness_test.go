@@ -221,7 +221,7 @@ func TestSweepShape(t *testing.T) {
 	bm, _ := workloads.ByName("is")
 	small := cfg()
 	small.LSQSize = 24
-	cliff, err := RunLoopWith(small, bm.Name, bm.Loops[0], 7)
+	cliff, err := RunLoop(bm.Name, bm.Loops[0], 7, WithConfig(small))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -204,13 +204,6 @@ func TestRunLoopWrapperEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deprecated, err := RunLoopWith(pcfg, "api", ls, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(withOpt, deprecated) {
-		t.Fatalf("RunLoopWith and RunLoop(WithConfig) disagree:\n  %+v\n  %+v", withOpt, deprecated)
-	}
 	if withOpt.ScalarCycles == direct.ScalarCycles {
 		t.Fatal("config override had no effect (scalar latency change should alter cycles)")
 	}

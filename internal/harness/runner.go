@@ -135,14 +135,6 @@ func ratio(a, b float64) float64 {
 	return a / b
 }
 
-// RunLoopWith is RunLoop under a custom pipeline configuration (ablations).
-//
-// Deprecated: use RunLoop(bench, ls, seed, WithConfig(pcfg)). Kept as a thin
-// wrapper so existing callers migrate without breaking.
-func RunLoopWith(pcfg pipeline.Config, bench string, ls workloads.LoopSpec, seed int64) (LoopResult, error) {
-	return RunLoop(bench, ls, seed, WithConfig(pcfg))
-}
-
 // runLoop measures one loop's scalar and SRV variants. Each variant runs
 // under an attributed recover boundary, so a panic, deadlock, budget blowout
 // or divergence in one simulation surfaces as a *SimError naming the exact

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"srvsim/internal/harness"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the API golden files")
+
+// goldenCheck marshals v (indented, the wire form WriteJSON produces) and
+// compares it byte-for-byte against testdata/<name>.golden.json.
+func goldenCheck(t *testing.T, name string, v interface{}) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name+".golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve -update-golden` after an intentional API change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file — the /v1 wire format is a compatibility\n"+
+			"contract (fleet gateways and clients of mixed versions parse it); fields are\n"+
+			"additive-only. If this change is intentional, run `go test ./internal/serve\n"+
+			"-update-golden` and call it out in API.md.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestGoldenJobStatus pins the JobStatus wire form, fully populated: every
+// field the seed API had plus the additive PR 9 fields (trace_id, node).
+func TestGoldenJobStatus(t *testing.T) {
+	at := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	started := at.Add(time.Second)
+	finished := at.Add(3 * time.Second)
+	fr := (&harness.SimError{Kind: harness.KindRunError, Bench: "svc", Loop: "svc", Variant: "srv", Seed: 7, Msg: "replay storm"}).Record()
+	goldenCheck(t, "jobstatus", JobStatus{
+		ID: "sim-000042", State: StateFailed, Mode: harness.ModeLoop, Bench: "svc",
+		CacheKey: "0123456789abcdef", Cached: false,
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", Node: "node-1",
+		SubmittedAt: at, StartedAt: &started, FinishedAt: &finished,
+		Progress: &harness.ProgressEvent{Stage: "loop", Done: 3, Total: 9},
+		Failure:  &fr, Error: "replay storm",
+	})
+}
+
+// TestGoldenJobStatusDone pins the success shape (raw Result bytes pass
+// through verbatim — the byte-identity contract).
+func TestGoldenJobStatusDone(t *testing.T) {
+	at := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	finished := at.Add(2 * time.Second)
+	goldenCheck(t, "jobstatus_done", JobStatus{
+		ID: "sim-000007", State: StateDone, Mode: harness.ModeLoop, Bench: "svc",
+		CacheKey: "fedcba9876543210", Cached: true,
+		SubmittedAt: at, StartedAt: &at, FinishedAt: &finished,
+		Result: json.RawMessage(`{"loop":{"bench":"svc","speedup":3.25}}`),
+	})
+}
+
+// TestGoldenHealth pins the Health payload a fleet gateway schedules on.
+// Every field is additive-only: node, predicted_wait_ms and journal_lag
+// joined in PR 9; nothing the seed served may disappear or rename.
+func TestGoldenHealth(t *testing.T) {
+	goldenCheck(t, "health", Health{
+		Status: "ok", State: "serving",
+		SchemaVersion: 3, CodeVersion: "v1.2.3",
+		UptimeSeconds: 12.5, Workers: 2, QueueDepth: 4, CacheEntries: 17,
+		Node: "node-1", PredictedWaitMS: 250.125, JournalLag: 42,
+	})
+}
+
+// TestGoldenErrorEnvelope pins the one non-2xx wire shape (with and without
+// the embedded failed-job status).
+func TestGoldenErrorEnvelope(t *testing.T) {
+	goldenCheck(t, "error_envelope", errorEnvelope{Error: APIError{
+		Code: CodeOverCapacity, Message: "queue full (64 jobs waiting)", RetryAfterMS: 1500,
+	}})
+	fr := (&harness.SimError{Kind: harness.KindCompileError, Bench: "svc", Seed: 7, Msg: "bad loop"}).Record()
+	goldenCheck(t, "error_envelope_failed_job", errorEnvelope{Error: APIError{
+		Code: CodeCompileRejected, Message: "job sim-000001 failed: bad loop",
+		Job: &JobStatus{
+			ID: "sim-000001", State: StateFailed, Mode: harness.ModeLoop, Bench: "svc",
+			CacheKey: "0123456789abcdef", SubmittedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+			Failure: &fr, Error: "bad loop",
+		},
+	}})
+}
+
+// TestHealthBackwardCompatible: a client built against the seed's Health
+// fields decodes today's payload unchanged (additive evolution), and the
+// live handler serves the new fleet fields.
+func TestHealthBackwardCompatible(t *testing.T) {
+	s, err := New(Config{NodeID: "node-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The seed-era view of Health: decoding must succeed with every legacy
+	// field populated, extra fields ignored.
+	var legacy struct {
+		Status        string  `json:"status"`
+		State         string  `json:"state"`
+		SchemaVersion int     `json:"schema_version"`
+		CodeVersion   string  `json:"code_version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Workers       int     `json:"workers"`
+		QueueDepth    int64   `json:"queue_depth"`
+		CacheEntries  int     `json:"cache_entries"`
+	}
+	var raw map[string]json.RawMessage
+	body := json.NewDecoder(resp.Body)
+	if err := body.Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(raw)
+	if err := json.Unmarshal(b, &legacy); err != nil {
+		t.Fatalf("legacy Health view no longer decodes: %v", err)
+	}
+	if legacy.Status != "ok" || legacy.State != "serving" || legacy.Workers == 0 {
+		t.Fatalf("legacy fields lost: %+v", legacy)
+	}
+	for _, field := range []string{"node", "predicted_wait_ms", "journal_lag"} {
+		if _, ok := raw[field]; !ok {
+			t.Fatalf("fleet field %q missing from /v1/healthz", field)
+		}
+	}
+	var h Health
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node != "node-9" {
+		t.Fatalf("node = %q, want node-9", h.Node)
+	}
+}

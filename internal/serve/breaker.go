@@ -74,6 +74,17 @@ func (b *breaker) allow() error {
 	}
 }
 
+// isOpen reports, without mutating state, whether the breaker is currently
+// refusing attempts (open and still inside the cooldown window).
+func (b *breaker) isOpen() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown
+}
+
 // record reports the outcome of an attempted request (ok = the daemon
 // answered, regardless of HTTP status).
 func (b *breaker) record(ok bool) {

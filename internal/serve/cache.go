@@ -11,7 +11,7 @@ import (
 // submission got — the service never re-marshals cached payloads. Only
 // successful Results are admitted (failures carry wall-clock-dependent
 // context such as timeouts and must re-execute).
-type cache struct {
+type ResultCache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*list.Element
@@ -25,12 +25,12 @@ type cacheEntry struct {
 
 // newCache returns an LRU holding at most max entries; max < 1 disables
 // caching entirely (every Get misses, every Put is dropped).
-func newCache(max int) *cache {
-	return &cache{max: max, entries: make(map[string]*list.Element), order: list.New()}
+func NewResultCache(max int) *ResultCache {
+	return &ResultCache{max: max, entries: make(map[string]*list.Element), order: list.New()}
 }
 
 // Get returns the cached encoding for key and whether it was present.
-func (c *cache) Get(key string) ([]byte, bool) {
+func (c *ResultCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -43,7 +43,7 @@ func (c *cache) Get(key string) ([]byte, bool) {
 
 // Put stores data under key, evicting the least recently used entry when
 // the cache is full. Re-putting an existing key refreshes its recency.
-func (c *cache) Put(key string, data []byte) {
+func (c *ResultCache) Put(key string, data []byte) {
 	if c.max < 1 {
 		return
 	}
@@ -63,7 +63,7 @@ func (c *cache) Put(key string, data []byte) {
 }
 
 // Len returns the number of cached entries.
-func (c *cache) Len() int {
+func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()

@@ -120,12 +120,14 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	return c
 }
 
-// decode parses an API response, converting non-2xx bodies into errors:
-// typed simulation failures round-trip as *harness.SimError, invalid
-// requests unwrap to harness.ErrInvalidRequest, and everything else becomes
-// an *HTTPError carrying the status and Retry-After hint. Bodies are read
-// through an io.LimitReader so a misbehaving daemon cannot balloon client
-// memory.
+// decode parses an API response, converting non-2xx bodies into errors by
+// decoding the typed error envelope ({"error": {code, message, ...}} — see
+// API.md) instead of sniffing status lines: typed simulation failures
+// round-trip as *harness.SimError via the envelope's embedded JobStatus,
+// invalid requests unwrap to harness.ErrInvalidRequest, and everything else
+// becomes an *HTTPError carrying the machine-readable code and Retry-After
+// hint. Bodies are read through an io.LimitReader so a misbehaving daemon
+// cannot balloon client memory.
 func decode(resp *http.Response, v interface{}, max int64) error {
 	defer resp.Body.Close()
 	if max <= 0 {
@@ -140,8 +142,26 @@ func decode(resp *http.Response, v interface{}, max int64) error {
 	}
 	if resp.StatusCode/100 != 2 {
 		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
-		// Failed jobs still carry a full JobStatus; surface the typed
-		// failure when present so remote errors keep their taxonomy.
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+			e := env.Error
+			if hint := time.Duration(e.RetryAfterMS) * time.Millisecond; hint > ra {
+				ra = hint
+			}
+			// A failed synchronous job travels inside the envelope with its
+			// full JobStatus; surface the typed failure so remote errors keep
+			// the harness taxonomy.
+			if e.Job != nil && e.Job.Failure != nil {
+				return e.Job.Failure.SimError()
+			}
+			he := &HTTPError{Status: resp.StatusCode, Code: e.Code, RetryAfter: ra, Msg: e.Message}
+			if e.Code == CodeInvalidRequest {
+				he.err = harness.ErrInvalidRequest
+			}
+			return he
+		}
+		// Legacy fallbacks (pre-envelope daemons): a bare failed JobStatus
+		// body, then a plain {"error": "msg"} string shape.
 		var st JobStatus
 		if err := json.Unmarshal(body, &st); err == nil && st.State == StateFailed {
 			if st.Failure != nil {
@@ -149,14 +169,17 @@ func decode(resp *http.Response, v interface{}, max int64) error {
 			}
 			return fmt.Errorf("serve: job %s failed: %s", st.ID, st.Error)
 		}
-		var ae apiError
-		if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
-			if resp.StatusCode == http.StatusBadRequest {
-				return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: ae.Error, err: harness.ErrInvalidRequest}
-			}
-			return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: ae.Error}
+		var legacy struct {
+			Error string `json:"error"`
 		}
-		return &HTTPError{Status: resp.StatusCode, RetryAfter: ra, Msg: string(bytes.TrimSpace(body))}
+		code := codeForStatus(resp.StatusCode)
+		if err := json.Unmarshal(body, &legacy); err == nil && legacy.Error != "" {
+			if resp.StatusCode == http.StatusBadRequest {
+				return &HTTPError{Status: resp.StatusCode, Code: code, RetryAfter: ra, Msg: legacy.Error, err: harness.ErrInvalidRequest}
+			}
+			return &HTTPError{Status: resp.StatusCode, Code: code, RetryAfter: ra, Msg: legacy.Error}
+		}
+		return &HTTPError{Status: resp.StatusCode, Code: code, RetryAfter: ra, Msg: string(bytes.TrimSpace(body))}
 	}
 	return json.Unmarshal(body, v)
 }
@@ -323,4 +346,106 @@ func (c *Client) Executor() harness.Executor {
 	return func(ctx context.Context, req harness.Request) (harness.Result, error) {
 		return c.Do(ctx, req)
 	}
+}
+
+// Base returns the daemon base URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// CircuitOpen reports whether the per-host circuit breaker is currently
+// failing fast (too many consecutive transport failures, cooldown not yet
+// elapsed). The srvgw gateway uses this as its node-ejection signal; the
+// breaker's own half-open probe (a later health poll getting through and
+// succeeding) closes the circuit again, which is the readmission signal.
+func (c *Client) CircuitOpen() bool { return c.br.isOpen() }
+
+// APIResponse is one raw daemon response forwarded by RoundTrip.
+type APIResponse struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// RoundTrip performs one raw /v1 exchange under the client's transport
+// discipline — per-host circuit breaker, transport-only retries, response
+// size cap — and returns the daemon's answer verbatim. Unlike the typed
+// methods it never interprets HTTP statuses: any response the daemon managed
+// to send is authoritative and handed back untouched (body bytes included),
+// which is what lets the srvgw gateway forward the API surface — the typed
+// error envelope especially — without rewriting it. An open circuit fails
+// fast (no backoff) so a fleet caller can immediately route around the node.
+// perCall bounds each attempt's wall clock; 0 leaves only ctx.
+func (c *Client) RoundTrip(ctx context.Context, method, path string, header http.Header, body []byte, perCall time.Duration) (*APIResponse, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			clientMet.retries.Add(1)
+			select {
+			case <-time.After(c.retry.delay(attempt-1, 0)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: retry abandoned: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		resp, err := c.rawAttempt(ctx, method, path, header, body, perCall)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var te *transportError
+		if !errors.As(err, &te) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// rawAttempt is one RoundTrip exchange through the breaker.
+func (c *Client) rawAttempt(ctx context.Context, method, path string, header http.Header, body []byte, perCall time.Duration) (*APIResponse, error) {
+	if err := c.br.allow(); err != nil {
+		return nil, err
+	}
+	actx := ctx
+	cancel := func() {}
+	if perCall > 0 {
+		actx, cancel = context.WithTimeout(ctx, perCall)
+	}
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		c.br.record(true) // not a transport failure
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			hreq.Header.Add(k, v)
+		}
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.br.record(false)
+		}
+		return nil, &transportError{err: err}
+	}
+	c.br.record(true)
+	defer resp.Body.Close()
+	max := c.maxResponse
+	if max <= 0 {
+		max = DefaultMaxResponseBytes
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, max+1))
+	if err != nil {
+		return nil, &transportError{err: fmt.Errorf("reading response: %w", err)}
+	}
+	if int64(len(b)) > max {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", ErrResponseTooLarge, max)
+	}
+	return &APIResponse{Status: resp.StatusCode, Header: resp.Header, Body: b}, nil
 }

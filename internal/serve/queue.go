@@ -37,6 +37,10 @@ type JobStatus struct {
 	// TraceID correlates the job with its spans (GET /v1/trace) and with the
 	// daemon's structured log lines.
 	TraceID string `json:"trace_id,omitempty"`
+	// Node names the fleet node that owns the job (serve.Config.NodeID; the
+	// srvgw gateway rewrites it to the owning node's ring name), so users can
+	// see where a job ran. Additive: empty on standalone daemons.
+	Node string `json:"node,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

@@ -28,13 +28,30 @@ func fastRetry(attempts int) RetryPolicy {
 // through the retry wrapping.
 func TestClientErrorTaxonomy(t *testing.T) {
 	const attempts = 3
+	env := func(code ErrorCode, msg string) errorEnvelope {
+		return errorEnvelope{Error: APIError{Code: code, Message: msg}}
+	}
+	failedStatus := func() JobStatus {
+		fr := (&harness.SimError{Kind: harness.KindRunError, Bench: "svc", Seed: 7, Msg: "replay storm"}).Record()
+		return JobStatus{ID: "sim-000001", State: StateFailed, Failure: &fr, Error: "replay storm"}
+	}
+	wantSimError := func(t *testing.T, err error) {
+		var se *harness.SimError
+		if !errors.As(err, &se) {
+			t.Fatalf("typed failure did not round-trip: %v", err)
+		}
+		if se.Kind != harness.KindRunError || se.Bench != "svc" || se.Msg != "replay storm" {
+			t.Fatalf("SimError fields lost in transit: %+v", se)
+		}
+	}
 	cases := []struct {
+		name      string
 		status    int
 		body      interface{}
 		wantCalls int64 // 1 = not retried, attempts = retried to exhaustion
 		check     func(t *testing.T, err error)
 	}{
-		{http.StatusBadRequest, apiError{Error: "decoding request: boom"}, 1, func(t *testing.T, err error) {
+		{"400", http.StatusBadRequest, env(CodeInvalidRequest, "decoding request: boom"), 1, func(t *testing.T, err error) {
 			if !errors.Is(err, harness.ErrInvalidRequest) {
 				t.Fatalf("400 does not unwrap to ErrInvalidRequest: %v", err)
 			}
@@ -42,22 +59,28 @@ func TestClientErrorTaxonomy(t *testing.T) {
 				t.Fatalf("400 error does not identify the invalid request: %v", err)
 			}
 		}},
-		{http.StatusNotFound, apiError{Error: `unknown job "sim-000001"`}, 1, func(t *testing.T, err error) {
+		{"404", http.StatusNotFound, env(CodeNotFound, `unknown job "sim-000001"`), 1, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusNotFound {
 				t.Fatalf("404 not surfaced as HTTPError: %v", err)
+			}
+			if he.Code != CodeNotFound {
+				t.Fatalf("404 code = %q, want %q", he.Code, CodeNotFound)
 			}
 			if !strings.Contains(err.Error(), "404") {
 				t.Fatalf("404 error does not carry the status: %v", err)
 			}
 		}},
-		{http.StatusUnprocessableEntity, apiError{Error: "compile error"}, 1, func(t *testing.T, err error) {
+		{"422", http.StatusUnprocessableEntity, env(CodeCompileRejected, "compile error"), 1, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusUnprocessableEntity {
 				t.Fatalf("422 not surfaced as HTTPError: %v", err)
 			}
+			if he.Code != CodeCompileRejected {
+				t.Fatalf("422 code = %q, want %q", he.Code, CodeCompileRejected)
+			}
 		}},
-		{http.StatusTooManyRequests, apiError{Error: "queue full (64 jobs waiting)"}, attempts, func(t *testing.T, err error) {
+		{"429", http.StatusTooManyRequests, env(CodeOverCapacity, "queue full (64 jobs waiting)"), attempts, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
 				t.Fatalf("429 not surfaced as HTTPError: %v", err)
@@ -66,54 +89,45 @@ func TestClientErrorTaxonomy(t *testing.T) {
 				t.Fatalf("429 error lost the server message: %v", err)
 			}
 		}},
-		{http.StatusServiceUnavailable, apiError{Error: "draining: not accepting new jobs"}, attempts, func(t *testing.T, err error) {
+		{"503", http.StatusServiceUnavailable, env(CodeDraining, "draining: not accepting new jobs"), attempts, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
 				t.Fatalf("503 not surfaced as HTTPError: %v", err)
 			}
+			if he.Code != CodeDraining {
+				t.Fatalf("503 code = %q, want %q", he.Code, CodeDraining)
+			}
 		}},
-		{http.StatusGatewayTimeout, apiError{Error: "waiting for sim-000001: context deadline exceeded"}, attempts, func(t *testing.T, err error) {
+		{"504", http.StatusGatewayTimeout, env(CodeTimeout, "waiting for sim-000001: context deadline exceeded"), attempts, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusGatewayTimeout {
 				t.Fatalf("504 not surfaced as HTTPError: %v", err)
 			}
 		}},
-		{http.StatusInternalServerError, apiError{Error: "hashing request: boom"}, 1, func(t *testing.T, err error) {
+		{"500", http.StatusInternalServerError, env(CodeInternal, "hashing request: boom"), 1, func(t *testing.T, err error) {
 			var he *HTTPError
 			if !errors.As(err, &he) || he.Status != http.StatusInternalServerError {
 				t.Fatalf("500 not surfaced as HTTPError: %v", err)
 			}
 		}},
-		// A failed job's JobStatus round-trips its typed failure — even on a
-		// retryable status code, the SimError dominates and is never retried.
-		{http.StatusInternalServerError, JobStatus{
-			ID: "sim-000001", State: StateFailed,
-			Failure: func() *harness.FailureRecord {
-				fr := (&harness.SimError{Kind: harness.KindRunError, Bench: "svc", Seed: 7, Msg: "replay storm"}).Record()
-				return &fr
-			}(),
-			Error: "replay storm",
-		}, 1, func(t *testing.T, err error) {
-			var se *harness.SimError
-			if !errors.As(err, &se) {
-				t.Fatalf("typed failure did not round-trip: %v", err)
-			}
-			if se.Kind != harness.KindRunError || se.Bench != "svc" || se.Msg != "replay storm" {
-				t.Fatalf("SimError fields lost in transit: %+v", se)
-			}
-		}},
+		// A failed job's typed failure round-trips inside the envelope's Job
+		// field — even on a retryable status code, the SimError dominates and
+		// is never retried.
+		{"500-simerror", http.StatusInternalServerError, errorEnvelope{Error: APIError{
+			Code: CodeSimFailed, Message: "job sim-000001 failed: replay storm",
+			Job: func() *JobStatus { st := failedStatus(); return &st }(),
+		}}, 1, wantSimError},
+		// Pre-envelope daemons answered with a bare failed JobStatus; the
+		// client's legacy fallback must keep decoding it.
+		{"500-simerror-legacy", http.StatusInternalServerError, failedStatus(), 1, wantSimError},
 	}
 	for _, tc := range cases {
 		tc := tc
-		name := fmt.Sprintf("%d", tc.status)
-		if _, ok := tc.body.(JobStatus); ok {
-			name += "-simerror"
-		}
-		t.Run(name, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			var calls atomic.Int64
 			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 				calls.Add(1)
-				writeJSON(w, tc.status, tc.body)
+				WriteJSON(w, tc.status, tc.body)
 			}))
 			defer ts.Close()
 			c := NewClient(ts.URL, WithRetry(fastRetry(attempts)))
@@ -135,11 +149,11 @@ func TestRetryRidesOutTransientFailures(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) <= 2 {
-			writeRetryAfter(w, time.Millisecond) // floors to 1s; delay() honours it
-			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining: not accepting new jobs"})
+			// Retry-After floors to 1s (header resolution); delay() honours it.
+			WriteErrorRetry(w, CodeDraining, time.Millisecond, "draining: not accepting new jobs")
 			return
 		}
-		writeJSON(w, http.StatusOK, Health{Status: "ok", State: "serving"})
+		WriteJSON(w, http.StatusOK, Health{Status: "ok", State: "serving"})
 	}))
 	defer ts.Close()
 

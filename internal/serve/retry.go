@@ -61,10 +61,12 @@ func (p RetryPolicy) delay(retryNum int, retryAfter time.Duration) time.Duration
 }
 
 // HTTPError is a non-2xx daemon response that carried no typed simulation
-// failure: the status, the server's message, and its Retry-After hint when
-// one was sent. 400s additionally unwrap to harness.ErrInvalidRequest.
+// failure: the status, the machine-readable taxonomy code from the error
+// envelope, the server's message, and its Retry-After hint when one was
+// sent. 400s additionally unwrap to harness.ErrInvalidRequest.
 type HTTPError struct {
 	Status     int
+	Code       ErrorCode
 	RetryAfter time.Duration
 	Msg        string
 	err        error // optional sentinel (harness.ErrInvalidRequest for 400)
@@ -72,9 +74,9 @@ type HTTPError struct {
 
 func (e *HTTPError) Error() string {
 	if e.err != nil {
-		return fmt.Sprintf("serve: HTTP %d: %v: %s", e.Status, e.err, e.Msg)
+		return fmt.Sprintf("serve: HTTP %d [%s]: %v: %s", e.Status, e.Code, e.err, e.Msg)
 	}
-	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
+	return fmt.Sprintf("serve: HTTP %d [%s]: %s", e.Status, e.Code, e.Msg)
 }
 
 func (e *HTTPError) Unwrap() error { return e.err }

@@ -40,7 +40,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math"
 	"net/http"
 	"os"
 	"strconv"
@@ -58,6 +57,10 @@ const DefaultMaxInflightBytes = 32 << 20
 
 // Config sizes the service.
 type Config struct {
+	// NodeID names this node in a fleet: reported by /v1/healthz and stamped
+	// on every JobStatus, so a gateway (cmd/srvgw) and its users can see
+	// where a job ran. Empty is fine for a standalone daemon.
+	NodeID string
 	// Workers is the number of jobs executed concurrently. Each job already
 	// fans its simulations out across the harness worker pool
 	// (harness.Parallelism), so a small number of job workers saturates the
@@ -127,7 +130,7 @@ const (
 // Shutdown (or Drain, for the graceful path) on the way out.
 type Server struct {
 	cfg     Config
-	cache   *cache
+	cache   *ResultCache
 	met     metrics
 	reg     *obsv.Registry
 	journal *journal
@@ -159,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		cache:    newCache(cfg.CacheSize),
+		cache:    NewResultCache(cfg.CacheSize),
 		jobs:     make(map[string]*job),
 		draining: make(chan struct{}),
 		spans:    obsv.NewSpanRecorder(cfg.SpanCap),
@@ -503,32 +506,11 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// apiError is the wire form of every non-2xx response.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
-}
-
-// writeRetryAfter attaches a Retry-After header (whole seconds, floored at
-// 1) ahead of an admission refusal, so load balancers and the resilient
-// client pace their retries off observed service time.
-func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
-	secs := int(math.Ceil(d.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+// jobStatus snapshots a job for the wire, stamped with this node's identity.
+func (s *Server) jobStatus(j *job) JobStatus {
+	st := j.status()
+	st.Node = s.cfg.NodeID
+	return st
 }
 
 // handleSubmit admits one harness.Request: cache hits complete immediately
@@ -569,8 +551,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.state.Load() != stateServing {
 		s.met.rejectedDraining.Add(1)
 		refused("draining", "")
-		writeRetryAfter(w, s.retryAfterHint())
-		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		WriteErrorRetry(w, CodeDraining, s.retryAfterHint(), "draining: not accepting new jobs")
 		return
 	}
 	if s.cfg.MaxInflightBytes > 0 {
@@ -582,25 +563,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &mbe) {
 			s.met.shedOversize.Add(1)
 			refused("oversize", err.Error())
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			WriteError(w, CodeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
 			return
 		}
 		s.met.invalid.Add(1)
 		refused("invalid", err.Error())
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		WriteError(w, CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
 	creq, err := req.Canonical()
 	if err != nil {
 		s.met.invalid.Add(1)
 		refused("invalid", err.Error())
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, CodeInvalidRequest, "%v", err)
 		return
 	}
 	key, err := creq.CacheKey()
 	if err != nil {
 		refused("hash-error", err.Error())
-		writeError(w, http.StatusInternalServerError, "hashing request: %v", err)
+		WriteError(w, CodeInternal, "hashing request: %v", err)
 		return
 	}
 
@@ -622,7 +603,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.met.e2eMS.Observe(time.Since(arrived).Milliseconds())
 		admitted("cache-hit", id, key)
 		s.jobLogger(j).Info("job served from cache")
-		writeJSON(w, http.StatusOK, j.status())
+		WriteJSON(w, http.StatusOK, s.jobStatus(j))
 		return
 	}
 	s.met.cacheMisses.Add(1)
@@ -637,8 +618,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 			s.met.shedDeadline.Add(1)
 			refused("shed-deadline", est.String())
-			writeRetryAfter(w, est)
-			writeError(w, http.StatusTooManyRequests,
+			WriteErrorRetry(w, CodeOverCapacity, est,
 				"predicted queue wait %s exceeds deadline %s", est.Round(time.Millisecond), d)
 			return
 		}
@@ -664,27 +644,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// job the client was told to retry.
 		s.journalAppend(journalRecord{Op: opFail, Key: key, ID: id, At: time.Now(), Error: "queue full"})
 		refused("queue-full", "")
-		writeRetryAfter(w, s.retryAfterHint())
-		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs waiting)", s.cfg.QueueSize)
+		WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(), "queue full (%d jobs waiting)", s.cfg.QueueSize)
 		return
 	}
 
 	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
 		if err := j.wait(r.Context()); err != nil {
-			writeError(w, http.StatusGatewayTimeout, "waiting for %s: %v", id, err)
+			WriteError(w, CodeTimeout, "waiting for %s: %v", id, err)
 			return
 		}
-		st := j.status()
-		code := http.StatusOK
+		st := s.jobStatus(j)
 		if st.State == StateFailed {
 			j.mu.Lock()
-			code = j.failStatus
+			code := j.failStatus
 			j.mu.Unlock()
+			writeFailedJob(w, failCodeFor(code), st)
+			return
 		}
-		writeJSON(w, code, st)
+		WriteJSON(w, http.StatusOK, st)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.status())
+	WriteJSON(w, http.StatusAccepted, s.jobStatus(j))
 }
 
 // lookup resolves a job id, writing 404 when unknown.
@@ -693,7 +673,7 @@ func (s *Server) lookup(w http.ResponseWriter, id string) *job {
 	j := s.jobs[id]
 	s.mu.RUnlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		WriteError(w, CodeNotFound, "unknown job %q", id)
 	}
 	return j
 }
@@ -703,7 +683,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	WriteJSON(w, http.StatusOK, s.jobStatus(j))
 }
 
 // handleStream tails the job as NDJSON: one line per progress event (the
@@ -729,13 +709,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(j.status())
+	_ = enc.Encode(s.jobStatus(j))
 	if flusher != nil {
 		flusher.Flush()
 	}
 }
 
-// Health is the /v1/healthz payload.
+// Health is the /v1/healthz payload. All fields are additive-only: a fleet
+// gateway (cmd/srvgw) schedules on the per-node load signals, so removing or
+// renaming one is a breaking API change (pinned by the golden payload test).
 type Health struct {
 	Status string `json:"status"`
 	// State is "serving" while submissions are admitted and "draining" once
@@ -748,6 +730,17 @@ type Health struct {
 	Workers       int     `json:"workers"`
 	QueueDepth    int64   `json:"queue_depth"`
 	CacheEntries  int     `json:"cache_entries"`
+
+	// Fleet-scheduling fields (additive, PR 9). Node is Config.NodeID;
+	// PredictedWaitMS is the admission-control estimate a new submission
+	// would queue for (service-time EWMA × depth ÷ workers) — the signal the
+	// gateway's work-stealing compares against its threshold; JournalLag is
+	// the number of journal records appended since the startup compaction, a
+	// proxy for how much replay work a crash-restart of this node would do
+	// (0 without a journal).
+	Node            string  `json:"node,omitempty"`
+	PredictedWaitMS float64 `json:"predicted_wait_ms"`
+	JournalLag      int64   `json:"journal_lag"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -755,15 +748,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.state.Load() != stateServing {
 		state = "draining"
 	}
-	writeJSON(w, http.StatusOK, Health{
-		Status:        "ok",
-		State:         state,
-		SchemaVersion: harness.SchemaVersion,
-		CodeVersion:   harness.CodeVersion,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    s.met.queued.Load(),
-		CacheEntries:  s.cache.Len(),
+	WriteJSON(w, http.StatusOK, Health{
+		Status:          "ok",
+		State:           state,
+		SchemaVersion:   harness.SchemaVersion,
+		CodeVersion:     harness.CodeVersion,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      s.met.queued.Load(),
+		CacheEntries:    s.cache.Len(),
+		Node:            s.cfg.NodeID,
+		PredictedWaitMS: float64(s.estimatedWait().Nanoseconds()) / 1e6,
+		JournalLag:      s.met.journalRecords.Load(),
 	})
 }
 
