@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt-check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke obs-smoke fleet-smoke
+.PHONY: build test check fmt-check bench bench-speed timing bench-gate chaos-smoke serve-smoke serve-chaos resume-smoke obs-smoke fleet-smoke tenant-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ fmt-check:
 # check is the pre-merge gate: formatting, static vetting, the observability
 # smoke, plus the race detector over the packages with concurrency (harness
 # worker pool) and the rewritten LSU hot path.
-check: fmt-check serve-chaos resume-smoke obs-smoke fleet-smoke
+check: fmt-check serve-chaos resume-smoke obs-smoke fleet-smoke tenant-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./internal/harness ./internal/lsu ./internal/serve ./internal/gateway
 
@@ -88,6 +88,16 @@ resume-smoke: build
 # trace spanning gateway and node.
 fleet-smoke: build
 	$(GO) run -race ./cmd/srvgw -smoke
+
+# tenant-smoke is the multi-tenant isolation drill, run under the race
+# detector: an in-process 2-node fleet behind srvgw takes a flooding tenant
+# and an interactive tenant concurrently; the interactive jobs must finish
+# (bit-identical to local execution) while the flood is still backlogged, a
+# bursting tenant must be refused with an honest retry_after_ms, brownout
+# must engage under saturation (visible in /v1/healthz, cache hits still
+# served) and disengage after drain, and zero jobs may be lost.
+tenant-smoke: build
+	$(GO) run -race ./cmd/srvgw -tenant-smoke
 
 # serve-chaos is the service-layer resilience drill, run under the race
 # detector: remote submissions through a seeded fault-injecting transport

@@ -55,6 +55,21 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "budget for finishing in-flight jobs on SIGTERM/SIGINT before they are cancelled")
 	queueDeadline := flag.Duration("queue-deadline", 0, "shed submissions with 429 when the predicted queue wait exceeds this (0 = never shed)")
 	maxInflight := flag.Int64("max-inflight-bytes", serve.DefaultMaxInflightBytes, "largest accepted request body in bytes (0 = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "additionally bound the result cache by total payload bytes (0 = entry count only)")
+	tenantQueue := flag.Int("tenant-queue", 0, "max queued jobs per tenant before that tenant's submissions get 429 (0 = whole-queue bound only)")
+	tenantRate := flag.Float64("tenant-rate", 0, "uniform per-tenant submissions/sec quota (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "uniform per-tenant submission burst absorbed on top of -tenant-rate")
+	tenantBytes := flag.Int64("tenant-inflight-bytes", 0, "uniform per-tenant cap on admitted-but-unfinished body bytes (0 = unlimited)")
+	brownoutHW := flag.Duration("brownout-highwater", 0, "predicted queue wait that starts brownout shedding, e.g. 2s (0 = never)")
+	tenantOverrides := map[string]serve.TenantLimits{}
+	flag.Func("tenant", "per-tenant quota override, repeatable: name:weight=4,rate=2,burst=8,bytes=1048576 (name \"default\" = requests without "+serve.HeaderTenant+")", func(spec string) error {
+		name, l, err := serve.ParseTenantOverride(spec)
+		if err != nil {
+			return err
+		}
+		tenantOverrides[name] = l
+		return nil
+	})
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log line format: text|json")
 	pprofFlag := flag.Bool("pprof", false, "expose Go runtime profiling at /debug/pprof/ (CPU, heap, goroutine, ...)")
@@ -83,7 +98,16 @@ func main() {
 		CheckpointEvery:  *ckptEvery,
 		QueueDeadline:    *queueDeadline,
 		MaxInflightBytes: *maxInflight,
-		Logger:           logger,
+		CacheMaxBytes:    *cacheMaxBytes,
+		TenantQueueSize:  *tenantQueue,
+		TenantQuota: serve.TenantLimits{
+			SubmitRate:       *tenantRate,
+			SubmitBurst:      *tenantBurst,
+			MaxInflightBytes: *tenantBytes,
+		},
+		TenantQuotas:      tenantOverrides,
+		BrownoutHighWater: *brownoutHW,
+		Logger:            logger,
 	})
 	if err != nil {
 		fatal(err)

@@ -47,9 +47,26 @@ func main() {
 		"node health poll period (drives ejection, stealing and drain rescue)")
 	maxInflight := flag.Int64("max-inflight-bytes", serve.DefaultMaxInflightBytes,
 		"largest accepted request body in bytes (0 = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
+		"bound the gateway-tier cache by total payload bytes (0 = default 256MiB, negative = entry count only)")
+	handoffBudget := flag.Int("handoff-budget", 0,
+		"max extra ring owners tried per submission beyond the shard owner (0 = default 3, negative = owner only)")
+	tenantRate := flag.Float64("tenant-rate", 0, "uniform per-tenant submissions/sec quota enforced at the edge (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "uniform per-tenant submission burst absorbed on top of -tenant-rate")
+	tenantBytes := flag.Int64("tenant-inflight-bytes", 0, "uniform per-tenant cap on admitted-but-unfinished body bytes (0 = unlimited)")
+	tenantOverrides := map[string]serve.TenantLimits{}
+	flag.Func("tenant", "per-tenant quota override, repeatable: name:weight=4,rate=2,burst=8,bytes=1048576 (name \"default\" = requests without "+serve.HeaderTenant+")", func(spec string) error {
+		name, l, err := serve.ParseTenantOverride(spec)
+		if err != nil {
+			return err
+		}
+		tenantOverrides[name] = l
+		return nil
+	})
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log line format: text|json")
 	smoke := flag.Bool("smoke", false, "run the in-process fleet smoke drill (3 nodes, drain one mid-queue, assert zero lost jobs and byte-identical results) and exit")
+	tenantSmoke := flag.Bool("tenant-smoke", false, "run the in-process multi-tenant isolation drill (2 nodes, flooding vs interactive tenant, quota refusals, brownout) and exit")
 	flag.Parse()
 
 	if *smoke {
@@ -58,6 +75,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fleet-smoke: ok")
+		return
+	}
+	if *tenantSmoke {
+		if err := runTenantSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "tenant-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("tenant-smoke: ok")
 		return
 	}
 
@@ -75,10 +100,18 @@ func main() {
 	gw, err := gateway.New(gateway.Config{
 		Nodes:            nodes,
 		CacheSize:        *cacheSize,
+		CacheMaxBytes:    *cacheMaxBytes,
 		StealThreshold:   *stealThreshold,
 		HealthInterval:   *healthInterval,
 		MaxInflightBytes: *maxInflight,
-		Logger:           logger,
+		HandoffBudget:    *handoffBudget,
+		TenantQuota: serve.TenantLimits{
+			SubmitRate:       *tenantRate,
+			SubmitBurst:      *tenantBurst,
+			MaxInflightBytes: *tenantBytes,
+		},
+		TenantQuotas: tenantOverrides,
+		Logger:       logger,
 	})
 	if err != nil {
 		logger.Error("fatal", "err", err)

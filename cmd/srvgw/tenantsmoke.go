@@ -1,0 +1,422 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"srvsim/internal/gateway"
+	"srvsim/internal/harness"
+	"srvsim/internal/serve"
+	"srvsim/internal/workloads"
+)
+
+// runTenantSmoke is the acceptance drill behind `make tenant-smoke`: an
+// in-process 2-node fleet with per-tenant fair queueing and quotas, where a
+// flooding tenant and an interactive tenant share the fleet. It asserts:
+//
+//   - isolation: the weight-4 interactive tenant's jobs complete while the
+//     weight-1 flood tenant still has a backlog queued — no starvation;
+//   - quotas: a rate-limited tenant's over-quota submissions are refused
+//     with 429 over_capacity carrying a millisecond-granular retry_after_ms
+//     (not the coarse Retry-After header rounding);
+//   - brownout: an overloaded node reports its degradation step in
+//     /v1/healthz, the gateway aggregates it, fresh work is refused while
+//     cached results are still served;
+//   - zero lost jobs: every accepted submission reaches done;
+//   - determinism: interactive results are byte-identical to local execution.
+func runTenantSmoke() error {
+	// Single-threaded sims: the drill's point is queue contention, not CPU
+	// saturation — full fan-out would starve the control plane (health
+	// polls, status reads) of cores and read as node failure.
+	harness.SetParallelism(1)
+	if err := tenantIsolationDrill(); err != nil {
+		return fmt.Errorf("isolation: %w", err)
+	}
+	if err := tenantBrownoutDrill(); err != nil {
+		return fmt.Errorf("brownout: %w", err)
+	}
+	return nil
+}
+
+// smokeFleet is an in-process gateway over n nodes, torn down by close().
+type smokeFleet struct {
+	nodes    []*fleetNode
+	nodeURLs []string
+	gw       *gateway.Gateway
+	ghs      *http.Server
+	base     string
+	closers  []func()
+}
+
+func (f *smokeFleet) close() {
+	for i := len(f.closers) - 1; i >= 0; i-- {
+		f.closers[i]()
+	}
+}
+
+func startSmokeFleet(n int, nodeCfg func(i int) serve.Config, gwCfg func(urls []string) gateway.Config) (*smokeFleet, error) {
+	f := &smokeFleet{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		srv, err := serve.New(nodeCfg(i))
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		srv.Start()
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		f.closers = append(f.closers, func() { hs.Close() })
+		node := &fleetNode{srv: srv, hs: hs, ln: ln, url: "http://" + ln.Addr().String()}
+		f.nodes = append(f.nodes, node)
+		f.nodeURLs = append(f.nodeURLs, node.url)
+	}
+	gw, err := gateway.New(gwCfg(f.nodeURLs))
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	gw.Start()
+	f.gw = gw
+	f.closers = append(f.closers, func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = gw.Shutdown(sctx)
+	})
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.ghs = &http.Server{Handler: gw.Handler()}
+	go func() { _ = f.ghs.Serve(gln) }()
+	f.closers = append(f.closers, func() { f.ghs.Close() })
+	f.base = "http://" + gln.Addr().String()
+	return f, nil
+}
+
+// waitDone polls a job to a terminal state and returns its result bytes.
+func waitDone(ctx context.Context, c *serve.Client, id string, budget time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("status %s: %w", id, err)
+		}
+		switch st.State {
+		case serve.StateDone:
+			return st.Result, nil
+		case serve.StateFailed:
+			return nil, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after %s", id, st.State, budget)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// tenantIsolationDrill: a 40-job flood from a weight-1 tenant must not
+// starve a weight-4 interactive tenant, a rate-quota'd tenant must be
+// refused honestly, and every accepted job must finish.
+func tenantIsolationDrill() error {
+	f, err := startSmokeFleet(2,
+		func(i int) serve.Config {
+			return serve.Config{
+				NodeID:    fmt.Sprintf("node-%d", i),
+				Workers:   1,
+				QueueSize: 256,
+				// The interactive tenant gets a 4× DRR share; everyone
+				// else (flood included) keeps the default weight 1.
+				TenantQuotas: map[string]serve.TenantLimits{
+					"interactive": {Weight: 4},
+				},
+			}
+		},
+		func(urls []string) gateway.Config {
+			return gateway.Config{
+				Nodes:          urls,
+				HealthInterval: 250 * time.Millisecond,
+				// The greedy tenant may land 2 submissions back-to-back,
+				// then one every 4s — the drill's concurrent burst of 6
+				// must trip this no matter how slowly the runner schedules.
+				TenantQuotas: map[string]serve.TenantLimits{
+					"greedy": {SubmitRate: 0.25, SubmitBurst: 2},
+				},
+			}
+		})
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	c := serve.NewClient(f.base, serve.WithRetry(serve.RetryPolicy{MaxAttempts: 1}))
+	b := workloads.All()[0]
+
+	// Flood: 40 moderately sized jobs from the weight-1 tenant.
+	var floodIDs []string
+	for i := 0; i < 40; i++ {
+		req := harness.Request{
+			Mode: harness.ModeLoop, Bench: b.Name, Seed: int64(5000 + i), Tenant: "flood",
+			Loop: &workloads.LoopSpec{Weight: 1, Shape: workloads.Shape{
+				Name: b.Name, Trip: 1 << 18, Contig: 1, Chain: 1,
+				Pattern: workloads.PatIdentity, ReadSelf: true, StoreVia: true,
+			}},
+		}
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			return fmt.Errorf("flood submit %d: %w", i, err)
+		}
+		floodIDs = append(floodIDs, st.ID)
+	}
+
+	// Greedy: 6 concurrent submissions against a burst-2 rate quota. The
+	// bucket holds 2 tokens and refills one every 4 seconds, so at least 4
+	// must be refused 429 over_capacity — and every refusal must carry an
+	// honest retry hint (the envelope's retry_after_ms, bounded by the time
+	// one whole token takes to refill).
+	greedyStatus := make([]serve.JobStatus, 6)
+	greedyErrs := make([]error, 6)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := harness.Request{Mode: harness.ModeLoop, Bench: b.Name, Seed: int64(7000 + i), Tenant: "greedy"}
+			st, err := c.Submit(ctx, req)
+			greedyStatus[i], greedyErrs[i] = st, err
+		}(i)
+	}
+	wg.Wait()
+	var greedyIDs []string
+	refused := 0
+	for i := 0; i < 6; i++ {
+		if greedyErrs[i] == nil {
+			greedyIDs = append(greedyIDs, greedyStatus[i].ID)
+			continue
+		}
+		var he *serve.HTTPError
+		if !errors.As(greedyErrs[i], &he) || he.Status != http.StatusTooManyRequests {
+			return fmt.Errorf("greedy submit %d: want 429, got %v", i, greedyErrs[i])
+		}
+		if he.Code != serve.CodeOverCapacity {
+			return fmt.Errorf("greedy refusal carries code %q, want %q", he.Code, serve.CodeOverCapacity)
+		}
+		if he.RetryAfter <= 0 || he.RetryAfter > 5*time.Second {
+			return fmt.Errorf("greedy refusal retry hint = %s, want honest (0, 4s] envelope hint", he.RetryAfter)
+		}
+		refused++
+	}
+	if refused == 0 {
+		return fmt.Errorf("6 concurrent submissions against a burst-2 quota produced no refusals")
+	}
+
+	// Interactive: 3 small jobs submitted behind the flood must complete
+	// while the flood still has work queued — the starvation-freedom check.
+	interactive := make([]harness.Request, 3)
+	results := make([][]byte, len(interactive))
+	for i := range interactive {
+		interactive[i] = harness.Request{Mode: harness.ModeLoop, Bench: b.Name, Seed: int64(9000 + i), Tenant: "interactive"}
+		st, err := c.Submit(ctx, interactive[i])
+		if err != nil {
+			return fmt.Errorf("interactive submit %d: %w", i, err)
+		}
+		if results[i], err = waitDone(ctx, c, st.ID, 30*time.Second); err != nil {
+			return fmt.Errorf("interactive job %d: %w", i, err)
+		}
+	}
+	backlog := 0
+	for _, url := range f.nodeURLs {
+		h, err := serve.NewClient(url).Health(ctx)
+		if err != nil {
+			return fmt.Errorf("node healthz: %w", err)
+		}
+		for _, t := range h.Tenants {
+			if t.Tenant == "flood" {
+				backlog += t.Queued
+			}
+		}
+	}
+	if backlog == 0 {
+		return fmt.Errorf("interactive tenant finished only after the flood backlog drained — no isolation demonstrated")
+	}
+
+	// Determinism: interactive results are byte-identical to local runs.
+	for i, req := range interactive {
+		local, err := harness.Run(ctx, req)
+		if err != nil {
+			return err
+		}
+		want, err := json.Marshal(local)
+		if err != nil {
+			return err
+		}
+		var got harness.Result
+		if err := json.Unmarshal(results[i], &got); err != nil {
+			return fmt.Errorf("interactive result %d: %w", i, err)
+		}
+		gotBytes, err := json.Marshal(got)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotBytes, want) {
+			return fmt.Errorf("interactive request %d diverged through the fleet", i)
+		}
+	}
+
+	// Zero lost jobs: every accepted flood and greedy submission finishes.
+	for _, id := range append(floodIDs, greedyIDs...) {
+		if _, err := waitDone(ctx, c, id, 2*time.Minute); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tenantBrownoutDrill: a saturated node with a 1ms brownout high-water must
+// report its degradation step, the gateway must surface the fleet minimum,
+// fresh work must be refused while the step holds, and cached results must
+// still be served.
+func tenantBrownoutDrill() error {
+	f, err := startSmokeFleet(1,
+		func(i int) serve.Config {
+			return serve.Config{
+				NodeID:            "brown-0",
+				Workers:           1,
+				BrownoutHighWater: time.Millisecond,
+				// A vip override raises the max configured weight, so the
+				// default tenant sheds first at step 1.
+				TenantQuotas: map[string]serve.TenantLimits{"vip": {Weight: 4}},
+			}
+		},
+		func(urls []string) gateway.Config {
+			return gateway.Config{Nodes: urls, HealthInterval: 100 * time.Millisecond}
+		})
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	c := serve.NewClient(f.base, serve.WithRetry(serve.RetryPolicy{MaxAttempts: 1}))
+	node := serve.NewClient(f.nodeURLs[0], serve.WithRetry(serve.RetryPolicy{MaxAttempts: 1}))
+	b := workloads.All()[0]
+	slowShape := &workloads.LoopSpec{Weight: 1, Shape: workloads.Shape{
+		Name: b.Name, Trip: 1 << 19, Contig: 1, Chain: 1,
+		Pattern: workloads.PatIdentity, ReadSelf: true, StoreVia: true,
+	}}
+
+	// Warm-up: one completed job seeds the service-time EWMA (and the
+	// caches) so the queue-wait prediction has a basis.
+	warm := harness.Request{Mode: harness.ModeLoop, Bench: b.Name, Seed: 31337, Tenant: "vip", Loop: slowShape}
+	wst, err := c.Submit(ctx, warm)
+	if err != nil {
+		return fmt.Errorf("warm-up submit: %w", err)
+	}
+	if _, err := waitDone(ctx, c, wst.ID, time.Minute); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+
+	// Saturate: job A occupies the single worker, job B queues behind it.
+	// With a slow EWMA on record and one queued job, the predicted wait
+	// blows through 4× the 1ms high-water — step 3, cached-only.
+	reqA := warm
+	reqA.Seed = 31338
+	stA, err := c.Submit(ctx, reqA)
+	if err != nil {
+		return fmt.Errorf("saturate A: %w", err)
+	}
+	for { // wait for A to leave the queue and occupy the worker
+		st, err := c.Status(ctx, stA.ID)
+		if err != nil {
+			return err
+		}
+		if st.State != serve.StateQueued {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	reqB := warm
+	reqB.Seed = 31339
+	stB, err := c.Submit(ctx, reqB)
+	if err != nil {
+		return fmt.Errorf("saturate B: %w", err)
+	}
+
+	// The node must self-report a brownout step while B is queued.
+	h, err := node.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("node healthz: %w", err)
+	}
+	if h.Brownout == "" {
+		return fmt.Errorf("saturated node reports no brownout step (predicted_wait_ms=%v)", h.PredictedWaitMS)
+	}
+
+	// The gateway aggregates the fleet minimum after its next health poll.
+	gwSaw := ""
+	for wait := time.Now().Add(2 * time.Second); time.Now().Before(wait); {
+		gh, err := c.Health(ctx)
+		if err != nil {
+			return fmt.Errorf("gateway healthz: %w", err)
+		}
+		if gh.Brownout != "" {
+			gwSaw = gh.Brownout
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if gwSaw == "" {
+		return fmt.Errorf("gateway healthz never surfaced the node's brownout step")
+	}
+
+	// Fresh non-cached work from the default tenant is refused while the
+	// step holds; the refusal is the standard over_capacity envelope.
+	fresh := harness.Request{Mode: harness.ModeLoop, Bench: b.Name, Seed: 31340}
+	if _, err := c.Submit(ctx, fresh); err == nil {
+		return fmt.Errorf("brownout node accepted fresh work")
+	} else {
+		var he *serve.HTTPError
+		if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests || he.Code != serve.CodeOverCapacity {
+			return fmt.Errorf("brownout refusal: want 429 %s, got %v", serve.CodeOverCapacity, err)
+		}
+	}
+
+	// Cached results are still served at every step.
+	cst, err := c.Submit(ctx, warm)
+	if err != nil {
+		return fmt.Errorf("cached submit during brownout: %w", err)
+	}
+	if !cst.Cached {
+		return fmt.Errorf("cached resubmission during brownout was not served from cache (state %s)", cst.State)
+	}
+
+	// Zero lost jobs: both saturation jobs still finish once the backlog
+	// clears, and the step reads 0 again afterwards.
+	for _, id := range []string{stA.ID, stB.ID} {
+		if _, err := waitDone(ctx, c, id, 2*time.Minute); err != nil {
+			return err
+		}
+	}
+	h, err = node.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h.Brownout != "" {
+		return fmt.Errorf("brownout step %q persists after the queue drained", h.Brownout)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,17 @@ const DefaultStealThreshold = 2 * time.Second
 // eligibility, work-stealing and drain rescue.
 const DefaultHealthInterval = time.Second
 
+// DefaultCacheMaxBytes bounds the gateway-tier result cache payload: entry
+// count alone lets a few multi-MB benchmark Results blow any sensible memory
+// budget, so the byte bound is on by default at the edge.
+const DefaultCacheMaxBytes = 256 << 20
+
+// DefaultHandoffBudget caps how many ring successors beyond the owner a
+// submission may be handed off to. The caller's X-Srv-Retry-Budget can lower
+// it further — never raise it — so client retries and gateway hand-offs
+// cannot multiply into a fleet-wide submission storm.
+const DefaultHandoffBudget = 3
+
 // Config sizes the gateway.
 type Config struct {
 	// Nodes are the srvd base URLs forming the fleet (e.g.
@@ -41,6 +53,19 @@ type Config struct {
 	// CacheSize bounds the gateway-tier result cache (LRU). Default 256;
 	// negative disables it (node caches still apply).
 	CacheSize int
+	// CacheMaxBytes bounds the gateway-tier cache by total payload bytes.
+	// 0 selects DefaultCacheMaxBytes; negative leaves bytes unbounded.
+	CacheMaxBytes int64
+	// HandoffBudget caps hand-off attempts beyond the shard owner. 0 selects
+	// DefaultHandoffBudget; negative disables hand-off entirely (owner only).
+	HandoffBudget int
+	// TenantQuota is the edge-enforced per-tenant quota applied to tenants
+	// without an override: submission rate and in-flight body bytes. Nodes
+	// enforce their own quotas again behind the gateway (the gateway guards
+	// the edge window; nodes guard queue residency). Zero = unlimited.
+	TenantQuota serve.TenantLimits
+	// TenantQuotas overrides TenantQuota for named tenants.
+	TenantQuotas map[string]serve.TenantLimits
 	// StealThreshold: when the owning node's predicted queue wait exceeds
 	// this, the submission is routed to the least-loaded eligible node
 	// instead. 0 selects DefaultStealThreshold; negative disables stealing.
@@ -64,6 +89,16 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = DefaultCacheMaxBytes
+	} else if c.CacheMaxBytes < 0 {
+		c.CacheMaxBytes = 0
+	}
+	if c.HandoffBudget == 0 {
+		c.HandoffBudget = DefaultHandoffBudget
+	} else if c.HandoffBudget < 0 {
+		c.HandoffBudget = 0
+	}
 	if c.StealThreshold == 0 {
 		c.StealThreshold = DefaultStealThreshold
 	}
@@ -86,6 +121,10 @@ type gwJob struct {
 	body      []byte // canonical request JSON, the resubmission payload
 	mode      harness.Mode
 	bench     string
+	tenant    string // submitting principal, forwarded as X-Srv-Tenant
+	bodyBytes int64  // charged against the tenant's in-flight-bytes quota
+	deadline  time.Time
+	budget    int              // remaining hand-off attempts beyond the first forward
 	trace     obsv.SpanContext // trace + the gateway's route span (forwarded parent)
 	submitted time.Time
 
@@ -93,6 +132,7 @@ type gwJob struct {
 	node     string // owning node's ring name
 	remoteID string // job ID on the owning node
 	handoffs int
+	released bool             // tenant's in-flight bytes returned already
 	final    *serve.JobStatus // terminal status, once known
 }
 
@@ -114,6 +154,25 @@ func (j *gwJob) setFinal(st serve.JobStatus) {
 	j.mu.Unlock()
 }
 
+// finish records a job's terminal status and returns its body bytes to the
+// tenant's in-flight allowance, exactly once however many paths race to it.
+func (g *Gateway) finish(j *gwJob, st serve.JobStatus) {
+	j.setFinal(st)
+	g.releaseJob(j)
+}
+
+// releaseJob returns the job's charged bytes without finalising it (refusal
+// paths, where the job will never run). Idempotent.
+func (g *Gateway) releaseJob(j *gwJob) {
+	j.mu.Lock()
+	release := !j.released
+	j.released = true
+	j.mu.Unlock()
+	if release {
+		g.quotas.ReleaseBytes(j.tenant, j.bodyBytes)
+	}
+}
+
 // Gateway shards submissions across the fleet and forwards the /v1 surface.
 // Construct with New, install Handler, call Start, Shutdown on the way out.
 type Gateway struct {
@@ -122,6 +181,7 @@ type Gateway struct {
 	nodes  map[string]*node
 	order  []string // configured node order, for stable iteration
 	cache  *serve.ResultCache
+	quotas *serve.Quotas
 	met    gwMetrics
 	reg    *obsv.Registry
 	spans  *obsv.SpanRecorder
@@ -148,7 +208,8 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:    cfg,
 		ring:   NewRing(cfg.VirtualNodes),
 		nodes:  make(map[string]*node, len(cfg.Nodes)),
-		cache:  serve.NewResultCache(cfg.CacheSize),
+		cache:  serve.NewResultCacheBytes(cfg.CacheSize, cfg.CacheMaxBytes),
+		quotas: serve.NewQuotas(cfg.TenantQuota, cfg.TenantQuotas),
 		jobs:   make(map[string]*gwJob),
 		spans:  obsv.NewSpanRecorder(cfg.SpanCap),
 		logger: cfg.Logger,
@@ -331,6 +392,39 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, serve.CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
+
+	// Tenant identity: the header overrides the body, and the resolved value
+	// is stamped back into the request so the owning node sees the same
+	// principal the gateway accounted for.
+	tenant := req.Tenant
+	if h := r.Header.Get(serve.HeaderTenant); h != "" {
+		tenant = h
+	}
+	req.Tenant = tenant
+	if ok, wait := g.quotas.AdmitRate(tenant); !ok {
+		g.met.shedQuota.Add(1)
+		routed("quota-rate", map[string]string{"tenant": tenant})
+		serve.WriteErrorRetry(w, serve.CodeOverCapacity, wait,
+			"tenant %q over submission rate quota", tenantLabel(tenant))
+		return
+	}
+
+	// The caller's deadline (relative ms) becomes absolute here; each forward
+	// attempt re-derives the remaining time, so a slow hand-off walk shrinks
+	// what the node is promised, never stretches it.
+	var deadline time.Time
+	if h := r.Header.Get(serve.HeaderDeadlineMS); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+			if ms <= 0 {
+				g.met.shedDeadline.Add(1)
+				routed("deadline-expired", nil)
+				serve.WriteError(w, serve.CodeTimeout, "deadline already expired on arrival")
+				return
+			}
+			deadline = arrived.Add(time.Duration(ms) * time.Millisecond)
+		}
+	}
+
 	creq, err := req.Canonical()
 	if err != nil {
 		g.met.invalid.Add(1)
@@ -351,12 +445,28 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The hand-off budget is the configured cap, lowered (never raised) by
+	// the caller's remaining retry budget: a client on its last attempt gets
+	// one forward and no storm.
+	budget := g.cfg.HandoffBudget
+	if h := r.Header.Get(serve.HeaderRetryBudget); h != "" {
+		if b, err := strconv.Atoi(h); err == nil && b >= 0 && b < budget {
+			budget = b
+		}
+	}
+
 	id := fmt.Sprintf("gw-%06d", g.nextID.Add(1))
 	j := &gwJob{
 		id: id, key: key, body: canonical,
 		mode: creq.Mode, bench: creq.Bench,
+		tenant: tenant, bodyBytes: int64(len(body)),
+		deadline: deadline, budget: budget,
 		trace:     obsv.SpanContext{Trace: parent.Trace, Span: route.Span},
 		submitted: arrived,
+		// Nothing is charged against the tenant yet: the byte quota is only
+		// admitted after a cache miss, so "released" starts true and flips
+		// once the charge lands.
+		released: true,
 	}
 	g.mu.Lock()
 	g.jobs[id] = j
@@ -381,10 +491,29 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	g.met.cacheMisses.Add(1)
 
+	// In-flight-bytes quota, charged only for work that will actually travel
+	// to a node (cache hits above are free); released when the job reaches a
+	// terminal state at the gateway or is refused below.
+	if !g.quotas.AdmitBytes(tenant, j.bodyBytes) {
+		g.met.shedQuota.Add(1)
+		routed("quota-bytes", map[string]string{"tenant": tenant})
+		serve.WriteErrorRetry(w, serve.CodeOverCapacity, g.cfg.HealthInterval,
+			"tenant %q over in-flight bytes quota", tenantLabel(tenant))
+		return
+	}
+	j.released = false
+
 	wait := r.URL.Query().Get("wait")
 	syncWait := wait == "1" || wait == "true"
 	resp, owner := g.forwardSubmit(r.Context(), j, syncWait)
 	if owner == nil {
+		g.releaseJob(j)
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			g.met.shedDeadline.Add(1)
+			routed("deadline-expired", map[string]string{"cache_key": key})
+			serve.WriteError(w, serve.CodeTimeout, "deadline expired during forwarding")
+			return
+		}
 		if resp != nil {
 			// Every candidate refused in a way hand-off cannot help; the last
 			// typed envelope is forwarded untouched.
@@ -412,6 +541,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			st.ID, st.Node = id, owner.name
 			j.setFinal(st)
 		}
+		g.releaseJob(j)
 		routed("forwarded-error", map[string]string{
 			"node": owner.name, "cache_key": key, "status": fmt.Sprint(resp.Status)})
 		g.forwardRaw(w, resp)
@@ -428,7 +558,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st.ID, st.Node = id, owner.name
 	if st.State == serve.StateDone && len(st.Result) > 0 {
 		g.cache.Put(key, st.Result)
-		j.setFinal(st)
+		g.finish(j, st)
 	}
 	routed("forwarded", map[string]string{"node": owner.name, "job": id, "cache_key": key})
 	g.logger.Info("job routed", "trace_id", parent.Trace.String(), "job", id,
@@ -454,14 +584,35 @@ func (g *Gateway) forwardSubmit(ctx context.Context, j *gwJob, syncWait bool) (*
 	header := http.Header{}
 	header.Set("Content-Type", "application/json")
 	header.Set("traceparent", j.trace.Traceparent())
+	if j.tenant != "" {
+		header.Set(serve.HeaderTenant, j.tenant)
+	}
+	// Nodes must not hand off further — the gateway owns the walk.
+	header.Set(serve.HeaderRetryBudget, "0")
 
+	cands := g.route(j.key, "")
+	// The walk is bounded by the hand-off budget: the owner plus at most
+	// j.budget successors, so a refused submission cannot storm the fleet.
+	if max := 1 + j.budget; len(cands) > max {
+		cands = cands[:max]
+	}
 	var last *serve.APIResponse
-	for attempt, n := range g.route(j.key, "") {
+	for attempt, n := range cands {
 		if attempt > 0 {
 			g.met.handoffs.Add(1)
 			j.mu.Lock()
 			j.handoffs++
 			j.mu.Unlock()
+		}
+		if !j.deadline.IsZero() {
+			// Re-derive the remaining time per attempt: a slow hand-off walk
+			// shrinks what the node is promised. An exhausted deadline ends
+			// the walk — nobody is waiting for the result any more.
+			ms := time.Until(j.deadline).Milliseconds()
+			if ms <= 0 {
+				return last, nil
+			}
+			header.Set(serve.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
 		}
 		resp, err := n.client.RoundTrip(ctx, http.MethodPost, path, header, j.body, perCall)
 		if err != nil {
@@ -553,9 +704,9 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st.ID, st.Node = j.id, owner.name
 	if st.State == serve.StateDone && len(st.Result) > 0 {
 		g.cache.Put(j.key, st.Result)
-		j.setFinal(st)
+		g.finish(j, st)
 	} else if st.State == serve.StateFailed {
-		j.setFinal(st)
+		g.finish(j, st)
 	}
 	serve.WriteJSON(w, http.StatusOK, st)
 }
@@ -621,7 +772,7 @@ func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 			st.ID, st.Node = j.id, owner.name
 			if st.State == serve.StateDone && len(st.Result) > 0 {
 				g.cache.Put(j.key, st.Result)
-				j.setFinal(st)
+				g.finish(j, st)
 			}
 			_ = enc.Encode(st)
 		} else {
@@ -664,7 +815,15 @@ func (g *Gateway) rescue(j *gwJob, exclude string) bool {
 	header := http.Header{}
 	header.Set("Content-Type", "application/json")
 	header.Set("traceparent", j.trace.Traceparent())
-	for _, n := range g.route(j.key, exclude) {
+	if j.tenant != "" {
+		header.Set(serve.HeaderTenant, j.tenant)
+	}
+	header.Set(serve.HeaderRetryBudget, "0")
+	cands := g.route(j.key, exclude)
+	if max := 1 + g.cfg.HandoffBudget; len(cands) > max {
+		cands = cands[:max]
+	}
+	for _, n := range cands {
 		ctx, cancel := context.WithTimeout(g.ctx, serve.DefaultPollTimeout)
 		resp, err := n.client.RoundTrip(ctx, http.MethodPost, "/v1/sims", header, j.body, serve.DefaultPollTimeout)
 		cancel()
@@ -693,7 +852,7 @@ func (g *Gateway) rescue(j *gwJob, exclude string) bool {
 		if st.State == serve.StateDone && len(st.Result) > 0 {
 			st.ID, st.Node = j.id, n.name
 			g.cache.Put(j.key, st.Result)
-			j.setFinal(st)
+			g.finish(j, st)
 		}
 		g.logger.Info("job rescued", "job", j.id, "from", exclude, "to", n.name,
 			"trace_id", j.trace.Trace.String())
@@ -708,6 +867,35 @@ func (g *Gateway) rescue(j *gwJob, exclude string) bool {
 type Health struct {
 	serve.Health
 	Nodes []NodeStatus `json:"nodes"`
+}
+
+// brownoutSteps orders the serve brownout names for fleet aggregation;
+// brownoutStepNames is its inverse.
+var (
+	brownoutSteps     = map[string]int{"": 0, "shed-low": 1, "no-new-work": 2, "cached-only": 3}
+	brownoutStepNames = [...]string{"", "shed-low", "no-new-work", "cached-only"}
+)
+
+// minBrownoutStep is the fleet's effective brownout: the lowest step among
+// eligible nodes, because a submission is routed to the least-degraded node
+// that will take it. No eligible nodes reads as 0 — "draining" already says
+// everything.
+func (g *Gateway) minBrownoutStep() int {
+	min := -1
+	for _, name := range g.order {
+		n := g.nodes[name]
+		if !n.eligible() {
+			continue
+		}
+		step := brownoutSteps[n.brownout()]
+		if min < 0 || step < min {
+			min = step
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -746,6 +934,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if eligible == 0 {
 		h.State = "draining"
 	}
+	h.Brownout = brownoutStepNames[g.minBrownoutStep()]
 	serve.WriteJSON(w, http.StatusOK, h)
 }
 
@@ -767,6 +956,15 @@ func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = g.spans.WriteNDJSON(w)
+}
+
+// tenantLabel renders a tenant identity for humans: the default tenant's
+// empty string reads as "default".
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
 }
 
 // discardHandler mirrors serve's nil-logger sink.

@@ -104,6 +104,9 @@ type NodeStatus struct {
 	QueueDepth      int64   `json:"queue_depth"`
 	PredictedWaitMS float64 `json:"predicted_wait_ms"`
 	JournalLag      int64   `json:"journal_lag"`
+	// Brownout is the node's self-reported degradation step name (empty when
+	// serving normally). Additive: seed-era nodes never report one.
+	Brownout string `json:"brownout,omitempty"`
 }
 
 // status snapshots the node for /v1/healthz.
@@ -121,5 +124,13 @@ func (n *node) status() NodeStatus {
 		QueueDepth:      n.health.QueueDepth,
 		PredictedWaitMS: n.health.PredictedWaitMS,
 		JournalLag:      n.health.JournalLag,
+		Brownout:        n.health.Brownout,
 	}
+}
+
+// brownout returns the node's last-reported brownout step name.
+func (n *node) brownout() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.health.Brownout
 }

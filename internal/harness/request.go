@@ -73,6 +73,15 @@ type Request struct {
 	// (ablations, sweeps). nil selects the default.
 	Config *pipeline.Config `json:"config,omitempty"`
 
+	// Tenant names the principal the request is submitted on behalf of
+	// (internal/serve's fair queueing, quotas and brownout key off it; the
+	// X-Srv-Tenant header overrides it at the HTTP edge). It is additive
+	// metadata only: the empty string is the default tenant, so seed-era wire
+	// bytes are unchanged, and it is deliberately EXCLUDED from CacheKey —
+	// the simulator is tenant-blind, so identical simulations from different
+	// tenants share one content address and one cached Result.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Fuzz-mode parameters (ModeFuzz): the trial is regenerated from
 	// (Seed, Trial) exactly as srvfuzz does.
 	Trial      int  `json:"trial,omitempty"`
@@ -157,9 +166,11 @@ func (r Request) CacheKey() (string, error) {
 		return "", err
 	}
 	// The key struct fixes the hashed field set explicitly: presentation
-	// fields (LoopIndex, pre-resolution Bench spelling) are excluded, and
-	// the effective configuration is always hashed in full so "nil config"
-	// and "explicitly default config" collide as they must.
+	// fields (LoopIndex, pre-resolution Bench spelling) and the Tenant
+	// identity (results are tenant-independent; all tenants share one cache
+	// entry per simulation) are excluded, and the effective configuration is
+	// always hashed in full so "nil config" and "explicitly default config"
+	// collide as they must.
 	key := struct {
 		Schema     int                  `json:"schema"`
 		Code       string               `json:"code"`

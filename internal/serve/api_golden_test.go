@@ -106,6 +106,70 @@ func TestGoldenErrorEnvelope(t *testing.T) {
 	}})
 }
 
+// TestGoldenJobStatusTenant pins the tenant-stamped JobStatus: one additive
+// field, everything else byte-identical to the seed shape.
+func TestGoldenJobStatusTenant(t *testing.T) {
+	at := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	finished := at.Add(2 * time.Second)
+	goldenCheck(t, "jobstatus_tenant", JobStatus{
+		ID: "sim-000011", State: StateDone, Mode: harness.ModeLoop, Bench: "svc",
+		CacheKey: "fedcba9876543210", Tenant: "acme",
+		SubmittedAt: at, StartedAt: &at, FinishedAt: &finished,
+		Result: json.RawMessage(`{"loop":{"bench":"svc","speedup":3.25}}`),
+	})
+}
+
+// TestGoldenHealthTenants pins the brownout/tenant view of Health: the
+// brownout step name plus the per-tenant queue snapshot, both omitted
+// entirely when idle (TestGoldenHealth covers that shape unchanged).
+func TestGoldenHealthTenants(t *testing.T) {
+	goldenCheck(t, "health_tenants", Health{
+		Status: "degraded", State: "serving",
+		SchemaVersion: 3, CodeVersion: "v1.2.3",
+		UptimeSeconds: 12.5, Workers: 2, QueueDepth: 44, CacheEntries: 17,
+		Node: "node-1", PredictedWaitMS: 5500, JournalLag: 0,
+		Brownout: "shed-low",
+		Tenants: []TenantSnapshot{
+			{Tenant: "default", Weight: 1, Queued: 40, InflightBytes: 8192},
+			{Tenant: "vip", Weight: 4, Queued: 4},
+		},
+	})
+}
+
+// TestSeedEraJobStatusDecode: a status payload captured before the tenant
+// work (no tenant field anywhere) must decode into today's JobStatus with
+// the zero tenant — the default tenant IS the seed wire format.
+func TestSeedEraJobStatusDecode(t *testing.T) {
+	seedEra := []byte(`{
+  "id": "sim-000007",
+  "state": "done",
+  "mode": "loop",
+  "bench": "svc",
+  "cache_key": "fedcba9876543210",
+  "cached": true,
+  "submitted_at": "2026-08-01T12:00:00Z",
+  "result": {"loop":{"bench":"svc","speedup":3.25}}
+}`)
+	var st JobStatus
+	if err := json.Unmarshal(seedEra, &st); err != nil {
+		t.Fatalf("seed-era payload no longer decodes: %v", err)
+	}
+	if st.Tenant != "" {
+		t.Fatalf("seed-era payload decoded with tenant %q, want default", st.Tenant)
+	}
+	if st.ID != "sim-000007" || st.State != StateDone || !st.Cached {
+		t.Fatalf("seed-era fields lost: %+v", st)
+	}
+	// And re-encoding it must not grow a tenant field.
+	out, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(out, []byte(`"tenant"`)) {
+		t.Fatalf("re-encoded seed-era status leaks a tenant field: %s", out)
+	}
+}
+
 // TestHealthBackwardCompatible: a client built against the seed's Health
 // fields decodes today's payload unchanged (additive evolution), and the
 // live handler serves the new fleet fields.

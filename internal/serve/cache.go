@@ -14,6 +14,8 @@ import (
 type ResultCache struct {
 	mu      sync.Mutex
 	max     int
+	maxByte int64 // total payload bytes bound; 0 = unbounded
+	bytes   int64 // current payload bytes held
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 }
@@ -26,7 +28,16 @@ type cacheEntry struct {
 // newCache returns an LRU holding at most max entries; max < 1 disables
 // caching entirely (every Get misses, every Put is dropped).
 func NewResultCache(max int) *ResultCache {
-	return &ResultCache{max: max, entries: make(map[string]*list.Element), order: list.New()}
+	return NewResultCacheBytes(max, 0)
+}
+
+// NewResultCacheBytes additionally bounds the cache by total payload bytes:
+// eviction runs while either bound is exceeded, so a handful of multi-MB
+// benchmark Results cannot blow past the memory budget that the entry count
+// alone would allow. maxBytes ≤ 0 leaves bytes unbounded (entry count only);
+// a single entry larger than maxBytes is never admitted.
+func NewResultCacheBytes(max int, maxBytes int64) *ResultCache {
+	return &ResultCache{max: max, maxByte: maxBytes, entries: make(map[string]*list.Element), order: list.New()}
 }
 
 // Get returns the cached encoding for key and whether it was present.
@@ -41,24 +52,35 @@ func (c *ResultCache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).data, true
 }
 
-// Put stores data under key, evicting the least recently used entry when
-// the cache is full. Re-putting an existing key refreshes its recency.
+// Put stores data under key, evicting least recently used entries while the
+// cache is over either bound (entry count or total bytes). Re-putting an
+// existing key refreshes its recency and re-accounts its size. An entry that
+// alone exceeds the byte bound is dropped outright — admitting it would
+// evict the whole cache and still be over.
 func (c *ResultCache) Put(key string, data []byte) {
 	if c.max < 1 {
+		return
+	}
+	if c.maxByte > 0 && int64(len(data)) > c.maxByte {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
-		return
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+		c.bytes += int64(len(data))
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
-	for c.order.Len() > c.max {
+	for c.order.Len() > c.max || (c.maxByte > 0 && c.bytes > c.maxByte) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.data))
+		delete(c.entries, e.key)
 	}
 }
 
@@ -67,4 +89,11 @@ func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Bytes returns the total payload bytes currently held.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

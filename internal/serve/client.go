@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -145,8 +146,13 @@ func decode(resp *http.Response, v interface{}, max int64) error {
 		var env errorEnvelope
 		if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
 			e := env.Error
-			if hint := time.Duration(e.RetryAfterMS) * time.Millisecond; hint > ra {
-				ra = hint
+			// The envelope's retry_after_ms is millisecond truth; the
+			// Retry-After header is the same hint rounded up to whole seconds
+			// for plain-HTTP intermediaries. When both are present the
+			// envelope wins — even when smaller — so quota refusals with
+			// sub-second buckets back off honestly instead of a whole second.
+			if e.RetryAfterMS > 0 {
+				ra = time.Duration(e.RetryAfterMS) * time.Millisecond
 			}
 			// A failed synchronous job travels inside the envelope with its
 			// full JobStatus; surface the typed failure so remote errors keep
@@ -265,6 +271,11 @@ func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobS
 		sc = obsv.NewTrace()
 	}
 	start := time.Now()
+	maxAttempts := c.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	attemptNo := 0
 	err = c.doRetry(ctx, perCall, func(actx context.Context) (*http.Request, error) {
 		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(data))
 		if err != nil {
@@ -272,6 +283,25 @@ func (c *Client) post(ctx context.Context, req harness.Request, wait bool) (JobS
 		}
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("traceparent", sc.Traceparent())
+		// Deadline rides the caller's context (not actx: the per-attempt
+		// poll timeout is transport plumbing, not the caller's intent), as
+		// relative milliseconds so fleet nodes need no clock agreement.
+		if dl, ok := ctx.Deadline(); ok {
+			ms := time.Until(dl).Milliseconds()
+			if ms < 0 {
+				ms = 0
+			}
+			hreq.Header.Set(HeaderDeadlineMS, strconv.FormatInt(ms, 10))
+		}
+		// The retry budget tells the gateway how many more attempts this
+		// client has left, capping its hand-off walk so client retries and
+		// gateway hand-offs cannot multiply into a storm.
+		attemptNo++
+		budget := maxAttempts - attemptNo
+		if budget < 0 {
+			budget = 0
+		}
+		hreq.Header.Set(HeaderRetryBudget, strconv.Itoa(budget))
 		return hreq, nil
 	}, &st)
 	if c.spans != nil {

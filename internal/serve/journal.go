@@ -62,6 +62,10 @@ type journalRecord struct {
 	// the latest per (bench, loop, variant, seed) for each pending key, and
 	// recovery hands them to harness.WithResume.
 	Checkpoint *harness.RunCheckpoint `json:"checkpoint,omitempty"`
+	// Tenant is recorded on submit so a crash-recovered job re-enqueues on
+	// the right fair-queue subqueue. Additive: absent for the default tenant,
+	// so seed-era journals replay unchanged.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // journal owns the append handle. Appends are serialised by mu, which also
@@ -136,6 +140,7 @@ type replayEntry struct {
 	key    string
 	state  int
 	req    *harness.Request
+	tenant string
 	result json.RawMessage
 	// ckpts is the latest journaled checkpoint per simulation of a pending
 	// key (a benchmark job runs many loops × two variants concurrently), in
@@ -214,6 +219,7 @@ func replayJournal(dir string) (replayedState, error) {
 					if rec.Req != nil {
 						e.req = rec.Req
 					}
+					e.tenant = rec.Tenant
 				}
 			case opStart:
 				// informational: pending either way
@@ -278,7 +284,7 @@ func compactJournal(dir string, st replayedState, now time.Time) error {
 		}
 	}
 	for _, e := range st.pending {
-		if err := enc.Encode(journalRecord{Op: opSubmit, Key: e.key, At: now, Req: e.req}); err != nil {
+		if err := enc.Encode(journalRecord{Op: opSubmit, Key: e.key, At: now, Req: e.req, Tenant: e.tenant}); err != nil {
 			f.Close()
 			return err
 		}

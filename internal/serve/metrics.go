@@ -27,9 +27,15 @@ type metrics struct {
 	shedDeadline     atomic.Int64 // submissions shed with 429 (predicted queue wait over deadline)
 	shedOversize     atomic.Int64 // submissions shed with 413 (body over -max-inflight-bytes)
 	rejectedDraining atomic.Int64 // submissions refused with 503 while draining
-	drains           atomic.Int64 // graceful drains begun (0 or 1 per process)
-	drainMS          atomic.Int64 // duration of the last drain, milliseconds
-	serviceNanos     atomic.Int64 // EWMA of successful job service time, ns (Retry-After source)
+
+	// Multi-tenant isolation and overload protection.
+	shedQuota      atomic.Int64 // submissions refused with 429 (tenant over rate or in-flight-bytes quota)
+	shedTenantFull atomic.Int64 // submissions refused with 429 (tenant's queue share full)
+	shedBrownout   atomic.Int64 // submissions refused with 429 by a brownout step
+	jobsExpired    atomic.Int64 // jobs refused or cancelled because their deadline passed
+	drains         atomic.Int64 // graceful drains begun (0 or 1 per process)
+	drainMS        atomic.Int64 // duration of the last drain, milliseconds
+	serviceNanos   atomic.Int64 // EWMA of successful job service time, ns (Retry-After source)
 
 	// Durable job journal.
 	journalRecords          atomic.Int64 // records appended to the journal
@@ -77,7 +83,7 @@ var clientMet struct {
 // registry builds the obsv view over the live counters plus the server's
 // cache occupancy and span buffer. Registration is not concurrency-safe
 // (obsv contract), so the server builds this exactly once at construction.
-func (m *metrics) registry(cacheLen func() int64, spans *obsv.SpanRecorder) *obsv.Registry {
+func (m *metrics) registry(cacheLen func() int64, brownout func() int64, spans *obsv.SpanRecorder) *obsv.Registry {
 	reg := obsv.NewRegistry()
 	s := reg.Section("serve")
 	s.CounterFn("serve.http_requests", "HTTP requests accepted across all endpoints", m.requests.Load)
@@ -87,6 +93,12 @@ func (m *metrics) registry(cacheLen func() int64, spans *obsv.SpanRecorder) *obs
 	s.CounterFn("serve.jobs_shed_deadline", "submissions shed because the predicted queue wait exceeded the deadline", m.shedDeadline.Load)
 	s.CounterFn("serve.jobs_shed_oversize", "submissions shed because the request body exceeded the size guard", m.shedOversize.Load)
 	s.CounterFn("serve.jobs_rejected_draining", "submissions refused while the server was draining", m.rejectedDraining.Load)
+	s.CounterFn("serve.jobs_shed_quota", "submissions refused because the tenant was over a rate or in-flight-bytes quota", m.shedQuota.Load)
+	s.CounterFn("serve.jobs_rejected_tenant_full", "submissions refused because the tenant's queue share was full", m.shedTenantFull.Load)
+	s.CounterFn("serve.jobs_shed_brownout", "submissions refused by a brownout step", m.shedBrownout.Load)
+	s.CounterFn("serve.jobs_expired_deadline", "jobs refused or cancelled because their caller deadline passed", m.jobsExpired.Load)
+	s.Gauge("serve.brownout_step", "current brownout step (0 serving, 1 shed-low, 2 no-new-work, 3 cached-only)", "%.0f",
+		func() float64 { return float64(brownout()) })
 	s.CounterFn("serve.jobs_done", "jobs finished successfully", m.jobsDone.Load)
 	s.CounterFn("serve.jobs_failed", "jobs finished with a contained failure", m.jobsFailed.Load)
 	s.CounterFn("serve.jobs_running", "jobs executing right now", m.running.Load)

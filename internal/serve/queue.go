@@ -41,6 +41,10 @@ type JobStatus struct {
 	// srvgw gateway rewrites it to the owning node's ring name), so users can
 	// see where a job ran. Additive: empty on standalone daemons.
 	Node string `json:"node,omitempty"`
+	// Tenant is the principal the job was submitted on behalf of (the
+	// X-Srv-Tenant header, or harness.Request.Tenant). Additive: empty for
+	// the default tenant, so seed-era payloads are byte-identical.
+	Tenant string `json:"tenant,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -61,6 +65,18 @@ type job struct {
 	id  string
 	key string
 	req harness.Request // canonical form
+	// tenant keys the fair queue's subqueue, the quota accounting and the
+	// brownout shedding decision. Empty is the default tenant. Set once at
+	// admission (or journal replay), never mutated after.
+	tenant string
+	// bodyBytes is the submission body size charged against the tenant's
+	// in-flight-bytes quota until the job reaches a terminal state.
+	bodyBytes int64
+	// deadline is the absolute point after which the job's result is useless
+	// to the caller (propagated via X-Srv-Deadline-Ms). Zero means none. A
+	// worker that dequeues an already-expired job cancels it without
+	// simulating into the void.
+	deadline time.Time
 	// resume holds the journal-replayed machine checkpoints of an
 	// interrupted job (one per loop simulation that had emitted any), handed
 	// to harness.WithResume when the job runs. Set once before the job is
@@ -158,6 +174,7 @@ func (j *job) status() JobStatus {
 		ID: j.id, State: j.state, Mode: j.req.Mode, Bench: j.req.Bench,
 		CacheKey: j.key, Cached: j.cached, SubmittedAt: j.submitted,
 		Result: j.result, Failure: j.failure, Error: j.errMsg,
+		Tenant: j.tenant,
 	}
 	if !j.trace.Trace.IsZero() {
 		st.TraceID = j.trace.Trace.String()

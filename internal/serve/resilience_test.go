@@ -488,8 +488,10 @@ func TestQueueDeadlineShed(t *testing.T) {
 	if !strings.Contains(err.Error(), "predicted queue wait") {
 		t.Fatalf("shed error does not explain itself: %v", err)
 	}
-	if he.RetryAfter < time.Second {
-		t.Fatalf("shed response Retry-After = %s, want >= 1s", he.RetryAfter)
+	// The client prefers the envelope's retry_after_ms, which carries the
+	// exact 500ms prediction (the Retry-After header rounds up to 1s).
+	if he.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("shed response retry hint = %s, want 500ms (the prediction)", he.RetryAfter)
 	}
 	if n := s.met.shedDeadline.Load(); n != 1 {
 		t.Fatalf("shed_deadline = %d, want 1", n)

@@ -39,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -72,6 +73,11 @@ type Config struct {
 	// CacheSize bounds the result cache entries (LRU). Default 256; negative
 	// disables caching.
 	CacheSize int
+	// CacheMaxBytes additionally bounds the result cache by total payload
+	// bytes, so a few multi-MB benchmark Results cannot blow the memory
+	// budget the entry count alone would allow. 0 leaves bytes unbounded
+	// (entry count only — the seed's behaviour).
+	CacheMaxBytes int64
 	// JobTimeout bounds each job's wall clock (0 = unbounded). Timed-out
 	// jobs fail with an ErrCancelled-derived record and HTTP 504.
 	JobTimeout time.Duration
@@ -90,6 +96,27 @@ type Config struct {
 	// EWMA service time × depth ÷ workers) exceeds it, with 429 and a
 	// Retry-After derived from the prediction. 0 disables shedding.
 	QueueDeadline time.Duration
+	// TenantQueueSize bounds any one tenant's share of the queue; a tenant at
+	// its bound is refused with 429 while others still have room. 0 selects
+	// QueueSize — a single shared bound, exactly the seed's behaviour.
+	TenantQueueSize int
+	// TenantQuota is the per-tenant quota applied to every tenant without an
+	// override in TenantQuotas: submission-rate token bucket, in-flight body
+	// bytes, and fair-queue weight. The zero value means no quotas and the
+	// default weight (seed behaviour).
+	TenantQuota TenantLimits
+	// TenantQuotas overrides TenantQuota for named tenants (the empty-string
+	// key configures the default tenant).
+	TenantQuotas map[string]TenantLimits
+	// BrownoutHighWater enables brownout mode: when the predicted queue wait
+	// crosses it the server degrades in documented steps — above 1× it sheds
+	// non-cached submissions from tenants below the maximum configured weight
+	// ("shed-low"), above 2× it refuses all non-cached submissions
+	// ("no-new-work"), above 4× it additionally refuses live progress streams
+	// ("cached-only"); cache hits and status polls are always served. The
+	// current step is visible in /v1/healthz and serve.brownout_step.
+	// 0 disables brownout.
+	BrownoutHighWater time.Duration
 	// MaxInflightBytes caps a submission body; larger requests are shed with
 	// 413. 0 selects DefaultMaxInflightBytes; negative disables the guard.
 	MaxInflightBytes int64
@@ -140,8 +167,12 @@ type Server struct {
 	mu   sync.RWMutex
 	jobs map[string]*job
 
-	queue  chan *job
-	nextID atomic.Int64
+	fq     *fairQueue
+	quotas *Quotas
+	// maxTenantWeight is the largest weight in the quota config; the brownout
+	// shed-low step refuses tenants strictly below it.
+	maxTenantWeight int
+	nextID          atomic.Int64
 
 	state    atomic.Int32
 	draining chan struct{} // closed when Drain begins: workers stop dequeuing
@@ -162,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		cache:    NewResultCache(cfg.CacheSize),
+		cache:    NewResultCacheBytes(cfg.CacheSize, cfg.CacheMaxBytes),
 		jobs:     make(map[string]*job),
 		draining: make(chan struct{}),
 		spans:    obsv.NewSpanRecorder(cfg.SpanCap),
@@ -172,6 +203,14 @@ func New(cfg Config) (*Server, error) {
 		s.logger = slog.New(discardHandler{})
 	}
 	s.met.initHistograms()
+	s.quotas = NewQuotas(cfg.TenantQuota, cfg.TenantQuotas)
+	s.fq = newFairQueue(cfg.QueueSize, cfg.TenantQueueSize, s.quotas.WeightFor)
+	s.maxTenantWeight = cfg.TenantQuota.weight()
+	for _, l := range cfg.TenantQuotas {
+		if w := l.weight(); w > s.maxTenantWeight {
+			s.maxTenantWeight = w
+		}
+	}
 
 	var recovered []*job
 	if cfg.JournalDir != "" {
@@ -201,6 +240,10 @@ func New(cfg Config) (*Server, error) {
 		for _, e := range st.pending {
 			id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
 			j := newJob(id, e.key, *e.req, time.Now())
+			j.tenant = e.tenant
+			if j.tenant == "" {
+				j.tenant = e.req.Tenant
+			}
 			// Interrupted jobs resume from their journaled checkpoints; a
 			// pending job without any (checkpointing off, or killed before
 			// the first emission) re-runs from cycle 0 as before.
@@ -218,16 +261,16 @@ func New(cfg Config) (*Server, error) {
 			"completed", len(st.completed), "requeued", len(st.pending), "truncated", st.truncated)
 	}
 
-	// Recovered jobs must all fit: grow the queue past its configured bound
-	// rather than dropping journaled work on the floor.
-	s.queue = make(chan *job, cfg.QueueSize+len(recovered))
+	// Recovered jobs bypass the queue bounds (pushRecovered) rather than
+	// dropping journaled work on the floor.
 	for _, j := range recovered {
 		s.jobs[j.id] = j
-		s.queue <- j
+		s.fq.pushRecovered(j)
 		s.met.queued.Add(1)
 	}
 
-	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) }, s.spans)
+	s.reg = s.met.registry(func() int64 { return int64(s.cache.Len()) },
+		func() int64 { return int64(s.brownoutStep()) }, s.spans)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s, nil
 }
@@ -303,28 +346,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	return err
 }
 
-// worker drains the queue until the server shuts down or drains. The
-// priority check makes drain deterministic: a worker never picks up new
-// queued work once draining has begun, even if both are ready.
+// worker drains the fair queue until the server shuts down or drains
+// (fairQueue.Pop checks shutdown/drain before dequeuing, so a worker never
+// picks up new queued work once draining has begun, even if both are ready).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
+		j, ok := s.fq.Pop(s.ctx, s.draining)
+		if !ok {
 			return
-		case <-s.draining:
-			return
-		default:
 		}
-		select {
-		case <-s.ctx.Done():
-			return
-		case <-s.draining:
-			return
-		case j := <-s.queue:
-			s.met.queued.Add(-1)
-			s.runJob(j)
-		}
+		s.met.queued.Add(-1)
+		s.runJob(j)
 	}
 }
 
@@ -358,6 +391,48 @@ func (s *Server) retryAfterHint() time.Duration {
 	return time.Second
 }
 
+// Multi-tenant request headers, honoured by srvd and propagated by srvgw.
+const (
+	// HeaderTenant names the submitting principal; it overrides the request
+	// body's tenant field. Absent/empty is the default tenant.
+	HeaderTenant = "X-Srv-Tenant"
+	// HeaderDeadlineMS is the caller's remaining deadline in milliseconds
+	// (relative, so fleet nodes need no clock agreement). Work that cannot
+	// finish inside it is refused or cancelled instead of simulated into a
+	// void.
+	HeaderDeadlineMS = "X-Srv-Deadline-Ms"
+	// HeaderRetryBudget is how many more times the caller is willing to have
+	// this request retried or handed off downstream; the gateway caps its
+	// hand-off walk at this budget so client retries cannot multiply into a
+	// hand-off storm.
+	HeaderRetryBudget = "X-Srv-Retry-Budget"
+)
+
+// Brownout step names, indexed by brownoutStep(). Step 0 (serving normally)
+// renders as the empty string so healthz payloads without brownout configured
+// are byte-identical to the seed.
+var brownoutNames = [...]string{"", "shed-low", "no-new-work", "cached-only"}
+
+// brownoutStep grades overload against Config.BrownoutHighWater: 0 below the
+// mark, 1 above it (shed tenants below the max configured weight), 2 above
+// 2× (refuse all non-cached work), 3 above 4× (cached reads only).
+func (s *Server) brownoutStep() int {
+	hw := s.cfg.BrownoutHighWater
+	if hw <= 0 {
+		return 0
+	}
+	est := s.estimatedWait()
+	switch {
+	case est > 4*hw:
+		return 3
+	case est > 2*hw:
+		return 2
+	case est > hw:
+		return 1
+	}
+	return 0
+}
+
 // journalAppend records one transition (no-op without a journal).
 func (s *Server) journalAppend(rec journalRecord) {
 	if s.journal != nil {
@@ -371,7 +446,24 @@ func (s *Server) journalAppend(rec journalRecord) {
 func (s *Server) runJob(j *job) {
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
+	// The job leaves the tenant's in-flight-bytes allowance on every terminal
+	// path out of this function.
+	defer s.quotas.ReleaseBytes(j.tenant, j.bodyBytes)
 	start := time.Now()
+
+	// A job whose caller-supplied deadline has already passed is cancelled
+	// here, before execution: simulating it would burn a worker on a result
+	// nobody is waiting for.
+	if !j.deadline.IsZero() && start.After(j.deadline) {
+		j.finish(nil, nil, "deadline expired before execution", http.StatusGatewayTimeout, start)
+		s.met.jobsExpired.Add(1)
+		s.met.e2eMS.Observe(start.Sub(j.submitted).Milliseconds())
+		s.jobLogger(j).Warn("job expired in queue",
+			"queue_wait_ms", start.Sub(j.submitted).Milliseconds())
+		s.journalAppend(journalRecord{Op: opFail, Key: j.key, ID: j.id, At: start, Error: "deadline expired"})
+		return
+	}
+
 	j.setRunning(start)
 	// Queue-wait stage: submission → worker pickup, as a span and in the
 	// SLO histogram.
@@ -390,6 +482,13 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 	}
 	defer cancel()
+	if !j.deadline.IsZero() {
+		// The caller's deadline bounds execution too: a job that outlives it
+		// is cancelled cooperatively and fails 504, like a timeout.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, j.deadline)
+		defer dcancel()
+	}
 	// Each progress event doubles as a zero-duration child span of the
 	// execute stage, so the harness's per-loop milestones line up under the
 	// request trace.
@@ -513,12 +612,42 @@ func (s *Server) jobStatus(j *job) JobStatus {
 	return st
 }
 
+// countingReader tracks how many body bytes the decoder consumed, so the
+// tenant's in-flight-bytes quota charges what was actually read.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// parseDeadlineMS reads the X-Srv-Deadline-Ms header (relative milliseconds
+// remaining). ok=false means absent or unparseable — unparseable values are
+// ignored rather than refused, since a deadline is advisory metadata.
+func parseDeadlineMS(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // handleSubmit admits one harness.Request: cache hits complete immediately
-// with the byte-identical cached Result, misses are queued (202) unless the
-// server is draining (503), the body blows the size guard (413), the
-// predicted queue wait exceeds the deadline (429), or the queue is full
-// (429). ?wait=1 turns the call synchronous: it blocks until the job
-// finishes and maps failures onto HTTP statuses.
+// with the byte-identical cached Result (always, even under brownout),
+// misses are queued (202) unless the server is draining (503), the body
+// blows the size guard (413), the tenant is over a quota or the brownout
+// step refuses it (429), the caller's deadline cannot be met (504), the
+// predicted queue wait exceeds the deadline (429), or the queue — total or
+// the tenant's share of it — is full (429). ?wait=1 turns the call
+// synchronous: it blocks until the job finishes and maps failures onto HTTP
+// statuses.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now()
 	// Adopt the caller's trace (W3C traceparent) or start a fresh one for
@@ -557,8 +686,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxInflightBytes > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxInflightBytes)
 	}
+	body := &countingReader{r: r.Body}
 	var req harness.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.met.shedOversize.Add(1)
@@ -571,6 +701,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
+	// Tenant identity: the header overrides the body's tenant field, and the
+	// resolved identity rides the canonical request into the journal so a
+	// crash-recovered job re-enqueues on the right subqueue.
+	tenant := req.Tenant
+	if h := r.Header.Get(HeaderTenant); h != "" {
+		tenant = h
+	}
+	req.Tenant = tenant
+
+	// Submission-rate quota, before any hashing work: a tenant over its rate
+	// is refused with the honest time until its bucket next holds a token.
+	if ok, wait := s.quotas.AdmitRate(tenant); !ok {
+		s.met.shedQuota.Add(1)
+		refused("quota-rate", tenant)
+		WriteErrorRetry(w, CodeOverCapacity, wait,
+			"tenant %q over submission rate quota", tenantName(tenant))
+		return
+	}
+
 	creq, err := req.Canonical()
 	if err != nil {
 		s.met.invalid.Add(1)
@@ -587,6 +736,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	id := fmt.Sprintf("sim-%06d", s.nextID.Add(1))
 	j := newJob(id, key, creq, time.Now())
+	j.tenant = tenant
+	j.bodyBytes = body.n
+	deadlineIn, hasDeadline := parseDeadlineMS(r.Header.Get(HeaderDeadlineMS))
+	if hasDeadline {
+		j.deadline = arrived.Add(deadlineIn)
+	}
 	// Worker-side stage spans parent to the admission span.
 	j.trace = obsv.SpanContext{Trace: parent.Trace, Span: adm.Span}
 	s.mu.Lock()
@@ -608,14 +763,71 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Add(1)
 
+	// unadmit rolls back a refused post-cache-miss submission.
+	unadmit := func() {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+	}
+
+	// A deadline the queue alone would already blow is refused up front: no
+	// retry will help unless the caller extends the deadline, so this is a
+	// timeout, not an over-capacity refusal.
+	if hasDeadline {
+		if deadlineIn <= 0 {
+			unadmit()
+			s.met.jobsExpired.Add(1)
+			refused("deadline-expired", "")
+			WriteError(w, CodeTimeout, "deadline already expired on arrival")
+			return
+		}
+		if est := s.estimatedWait(); est > deadlineIn {
+			unadmit()
+			s.met.jobsExpired.Add(1)
+			refused("deadline-infeasible", est.String())
+			WriteError(w, CodeTimeout,
+				"predicted queue wait %s exceeds remaining deadline %s",
+				est.Round(time.Millisecond), deadlineIn)
+			return
+		}
+	}
+
+	// Brownout: degrade non-cached work in steps (cache hits were already
+	// served above, at any step). Step 1 sheds tenants below the maximum
+	// configured weight; step 2+ refuses all fresh work.
+	if step := s.brownoutStep(); step > 0 {
+		shed := step >= 2 || s.quotas.WeightFor(tenant) < s.maxTenantWeight
+		if shed {
+			unadmit()
+			s.met.shedBrownout.Add(1)
+			refused("brownout", brownoutNames[step])
+			WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(),
+				"brownout (%s): refusing non-cached work", brownoutNames[step])
+			return
+		}
+	}
+
+	// In-flight-bytes quota: charged here, released when the job reaches a
+	// terminal state (runJob) or is refused below.
+	if !s.quotas.AdmitBytes(tenant, j.bodyBytes) {
+		unadmit()
+		s.met.shedQuota.Add(1)
+		refused("quota-bytes", tenant)
+		WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(),
+			"tenant %q over in-flight bytes quota", tenantName(tenant))
+		return
+	}
+	unadmitCharged := func() {
+		s.quotas.ReleaseBytes(tenant, j.bodyBytes)
+		unadmit()
+	}
+
 	// Admission control: shed jobs that would out-wait the deadline instead
 	// of letting them rot in the queue. The Retry-After is the prediction
 	// itself — when the backlog has cleared, so has the reason to shed.
 	if d := s.cfg.QueueDeadline; d > 0 {
 		if est := s.estimatedWait(); est > d {
-			s.mu.Lock()
-			delete(s.jobs, id)
-			s.mu.Unlock()
+			unadmitCharged()
 			s.met.shedDeadline.Add(1)
 			refused("shed-deadline", est.String())
 			WriteErrorRetry(w, CodeOverCapacity, est,
@@ -626,22 +838,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Journal the submission before it becomes visible to a worker, so the
 	// journal's per-key record order always starts with submit.
-	s.journalAppend(journalRecord{Op: opSubmit, Key: key, ID: id, At: time.Now(), Req: &creq})
+	s.journalAppend(journalRecord{Op: opSubmit, Key: key, ID: id, At: time.Now(), Req: &creq, Tenant: tenant})
 
-	select {
-	case s.queue <- j:
+	switch err := s.fq.Push(j); err {
+	case nil:
 		s.met.queued.Add(1)
 		s.met.submitted.Add(1)
 		admitted("queued", id, key)
 		s.jobLogger(j).Info("job admitted", "bench", creq.Bench, "mode", string(creq.Mode),
 			"propagated", propagated)
-	default:
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.mu.Unlock()
-		s.met.rejectedFull.Add(1)
+	case errTenantFull:
+		unadmitCharged()
+		s.met.shedTenantFull.Add(1)
 		// Terminalise the journaled submit so replay does not resurrect a
 		// job the client was told to retry.
+		s.journalAppend(journalRecord{Op: opFail, Key: key, ID: id, At: time.Now(), Error: "tenant queue full"})
+		refused("tenant-queue-full", tenant)
+		WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(),
+			"tenant %q queue full (%d jobs waiting)", tenantName(tenant), s.fq.TenantDepth(tenant))
+		return
+	default:
+		unadmitCharged()
+		s.met.rejectedFull.Add(1)
 		s.journalAppend(journalRecord{Op: opFail, Key: key, ID: id, At: time.Now(), Error: "queue full"})
 		refused("queue-full", "")
 		WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(), "queue full (%d jobs waiting)", s.cfg.QueueSize)
@@ -693,6 +911,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	// The deepest brownout step (cached-only) sheds long-lived progress
+	// streams of non-terminal jobs — they hold connections open while the
+	// server is fighting for headroom. Terminal jobs still stream: that's a
+	// single bounded read, no cheaper than a status poll.
+	if s.brownoutStep() >= 3 {
+		if st := j.status(); !st.State.terminal() {
+			s.met.shedBrownout.Add(1)
+			WriteErrorRetry(w, CodeOverCapacity, s.retryAfterHint(),
+				"brownout (cached-only): progress streaming suspended; poll GET /v1/sims/%s", j.id)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -741,12 +971,28 @@ type Health struct {
 	Node            string  `json:"node,omitempty"`
 	PredictedWaitMS float64 `json:"predicted_wait_ms"`
 	JournalLag      int64   `json:"journal_lag"`
+
+	// Multi-tenant overload state (additive, PR 10). Brownout is the current
+	// degradation step name ("" serving normally, then "shed-low" →
+	// "no-new-work" → "cached-only"); Tenants lists per-tenant queue depth,
+	// weight and in-flight bytes, sorted by tenant name (absent until any
+	// tenant has queued work).
+	Brownout string           `json:"brownout,omitempty"`
+	Tenants  []TenantSnapshot `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := "serving"
 	if s.state.Load() != stateServing {
 		state = "draining"
+	}
+	tenants := s.fq.Snapshot()
+	for i := range tenants {
+		name := tenants[i].Tenant
+		if name == "default" {
+			name = ""
+		}
+		tenants[i].InflightBytes = s.quotas.InflightBytes(name)
 	}
 	WriteJSON(w, http.StatusOK, Health{
 		Status:          "ok",
@@ -760,6 +1006,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Node:            s.cfg.NodeID,
 		PredictedWaitMS: float64(s.estimatedWait().Nanoseconds()) / 1e6,
 		JournalLag:      s.met.journalRecords.Load(),
+		Brownout:        brownoutNames[s.brownoutStep()],
+		Tenants:         tenants,
 	})
 }
 
